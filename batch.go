@@ -1,0 +1,38 @@
+package cabd
+
+import (
+	"runtime"
+	"sync"
+)
+
+// DetectBatch runs unsupervised detection over many independent series in
+// parallel (the Detector is stateless and safe to share). Results align
+// with the input order. Typical use: the 50-series Yahoo-style suites the
+// paper evaluates on.
+func (d *Detector) DetectBatch(seriesSet [][]float64) []*Result {
+	out := make([]*Result, len(seriesSet))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(seriesSet) {
+		workers = len(seriesSet)
+	}
+	if workers < 1 {
+		return out
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(seriesSet))
+	for i := range seriesSet {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				out[i] = d.Detect(seriesSet[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

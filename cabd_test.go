@@ -1,0 +1,119 @@
+package cabd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func demoSeries(seed int64) (vals []float64, spikes []int, shift int) {
+	rng := rand.New(rand.NewSource(seed))
+	vals = make([]float64, 1000)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		vals[i] = ar + 1.5*math.Sin(2*math.Pi*float64(i)/120)
+	}
+	spikes = []int{200, 500, 800}
+	for _, p := range spikes {
+		vals[p] += 20
+	}
+	shift = 650
+	for i := shift; i < len(vals); i++ {
+		vals[i] += 5
+	}
+	return vals, spikes, shift
+}
+
+func TestDetectFindsSpikes(t *testing.T) {
+	vals, spikes, _ := demoSeries(1)
+	res := New(Options{}).Detect(vals)
+	found := map[int]bool{}
+	for _, a := range res.Anomalies {
+		found[a.Index] = true
+	}
+	for _, p := range spikes {
+		if !found[p] {
+			t.Errorf("spike at %d not detected; got %v", p, res.AnomalyIndices())
+		}
+	}
+	if res.Queries != 0 {
+		t.Errorf("unsupervised Detect consumed %d queries", res.Queries)
+	}
+}
+
+func TestDetectInteractiveUsesLabeler(t *testing.T) {
+	vals, spikes, shift := demoSeries(2)
+	truth := func(i int) Label {
+		for _, p := range spikes {
+			if i == p {
+				return SingleAnomaly
+			}
+		}
+		if i >= shift-1 && i <= shift+1 {
+			return ChangePoint
+		}
+		return Normal
+	}
+	calls := 0
+	res := New(Options{}).DetectInteractive(vals, func(i int) Label {
+		calls++
+		return truth(i)
+	})
+	if calls != res.Queries {
+		t.Errorf("labeler calls %d != reported queries %d", calls, res.Queries)
+	}
+	found := map[int]bool{}
+	for _, a := range res.Anomalies {
+		found[a.Index] = true
+	}
+	for _, p := range spikes {
+		if !found[p] {
+			t.Errorf("spike at %d not detected interactively", p)
+		}
+	}
+	// The level shift must surface as a change point near the truth.
+	ok := false
+	for _, c := range res.ChangePoints {
+		if c.Index >= shift-2 && c.Index <= shift+2 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("shift at %d not among change points %v", shift, res.ChangePointIndices())
+	}
+}
+
+func TestDetectionMetadata(t *testing.T) {
+	vals, _, _ := demoSeries(3)
+	res := New(Options{}).Detect(vals)
+	for _, d := range res.Anomalies {
+		if !d.Subtype.IsAnomaly() {
+			t.Errorf("anomaly detection carries subtype %v", d.Subtype)
+		}
+		if d.Confidence < 0 || d.Confidence > 1 {
+			t.Errorf("confidence out of range: %v", d.Confidence)
+		}
+	}
+	for _, d := range res.ChangePoints {
+		if d.Subtype != ChangePoint {
+			t.Errorf("change detection carries subtype %v", d.Subtype)
+		}
+	}
+}
+
+func TestLabelStrings(t *testing.T) {
+	if Normal.String() != "normal" || ChangePoint.String() != "change-point" {
+		t.Error("label strings broken")
+	}
+	if !SingleAnomaly.IsAnomaly() || ChangePoint.IsAnomaly() {
+		t.Error("IsAnomaly broken")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := New(Options{}).Detect(nil)
+	if len(res.Anomalies) != 0 || len(res.ChangePoints) != 0 {
+		t.Errorf("empty input produced detections: %+v", res)
+	}
+}

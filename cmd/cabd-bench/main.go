@@ -1,0 +1,134 @@
+// Command cabd-bench regenerates the paper's tables and figures
+// (Section V). Each experiment prints the same rows/series the paper
+// reports; DESIGN.md maps experiment ids to the modules involved and
+// EXPERIMENTS.md records measured-versus-paper numbers.
+//
+//	cabd-bench -exp table1            # one experiment
+//	cabd-bench -exp all               # everything
+//	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
+//
+// Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
+// table2 fig12 fig13 fig14 multi.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"cabd/internal/experiments"
+)
+
+type runner struct {
+	id   string
+	desc string
+	run  func(sc experiments.Scale)
+}
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all'")
+	full := flag.Bool("full", false, "paper-scale datasets (slow: tens of minutes)")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	sc := experiments.Scale{}
+	if *full {
+		sc = experiments.Full()
+	}
+	out := os.Stdout
+
+	runners := []runner{
+		{"fig1", "IoT example: error detection vs event preservation", func(sc experiments.Scale) {
+			experiments.PrintFig1(out, experiments.Fig1(sc))
+		}},
+		{"fig3", "GMM clustering of candidate scores", func(sc experiments.Scale) {
+			experiments.PrintFig3(out, experiments.Fig3(sc))
+		}},
+		{"table1", "CABD quality with and without active learning", func(sc experiments.Scale) {
+			experiments.PrintTable1(out, experiments.Table1(sc))
+		}},
+		{"fig5", "BNF vs anomaly and change-point density", func(sc experiments.Scale) {
+			experiments.PrintFig5(out, experiments.Fig5(sc))
+		}},
+		{"fig6", "quality and queries vs required confidence", func(sc experiments.Scale) {
+			experiments.PrintFig6(out, experiments.Fig6(sc))
+		}},
+		{"fig7", "vs unsupervised anomaly baselines", func(sc experiments.Scale) {
+			experiments.PrintCompare(out, "Figure 7: unsupervised anomaly detection", experiments.Fig7(sc))
+		}},
+		{"fig8", "vs supervised anomaly baselines", func(sc experiments.Scale) {
+			experiments.PrintCompare(out, "Figure 8: supervised anomaly detection", experiments.Fig8(sc))
+		}},
+		{"fig9", "vs change-point baselines", func(sc experiments.Scale) {
+			experiments.PrintFig9(out, experiments.Fig9(sc))
+		}},
+		{"fig10", "vs combined HBOS+PELT baseline", func(sc experiments.Scale) {
+			experiments.PrintFig10(out, experiments.Fig10(sc))
+		}},
+		{"fig11", "runtime vs data size", func(sc experiments.Scale) {
+			sizes := []int{2000, 5000}
+			if *full {
+				sizes = experiments.Fig11Sizes
+			}
+			experiments.PrintFig11(out, experiments.Fig11(sizes))
+		}},
+		{"table2", "active-learning accuracy/confidence trace", func(sc experiments.Scale) {
+			experiments.PrintTable2(out, experiments.Table2(sc))
+		}},
+		{"fig12", "INN vs KNN neighborhoods", func(sc experiments.Scale) {
+			experiments.PrintFig12(out, experiments.Fig12(sc))
+		}},
+		{"fig13", "single-score ablation", func(sc experiments.Scale) {
+			experiments.PrintFig13(out, experiments.Fig13(sc))
+		}},
+		{"fig14", "IMR repair with and without CABD", func(sc experiments.Scale) {
+			experiments.PrintFig14(out, experiments.Fig14(sc))
+		}},
+		{"multi", "extension: joint multivariate vs per-dimension union", func(sc experiments.Scale) {
+			experiments.PrintMultiExtension(out, experiments.MultiExtension(sc))
+		}},
+	}
+
+	if *list {
+		for _, r := range runners {
+			fmt.Printf("%-8s %s\n", r.id, r.desc)
+		}
+		return
+	}
+
+	ids := map[string]runner{}
+	var order []string
+	for _, r := range runners {
+		ids[r.id] = r
+		order = append(order, r.id)
+	}
+	var selected []string
+	if *exp == "all" {
+		selected = order
+	} else if _, ok := ids[*exp]; ok {
+		selected = []string{*exp}
+	} else {
+		fmt.Fprintf(os.Stderr, "cabd-bench: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	sort.SliceStable(selected, func(a, b int) bool {
+		return indexOf(order, selected[a]) < indexOf(order, selected[b])
+	})
+	for _, id := range selected {
+		r := ids[id]
+		start := time.Now()
+		r.run(sc)
+		fmt.Fprintf(out, "  [%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+}
+
+func indexOf(xs []string, x string) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}

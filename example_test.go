@@ -1,0 +1,113 @@
+package cabd_test
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cabd"
+)
+
+// A realistic series with one obvious sensor error and one real level
+// shift.
+func demo() []float64 {
+	rng := rand.New(rand.NewSource(3))
+	values := make([]float64, 400)
+	ar := 0.0
+	for i := range values {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		values[i] = 10 + 2*math.Sin(2*math.Pi*float64(i)/80) + ar
+	}
+	values[100] += 25 // sensor error
+	for i := 300; i < 400; i++ {
+		values[i] += 8 // real event: the level steps up
+	}
+	return values
+}
+
+func ExampleDetector_Detect() {
+	det := cabd.New(cabd.Options{})
+	res := det.Detect(demo())
+	errorFound, eventFound := false, false
+	for _, d := range res.Anomalies {
+		if d.Index == 100 {
+			errorFound = true
+		}
+	}
+	for _, d := range res.ChangePoints {
+		if d.Index >= 298 && d.Index <= 302 {
+			eventFound = true
+		}
+	}
+	fmt.Println("error detected:", errorFound)
+	fmt.Println("event detected:", eventFound)
+	// Output:
+	// error detected: true
+	// event detected: true
+}
+
+func ExampleDetector_DetectInteractive() {
+	det := cabd.New(cabd.Options{})
+	res := det.DetectInteractive(demo(), func(i int) cabd.Label {
+		switch {
+		case i == 100:
+			return cabd.SingleAnomaly
+		case i >= 299 && i <= 301:
+			return cabd.ChangePoint
+		default:
+			return cabd.Normal
+		}
+	})
+	for _, d := range res.Anomalies {
+		fmt.Println("error at", d.Index)
+	}
+	for _, d := range res.ChangePoints {
+		// The detected boundary lands within a point of the shift.
+		fmt.Println("event near 300:", d.Index >= 299 && d.Index <= 301)
+	}
+	// Output:
+	// error at 100
+	// event near 300: true
+}
+
+func ExampleMultiDetector_Detect() {
+	// Two synchronized sensors; a fault at t=200 hits both.
+	n := 500
+	temp := make([]float64, n)
+	vib := make([]float64, n)
+	for i := 0; i < n; i++ {
+		phase := 2 * math.Pi * float64(i) / 100
+		temp[i] = 60 + 8*math.Sin(phase) + 0.05*math.Cos(7*phase)
+		vib[i] = 2 + 0.5*math.Sin(phase) + 0.01*math.Sin(13*phase)
+	}
+	temp[200] += 30
+	vib[200] += 5
+
+	res := cabd.NewMulti(cabd.Options{}).Detect([][]float64{temp, vib})
+	for _, d := range res.Anomalies {
+		if d.Index == 200 {
+			fmt.Println("fault detected at 200")
+		}
+	}
+	// Output:
+	// fault detected at 200
+}
+
+func ExampleStreamDetector() {
+	det := cabd.NewStream(cabd.StreamConfig{Window: 300, Hop: 50})
+	for i := 0; i < 900; i++ {
+		v := 10 + 3*math.Sin(2*math.Pi*float64(i)/80) +
+			0.2*math.Sin(2*math.Pi*float64(i)/7)
+		if i == 500 {
+			v += 25 // a glitch in the feed
+		}
+		for _, d := range det.Push(v) {
+			if d.Index == 500 {
+				fmt.Println("glitch detected online at 500")
+			}
+		}
+	}
+	det.Flush()
+	// Output:
+	// glitch detected online at 500
+}

@@ -1,0 +1,71 @@
+// Quickstart: detect anomalies and change points in a synthetic sensor
+// series with the public cabd API — no parameters to tune, no labels
+// required.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cabd"
+)
+
+func main() {
+	// A day of 1-minute readings: smooth daily cycle plus sensor noise.
+	rng := rand.New(rand.NewSource(7))
+	values := make([]float64, 1440)
+	ar := 0.0
+	for i := range values {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		values[i] = 20 + 4*math.Sin(2*math.Pi*float64(i)/480) + ar
+	}
+	// Three sensor errors...
+	values[300] += 25 // a ghost reading
+	values[700] -= 30 // a lost echo
+	for i := 1000; i < 1005; i++ {
+		values[i] = 55 // a stuck sensor
+	}
+	// ...and one real event: the monitored process steps up at 1200.
+	for i := 1200; i < len(values); i++ {
+		values[i] += 10
+	}
+
+	det := cabd.New(cabd.Options{})
+
+	// Fully unsupervised: errors come out cleanly, events are noisier.
+	res := det.Detect(values)
+	report("Unsupervised", res)
+
+	// The paper's headline: a handful of labels sharpens everything.
+	// Any labeling function works — a UI prompt, a rule, or (here) the
+	// ground truth we injected above.
+	truth := func(i int) cabd.Label {
+		switch {
+		case i == 300 || i == 700:
+			return cabd.SingleAnomaly
+		case i >= 1000 && i < 1005:
+			return cabd.CollectiveAnomaly
+		case i >= 1199 && i <= 1201:
+			return cabd.ChangePoint
+		default:
+			return cabd.Normal
+		}
+	}
+	res = det.DetectInteractive(values, truth)
+	fmt.Println()
+	report(fmt.Sprintf("With %d labels", res.Queries), res)
+}
+
+func report(title string, res *cabd.Result) {
+	fmt.Printf("%s — errors (to fix or drop):\n", title)
+	for _, d := range res.Anomalies {
+		fmt.Printf("  index %4d  %-19s confidence %.2f\n", d.Index, d.Subtype, d.Confidence)
+	}
+	fmt.Printf("%s — events (to preserve):\n", title)
+	for _, d := range res.ChangePoints {
+		fmt.Printf("  index %4d  %-19s confidence %.2f\n", d.Index, d.Subtype, d.Confidence)
+	}
+}

@@ -1,0 +1,165 @@
+package cabd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMultiDetectorFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	n := 900
+	dims := make([][]float64, 2)
+	for k := range dims {
+		dim := make([]float64, n)
+		ar := 0.0
+		for i := range dim {
+			ar = 0.7*ar + rng.NormFloat64()*0.1
+			dim[i] = 2*math.Sin(2*math.Pi*float64(i)/130) + ar
+		}
+		dims[k] = dim
+	}
+	for k := range dims {
+		dims[k][450] += 15
+	}
+	res := NewMulti(Options{}).Detect(dims)
+	found := false
+	for _, d := range res.Anomalies {
+		if d.Index == 450 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("cross-dimension spike not found: %v", res.AnomalyIndices())
+	}
+
+	calls := 0
+	res = NewMulti(Options{}).DetectInteractive(dims, func(i int) Label {
+		calls++
+		if i == 450 {
+			return SingleAnomaly
+		}
+		return Normal
+	})
+	if calls != res.Queries {
+		t.Errorf("labeler calls %d != queries %d", calls, res.Queries)
+	}
+}
+
+func TestStreamDetectorFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	d := NewStream(StreamConfig{Window: 500, Hop: 60})
+	spike := 800
+	var got []StreamDetection
+	ar := 0.0
+	for i := 0; i < 1400; i++ {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		v := 2*math.Sin(2*math.Pi*float64(i)/120) + ar
+		if i == spike {
+			v += 15
+		}
+		got = append(got, d.Push(v)...)
+	}
+	got = append(got, d.Flush()...)
+	if d.Total() != 1400 {
+		t.Errorf("Total = %d", d.Total())
+	}
+	found := false
+	for _, det := range got {
+		if det.Index == spike && det.Subtype.IsAnomaly() {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("streamed spike not detected: %+v", got)
+	}
+}
+
+func TestRepairFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 800
+	values := make([]float64, n)
+	ar := 0.0
+	for i := range values {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		values[i] = 10 + 2*math.Sin(2*math.Pi*float64(i)/100) + ar
+	}
+	truth := append([]float64(nil), values...)
+	errAt := []int{200, 500}
+	for _, p := range errAt {
+		values[p] += 20
+	}
+	known := map[int]float64{}
+	det := New(Options{})
+	res := det.DetectInteractive(values, func(i int) Label {
+		known[i] = truth[i]
+		for _, p := range errAt {
+			if i == p {
+				return SingleAnomaly
+			}
+		}
+		return Normal
+	})
+	repaired := Repair(values, res, known, RepairOptions{})
+	for _, p := range errAt {
+		if math.Abs(repaired[p]-truth[p]) >= math.Abs(values[p]-truth[p]) {
+			t.Errorf("error at %d not repaired: %v -> %v (truth %v)",
+				p, values[p], repaired[p], truth[p])
+		}
+	}
+	if values[200] == repaired[200] && values[500] == repaired[500] {
+		t.Error("repair was a no-op")
+	}
+	// The input must be untouched.
+	if values[200] == truth[200] {
+		t.Error("Repair mutated its input")
+	}
+}
+
+func TestRepairSpeedConstrainedFacade(t *testing.T) {
+	values := []float64{0, 0.2, 9, 0.6, 0.8}
+	out := RepairSpeedConstrained(values, 1, -1)
+	for i := 1; i < len(out); i++ {
+		if d := out[i] - out[i-1]; d > 1+1e-9 || d < -1-1e-9 {
+			t.Errorf("speed violated at %d: %v", i, d)
+		}
+	}
+}
+
+func TestDetectBatchMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	mk := func(spike int) []float64 {
+		vals := make([]float64, 600)
+		ar := 0.0
+		for i := range vals {
+			ar = 0.7*ar + rng.NormFloat64()*0.1
+			vals[i] = 2*math.Sin(2*math.Pi*float64(i)/90) + ar
+		}
+		vals[spike] += 15
+		return vals
+	}
+	set := [][]float64{mk(100), mk(250), mk(400), mk(550), mk(300)}
+	det := New(Options{})
+	batch := det.DetectBatch(set)
+	if len(batch) != len(set) {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	for i, vals := range set {
+		seq := det.Detect(vals)
+		bi, si := batch[i].AnomalyIndices(), seq.AnomalyIndices()
+		if len(bi) != len(si) {
+			t.Fatalf("series %d: batch %v vs sequential %v", i, bi, si)
+		}
+		for j := range bi {
+			if bi[j] != si[j] {
+				t.Fatalf("series %d: batch diverges from sequential", i)
+			}
+		}
+	}
+}
+
+func TestDetectBatchEmpty(t *testing.T) {
+	if got := New(Options{}).DetectBatch(nil); len(got) != 0 {
+		t.Errorf("empty batch = %v", got)
+	}
+}

@@ -1,0 +1,3 @@
+module cabd
+
+go 1.22

@@ -1,0 +1,170 @@
+// Package baselines_test exercises the whole baseline suite against a
+// common battery of synthetic scenarios: every detector must find gross
+// spike anomalies with usable recall, survive degenerate inputs, and run
+// deterministically. Per-algorithm behaviours are tested in each package;
+// this file guards the shared Detector contract.
+package baselines_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/baselines/bocpd"
+	"cabd/internal/baselines/common"
+	"cabd/internal/baselines/contextose"
+	"cabd/internal/baselines/donut"
+	"cabd/internal/baselines/fbag"
+	"cabd/internal/baselines/hbos"
+	"cabd/internal/baselines/iforest"
+	"cabd/internal/baselines/knncad"
+	"cabd/internal/baselines/luminol"
+	"cabd/internal/baselines/mcd"
+	"cabd/internal/baselines/numenta"
+	"cabd/internal/baselines/relent"
+	"cabd/internal/baselines/spot"
+	"cabd/internal/baselines/sr"
+	"cabd/internal/baselines/twitteresd"
+	"cabd/internal/eval"
+	"cabd/internal/series"
+)
+
+// spikySeries builds a smooth seasonal series with strong spikes.
+func spikySeries(seed int64, n int, spikes []int) *series.Series {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.6*ar + rng.NormFloat64()*0.2
+		vals[i] = ar + 2*math.Sin(2*math.Pi*float64(i)/100)
+	}
+	s := series.New("spiky", vals)
+	labels := s.EnsureLabels()
+	for _, p := range spikes {
+		vals[p] += 15
+		labels[p] = series.SingleAnomaly
+	}
+	return s
+}
+
+func allDetectors() []common.Detector {
+	return []common.Detector{
+		hbos.New(hbos.Config{}),
+		iforest.New(iforest.Config{}),
+		fbag.New(fbag.Config{}),
+		mcd.New(mcd.Config{}),
+		spot.New(spot.Config{Q: 1e-3}),
+		spot.New(spot.Config{Q: 1e-3, Depth: 20}),
+		knncad.New(knncad.Config{}),
+		luminol.New(luminol.Config{}),
+		twitteresd.New(twitteresd.Config{}),
+		relent.New(relent.Config{}),
+		bocpd.New(bocpd.Config{}),
+		numenta.New(numenta.Config{}),
+		contextose.New(contextose.Config{}),
+		sr.New(sr.Config{}),
+		donut.New(donut.Config{Epochs: 8}),
+	}
+}
+
+// minRecall is the per-detector floor on gross 15-sigma spikes. The weak
+// detectors (whose poor quality is part of the paper's Figure 7 story)
+// only need to hit some of the spikes; point-precise algorithms must hit
+// most. SPOT skips its calibration prefix, so the first spike is exempt
+// for the streaming family.
+var minRecall = map[string]float64{
+	"HBOS": 0.75, "IF": 0.75, "F-Bag": 0.5, "MCD": 0.75,
+	"SPOT": 0.5, "DSPOT": 0.5, "KNN-CAD": 0.25, "Luminol": 0.25,
+	"Twitter-AD": 0.75, "RelEntropy": 0.25,
+	"Numenta": 0.25, "ContextOSE": 0.25, "SR": 0.5, "DONUT": 0.25,
+}
+
+func TestDetectorsFindGrossSpikes(t *testing.T) {
+	// Irregular positions: equally spaced spikes would alias with the
+	// seasonal-period estimation of the decomposition-based detectors.
+	spikes := []int{293, 608, 921, 1177}
+	s := spikySeries(1, 1500, spikes)
+	for _, det := range allDetectors() {
+		if det.Name() == "BOCPD" {
+			continue // change-point semantics: see TestBOCPDFindsLevelShift
+		}
+		got := det.Detect(s)
+		m := eval.Match(got, spikes, 3)
+		if m.Recall < minRecall[det.Name()] {
+			t.Errorf("%s: recall = %v on gross spikes, want >= %v (found %d points)",
+				det.Name(), m.Recall, minRecall[det.Name()], len(got))
+		}
+	}
+}
+
+// TestBOCPDFindsLevelShift checks BOCPD's native change-point semantics:
+// a persistent level shift collapses the run-length posterior within a
+// few observations.
+func TestBOCPDFindsLevelShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 600)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.3
+		if i >= 300 {
+			vals[i] += 6
+		}
+	}
+	got := bocpd.New(bocpd.Config{}).Detect(series.New("shift", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 298 && i <= 305 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("BOCPD missed the level shift at 300: %v", got)
+	}
+}
+
+func TestDetectorsSortedOutput(t *testing.T) {
+	s := spikySeries(2, 1000, []int{250, 750})
+	for _, det := range allDetectors() {
+		got := det.Detect(s)
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				t.Errorf("%s: output not sorted", det.Name())
+			}
+		}
+		for _, idx := range got {
+			if idx < 0 || idx >= s.Len() {
+				t.Errorf("%s: index %d out of range", det.Name(), idx)
+			}
+		}
+	}
+}
+
+func TestDetectorsDegenerateInputs(t *testing.T) {
+	for _, det := range allDetectors() {
+		for _, vals := range [][]float64{nil, {1}, {1, 2, 3},
+			make([]float64, 100)} {
+			// Must not panic; flat series should flag little or nothing.
+			got := det.Detect(series.New("d", vals))
+			if len(vals) <= 3 && len(got) > len(vals) {
+				t.Errorf("%s: tiny input produced %d detections", det.Name(), len(got))
+			}
+		}
+	}
+}
+
+func TestDetectorsDeterministic(t *testing.T) {
+	s := spikySeries(3, 800, []int{400})
+	for _, det := range allDetectors() {
+		a := det.Detect(s)
+		b := det.Detect(s)
+		if len(a) != len(b) {
+			t.Errorf("%s: nondeterministic count %d vs %d", det.Name(), len(a), len(b))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: nondeterministic output", det.Name())
+				break
+			}
+		}
+	}
+}

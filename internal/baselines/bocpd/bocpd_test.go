@@ -1,0 +1,85 @@
+package bocpd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestDetectsMultipleShifts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 900)
+	levels := []float64{0, 5, -3}
+	for i := range vals {
+		vals[i] = levels[i/300] + rng.NormFloat64()*0.4
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	for _, truth := range []int{300, 600} {
+		ok := false
+		for _, i := range got {
+			if i >= truth-3 && i <= truth+5 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("shift at %d missed: %v", truth, got)
+		}
+	}
+}
+
+func TestQuietOnStationaryData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	if len(got) > 5 {
+		t.Errorf("stationary noise produced %d change points", len(got))
+	}
+}
+
+func TestVarianceShift(t *testing.T) {
+	// The Normal-Gamma model tracks variance too: a volatility change
+	// is a change point.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 800)
+	for i := range vals {
+		sd := 0.2
+		if i >= 400 {
+			sd = 3
+		}
+		vals[i] = rng.NormFloat64() * sd
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 395 && i <= 420 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("variance shift missed: %v", got)
+	}
+}
+
+func TestPredictivePDFIntegratesToOne(t *testing.T) {
+	ng := prior(1)
+	ng = ng.update(0.5)
+	ng = ng.update(-0.2)
+	var mass float64
+	for x := -50.0; x <= 50; x += 0.01 {
+		mass += math.Exp(ng.predLogPDF(x)) * 0.01
+	}
+	if math.Abs(mass-1) > 0.01 {
+		t.Errorf("posterior predictive mass = %v", mass)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 5))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

@@ -1,0 +1,70 @@
+package common
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWindows(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	w := Windows(xs, 3)
+	if len(w) != 3 || w[0][0] != 1 || w[2][2] != 5 {
+		t.Errorf("Windows = %v", w)
+	}
+	if Windows(xs, 6) != nil || Windows(xs, 0) != nil {
+		t.Error("degenerate windows should be nil")
+	}
+}
+
+func TestThresholdContamination(t *testing.T) {
+	scores := []float64{0, 1, 9, 2, 8, 1}
+	got := Threshold(scores, 2.0/6.0)
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("Threshold = %v, want [2 4]", got)
+	}
+	// Contamination so small it still flags one point.
+	got = Threshold(scores, 1e-9)
+	if len(got) != 1 || got[0] != 2 {
+		t.Errorf("tiny contamination = %v", got)
+	}
+}
+
+func TestThresholdRobustZ(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	scores := make([]float64, 200)
+	for i := range scores {
+		scores[i] = rng.NormFloat64() * 0.1
+	}
+	scores[50] = 10
+	scores[120] = 12
+	got := Threshold(scores, 0)
+	if len(got) != 2 || got[0] != 50 || got[1] != 120 {
+		t.Errorf("robust-z threshold = %v, want [50 120]", got)
+	}
+	if Threshold(nil, 0) != nil {
+		t.Error("empty scores should be nil")
+	}
+}
+
+func TestSpreadWindowScores(t *testing.T) {
+	// Two windows of length 3 over 4 points.
+	win := []float64{1, 5}
+	got := SpreadWindowScores(win, 4, 3)
+	want := []float64{1, 5, 5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("spread[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLastPointWindowScores(t *testing.T) {
+	win := []float64{1, 5}
+	got := LastPointWindowScores(win, 4, 3)
+	want := []float64{0, 0, 1, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("lastpoint[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}

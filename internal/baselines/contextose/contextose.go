@@ -1,0 +1,98 @@
+// Package contextose implements a contextual anomaly detector in the
+// style of ContextOSE (the "Contextual Anomaly Detector - Open Source
+// Edition" run by the Numenta Benchmark, cited as a Figure 7 baseline):
+// each window is summarized by a small statistical signature (mean, span,
+// end-slope); a point is anomalous when its window's signature has no
+// close match among the previously observed contexts.
+package contextose
+
+import (
+	"math"
+
+	"cabd/internal/baselines/common"
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	Window        int     // context length (default 16)
+	MaxContexts   int     // context memory (default 400)
+	Contamination float64 // flagged fraction; <= 0 uses the robust-z rule
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = 16
+	}
+	if c.MaxContexts <= 0 {
+		c.MaxContexts = 400
+	}
+}
+
+// Detector is the ContextOSE-style baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a contextual detector.
+func New(cfg Config) *Detector {
+	cfg.defaults()
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "ContextOSE" }
+
+type signature [4]float64
+
+func sig(win []float64) signature {
+	n := len(win)
+	half := n / 2
+	return signature{
+		stats.Mean(win),
+		stats.Max(win) - stats.Min(win),
+		win[n-1] - win[0],
+		stats.Mean(win[half:]) - stats.Mean(win[:half]),
+	}
+}
+
+func sigDist(a, b signature) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Detect streams over the standardized series: each point is scored by
+// the distance from its context signature to the nearest remembered
+// context (novel contexts score high), then the context is learned.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	w := d.cfg.Window
+	if n < 2*w {
+		return nil
+	}
+	xs := stats.Standardize(s.Values)
+	var memory []signature
+	scores := make([]float64, n)
+	for i := w; i < n; i++ {
+		cur := sig(xs[i-w : i])
+		if len(memory) > 0 {
+			best := math.Inf(1)
+			for _, m := range memory {
+				if ds := sigDist(cur, m); ds < best {
+					best = ds
+				}
+			}
+			scores[i] = best
+		}
+		memory = append(memory, cur)
+		if len(memory) > d.cfg.MaxContexts {
+			memory = memory[1:]
+		}
+	}
+	return common.Threshold(scores, d.cfg.Contamination)
+}

@@ -1,0 +1,77 @@
+package contextose
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestNovelContextFlagged(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1200)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/60) + rng.NormFloat64()*0.15
+	}
+	// A never-before-seen shape: a steep ramp.
+	for i := 800; i < 816; i++ {
+		vals[i] += float64(i-800) * 1.2
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 800 && i <= 835 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("novel context not flagged: %v", got)
+	}
+}
+
+func TestRepeatedContextLearned(t *testing.T) {
+	// The same unusual shape repeated many times becomes a known
+	// context: later occurrences score lower than the first.
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1600)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.1
+	}
+	for rep := 0; rep < 8; rep++ {
+		start := 150 + rep*180
+		for j := 0; j < 10; j++ {
+			vals[start+j] = 5
+		}
+	}
+	got := New(Config{Contamination: 0.02}).Detect(series.New("x", vals))
+	early, late := 0, 0
+	for _, i := range got {
+		if i < 400 {
+			early++
+		}
+		if i > 1200 {
+			late++
+		}
+	}
+	if late > early {
+		t.Errorf("later repeats flagged more (%d) than early ones (%d)", late, early)
+	}
+}
+
+func TestSignatureDistance(t *testing.T) {
+	a := sig([]float64{0, 0, 0, 0})
+	b := sig([]float64{0, 0, 5, 5})
+	if sigDist(a, a) != 0 {
+		t.Error("self distance nonzero")
+	}
+	if sigDist(a, b) <= 0 {
+		t.Error("distinct signatures at zero distance")
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 10))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

@@ -1,0 +1,59 @@
+package donut
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestReconstructionFlagsAnomalies(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 900)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/75) + rng.NormFloat64()*0.1
+	}
+	spikes := []int{400, 650}
+	for _, p := range spikes {
+		vals[p] += 8
+	}
+	got := New(Config{Epochs: 15, Contamination: 0.01}).Detect(series.New("x", vals))
+	hits := 0
+	for _, p := range spikes {
+		for _, i := range got {
+			if i >= p && i <= p+3 {
+				hits++
+				break
+			}
+		}
+	}
+	if hits < 1 {
+		t.Errorf("no spike reconstructed poorly enough: %v", got)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = math.Sin(float64(i)/10) + rng.NormFloat64()*0.05
+	}
+	s := series.New("x", vals)
+	a := New(Config{Epochs: 3, Seed: 5}).Detect(s)
+	b := New(Config{Epochs: 3, Seed: 5}).Detect(s)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic output")
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 20))); got != nil {
+		t.Errorf("short input: %v", got)
+	}
+}

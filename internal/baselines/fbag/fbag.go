@@ -1,0 +1,96 @@
+// Package fbag implements Feature Bagging for outlier detection (Lazarevic
+// & Kumar [23]), a Figure 8 baseline: an ensemble of LOF detectors, each
+// over a random feature subset of a sliding-window embedding, with scores
+// combined by averaging.
+package fbag
+
+import (
+	"math/rand"
+
+	"cabd/internal/baselines/common"
+	"cabd/internal/baselines/lof"
+	"cabd/internal/series"
+)
+
+// Config parameterizes Feature Bagging.
+type Config struct {
+	Window        int     // embedding window (default 6)
+	Rounds        int     // ensemble size (default 10)
+	K             int     // LOF neighbors (default 10)
+	Seed          int64   // default 1
+	Contamination float64 // flagged fraction; <= 0 uses the robust-z rule
+	MaxPoints     int     // subsample cap to bound the O(n^2) LOF (default 3000)
+}
+
+// Detector is the Feature Bagging baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a Feature Bagging detector.
+func New(cfg Config) *Detector {
+	if cfg.Window <= 0 {
+		cfg.Window = 6
+	}
+	if cfg.Rounds <= 0 {
+		cfg.Rounds = 10
+	}
+	if cfg.K <= 0 {
+		cfg.K = 10
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.MaxPoints <= 0 {
+		cfg.MaxPoints = 3000
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "F-Bag" }
+
+// Detect embeds the series into windows, runs LOF on random feature
+// subsets and averages the ensemble scores per point.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	w := d.cfg.Window
+	if n < w+1 {
+		return nil
+	}
+	wins := common.Windows(s.Values, w)
+	// Stride the windows so LOF's O(m^2) stays bounded on long series.
+	stride := 1
+	for len(wins)/stride > d.cfg.MaxPoints {
+		stride++
+	}
+	sub := make([][]float64, 0, len(wins)/stride+1)
+	subIdx := make([]int, 0, cap(sub))
+	for i := 0; i < len(wins); i += stride {
+		sub = append(sub, wins[i])
+		subIdx = append(subIdx, i)
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	acc := make([]float64, len(sub))
+	for r := 0; r < d.cfg.Rounds; r++ {
+		// Random subset of floor(w/2)..w-1 features, per the paper.
+		nd := w/2 + rng.Intn(w-w/2)
+		if nd < 1 {
+			nd = 1
+		}
+		dims := rng.Perm(w)[:nd]
+		for i, v := range lof.Scores(sub, d.cfg.K, dims) {
+			acc[i] += v
+		}
+	}
+	for i := range acc {
+		acc[i] /= float64(d.cfg.Rounds)
+	}
+	// Spread subsampled window scores back to points.
+	winScores := make([]float64, len(wins))
+	for i, wi := range subIdx {
+		winScores[wi] = acc[i]
+	}
+	scores := common.SpreadWindowScores(winScores, n, w)
+	return common.Threshold(scores, d.cfg.Contamination)
+}

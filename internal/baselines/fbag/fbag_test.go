@@ -1,0 +1,73 @@
+package fbag
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestEnsembleFindsPatternOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 900)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/90) + rng.NormFloat64()*0.2
+	}
+	for i := 450; i < 456; i++ {
+		vals[i] += 10
+	}
+	got := New(Config{Contamination: 0.02}).Detect(series.New("x", vals))
+	hits := 0
+	for _, i := range got {
+		if i >= 445 && i <= 460 {
+			hits++
+		}
+	}
+	if hits < 3 {
+		t.Errorf("outlier window coverage %d: %v", hits, got)
+	}
+}
+
+func TestSubsamplingBoundsWork(t *testing.T) {
+	// A long series must be strided so LOF stays tractable, without
+	// panics and with indices in range.
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 8000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	vals[4000] = 20
+	got := New(Config{MaxPoints: 1000, Rounds: 4, Contamination: 0.005}).
+		Detect(series.New("x", vals))
+	for _, i := range got {
+		if i < 0 || i >= 8000 {
+			t.Fatalf("index out of range: %d", i)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	s := series.New("x", vals)
+	a := New(Config{Rounds: 3, Seed: 7}).Detect(s)
+	b := New(Config{Rounds: 3, Seed: 7}).Detect(s)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic output")
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 4))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

@@ -1,0 +1,144 @@
+// Package iforest implements Isolation Forest (Liu, Ting, Zhou [27]),
+// a supervised-family baseline of Figure 8. Points are embedded as
+// (value, first difference) pairs; anomalies isolate in few random splits.
+package iforest
+
+import (
+	"math"
+	"math/rand"
+
+	"cabd/internal/baselines/common"
+	"cabd/internal/series"
+)
+
+// Config parameterizes the forest.
+type Config struct {
+	Trees         int     // default 100
+	SampleSize    int     // sub-sample per tree (default 256)
+	Seed          int64   // default 1
+	Contamination float64 // flagged fraction; <= 0 uses the robust-z rule
+}
+
+// Detector is the Isolation Forest baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns an Isolation Forest detector.
+func New(cfg Config) *Detector {
+	if cfg.Trees <= 0 {
+		cfg.Trees = 100
+	}
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 256
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "IF" }
+
+type itree struct {
+	feature     int
+	split       float64
+	size        int // leaf size (external node)
+	left, right *itree
+}
+
+// Detect embeds each point as (value, diff), grows the forest and scores
+// by the standard 2^(-E[h]/c(n)) path-length statistic.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	if n == 0 {
+		return nil
+	}
+	data := make([][2]float64, n)
+	for i, v := range s.Values {
+		diff := 0.0
+		if i > 0 {
+			diff = v - s.Values[i-1]
+		}
+		data[i] = [2]float64{v, diff}
+	}
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	sample := d.cfg.SampleSize
+	if sample > n {
+		sample = n
+	}
+	maxDepth := int(math.Ceil(math.Log2(float64(sample)))) + 1
+	trees := make([]*itree, d.cfg.Trees)
+	idx := make([]int, sample)
+	for t := range trees {
+		for i := range idx {
+			idx[i] = rng.Intn(n)
+		}
+		trees[t] = build(data, append([]int(nil), idx...), 0, maxDepth, rng)
+	}
+	cn := avgPathLength(sample)
+	scores := make([]float64, n)
+	for i, p := range data {
+		var h float64
+		for _, tr := range trees {
+			h += pathLength(tr, p, 0)
+		}
+		h /= float64(len(trees))
+		scores[i] = math.Pow(2, -h/cn)
+	}
+	return common.Threshold(scores, d.cfg.Contamination)
+}
+
+func build(data [][2]float64, idx []int, depth, maxDepth int, rng *rand.Rand) *itree {
+	if depth >= maxDepth || len(idx) <= 1 {
+		return &itree{size: len(idx)}
+	}
+	f := rng.Intn(2)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, i := range idx {
+		v := data[i][f]
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi <= lo {
+		return &itree{size: len(idx)}
+	}
+	split := lo + rng.Float64()*(hi-lo)
+	var li, ri []int
+	for _, i := range idx {
+		if data[i][f] < split {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	return &itree{
+		feature: f, split: split,
+		left:  build(data, li, depth+1, maxDepth, rng),
+		right: build(data, ri, depth+1, maxDepth, rng),
+	}
+}
+
+func pathLength(t *itree, p [2]float64, depth int) float64 {
+	if t.left == nil {
+		return float64(depth) + avgPathLength(t.size)
+	}
+	if p[t.feature] < t.split {
+		return pathLength(t.left, p, depth+1)
+	}
+	return pathLength(t.right, p, depth+1)
+}
+
+// avgPathLength is c(n), the average unsuccessful BST search length.
+func avgPathLength(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	h := math.Log(float64(n-1)) + 0.5772156649
+	return 2*h - 2*float64(n-1)/float64(n)
+}

@@ -1,0 +1,97 @@
+package iforest
+
+import (
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func base(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.5*ar + rng.NormFloat64()*0.3
+		vals[i] = ar
+	}
+	return vals
+}
+
+func TestIsolatesOutliers(t *testing.T) {
+	vals := base(1, 1000)
+	vals[250] = 20
+	vals[750] = -18
+	got := New(Config{Contamination: 0.005}).Detect(series.New("x", vals))
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	if !found[250] || !found[750] {
+		t.Errorf("outliers missed: %v", got)
+	}
+}
+
+func TestDiffFeatureCatchesJumps(t *testing.T) {
+	// A point whose VALUE is ordinary but whose jump is extreme: the
+	// (value, diff) embedding must catch it.
+	vals := base(2, 800)
+	vals[400] = vals[399] + 15
+	vals[401] = vals[399] // jump back
+	got := New(Config{Contamination: 0.005}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 399 && i <= 401 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("jump not isolated: %v", got)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	vals := base(3, 600)
+	vals[300] = 25
+	a := New(Config{Seed: 9}).Detect(series.New("x", vals))
+	b := New(Config{Seed: 9}).Detect(series.New("x", vals))
+	if len(a) != len(b) {
+		t.Fatalf("counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestSampleSizeSmallerThanN(t *testing.T) {
+	vals := base(4, 100)
+	vals[50] = 30
+	got := New(Config{SampleSize: 64, Trees: 50, Contamination: 0.01}).
+		Detect(series.New("x", vals))
+	if len(got) == 0 || got[0] != 50 {
+		t.Errorf("small-sample forest missed the spike: %v", got)
+	}
+}
+
+func TestAvgPathLength(t *testing.T) {
+	if avgPathLength(1) != 0 {
+		t.Error("c(1) should be 0")
+	}
+	// c(n) grows with n, slower than linearly.
+	c256, c512 := avgPathLength(256), avgPathLength(512)
+	if c512 <= c256 || c512 > 2*c256 {
+		t.Errorf("c(256)=%v c(512)=%v", c256, c512)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	d := New(Config{})
+	if got := d.Detect(series.New("x", nil)); got != nil {
+		t.Errorf("nil input: %v", got)
+	}
+	if got := d.Detect(series.New("x", make([]float64, 50))); len(got) != 0 {
+		t.Errorf("constant input flagged %d", len(got))
+	}
+}

@@ -1,0 +1,157 @@
+// Package knncad implements KNN-CAD (Burnaev & Ishimtsev [7]):
+// conformalized k-nearest-neighbor anomaly detection over caterpillar
+// (lag-vector) embeddings. The non-conformity measure of an observation is
+// the sum of distances to its k nearest neighbors within a reference
+// window; the conformal p-value compares it against a calibration set.
+// A Figure 7 baseline; its "window length" is one of the dataset-specific
+// parameters the paper criticizes.
+package knncad
+
+import (
+	"math"
+	"sort"
+
+	"cabd/internal/baselines/common"
+	"cabd/internal/series"
+)
+
+// Config parameterizes KNN-CAD.
+type Config struct {
+	Lag           int     // caterpillar dimension (default 12)
+	Training      int     // reference window size (default 200)
+	Calibration   int     // calibration set size (default 100)
+	K             int     // neighbors (default 7)
+	PValue        float64 // detection p-value (default 0.02; must exceed 1/(Calibration+1))
+	Contamination float64 // optional top-k override of the p-value rule
+}
+
+func (c *Config) defaults() {
+	if c.Lag <= 0 {
+		c.Lag = 12
+	}
+	if c.Training <= 0 {
+		c.Training = 200
+	}
+	if c.Calibration <= 0 {
+		c.Calibration = 100
+	}
+	if c.K <= 0 {
+		c.K = 7
+	}
+	if c.PValue <= 0 {
+		c.PValue = 0.02
+	}
+	if floor := 1.5 / float64(c.Calibration+1); c.PValue < floor {
+		c.PValue = floor
+	}
+}
+
+// Detector is the KNN-CAD baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a KNN-CAD detector.
+func New(cfg Config) *Detector {
+	cfg.defaults()
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "KNN-CAD" }
+
+// Detect slides over the series: each new lag vector's non-conformity is
+// ranked against the calibration scores; a low conformal p-value flags
+// the newest point.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	lag := d.cfg.Lag
+	if n < lag+d.cfg.Training+d.cfg.Calibration+1 {
+		// Series too short for the full protocol: shrink windows.
+		t := n / 3
+		c := n / 4
+		if lag >= n/4 {
+			lag = n / 4
+		}
+		if lag < 2 || t < 2*lag || c < 4 {
+			return nil
+		}
+		d2 := *d
+		d2.cfg.Lag, d2.cfg.Training, d2.cfg.Calibration = lag, t, c
+		return d2.Detect(s)
+	}
+	wins := common.Windows(s.Values, lag)
+	scores := make([]float64, n)
+	train := d.cfg.Training
+	calib := d.cfg.Calibration
+
+	// Calibration scores over the initial segment.
+	calScores := make([]float64, 0, calib)
+	for i := train; i < train+calib; i++ {
+		calScores = append(calScores, d.ncm(wins, i, i-train, i))
+	}
+	sorted := append([]float64(nil), calScores...)
+	sort.Float64s(sorted)
+
+	for i := train + calib; i < len(wins); i++ {
+		ncm := d.ncm(wins, i, i-train, i)
+		// Conformal p-value: fraction of calibration scores >= ncm.
+		pos := sort.SearchFloat64s(sorted, ncm)
+		p := float64(len(sorted)-pos+1) / float64(len(sorted)+1)
+		point := i + lag - 1
+		scores[point] = 1 - p
+		// Slide the calibration set.
+		old := calScores[0]
+		calScores = append(calScores[1:], ncm)
+		di := sort.SearchFloat64s(sorted, old)
+		if di < len(sorted) {
+			sorted = append(sorted[:di], sorted[di+1:]...)
+		}
+		ins := sort.SearchFloat64s(sorted, ncm)
+		sorted = append(sorted, 0)
+		copy(sorted[ins+1:], sorted[ins:])
+		sorted[ins] = ncm
+	}
+	if d.cfg.Contamination > 0 {
+		return common.Threshold(scores, d.cfg.Contamination)
+	}
+	var out []int
+	for i, sc := range scores {
+		if sc >= 1-d.cfg.PValue {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ncm is the non-conformity measure: sum of the k smallest distances from
+// window qi to the reference windows [lo, hi).
+func (d *Detector) ncm(wins [][]float64, qi, lo, hi int) float64 {
+	q := wins[qi]
+	dists := make([]float64, 0, hi-lo)
+	for j := lo; j < hi; j++ {
+		if j == qi {
+			continue
+		}
+		dists = append(dists, euclid(q, wins[j]))
+	}
+	sort.Float64s(dists)
+	k := d.cfg.K
+	if k > len(dists) {
+		k = len(dists)
+	}
+	var sum float64
+	for i := 0; i < k; i++ {
+		sum += dists[i]
+	}
+	return sum
+}
+
+func euclid(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

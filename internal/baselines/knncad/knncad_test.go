@@ -1,0 +1,70 @@
+package knncad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func seasonal(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/60) + rng.NormFloat64()*0.2
+	}
+	return vals
+}
+
+func TestFlagsPatternBreak(t *testing.T) {
+	vals := seasonal(1, 1500)
+	for i := 900; i < 910; i++ {
+		vals[i] = 12
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 898 && i <= 922 { // lag vectors smear the alarm right
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("pattern break not flagged: %v", got)
+	}
+}
+
+func TestQuietOnRegularSeries(t *testing.T) {
+	vals := seasonal(2, 1500)
+	got := New(Config{}).Detect(series.New("x", vals))
+	// A handful of conformal false alarms is expected at p=0.02, a
+	// flood is not.
+	if len(got) > 60 {
+		t.Errorf("regular series produced %d alarms", len(got))
+	}
+}
+
+func TestPValueFloorEnforced(t *testing.T) {
+	d := New(Config{Calibration: 10, PValue: 0.001})
+	if d.cfg.PValue < 1.5/11 {
+		t.Errorf("p-value %v below achievable floor", d.cfg.PValue)
+	}
+}
+
+func TestShortSeriesShrinksProtocol(t *testing.T) {
+	vals := seasonal(3, 200)
+	vals[150] = 15
+	// Must not panic and should usually still work via shrunk windows.
+	got := New(Config{}).Detect(series.New("x", vals))
+	for _, i := range got {
+		if i < 0 || i >= 200 {
+			t.Errorf("index out of range: %d", i)
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 10))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

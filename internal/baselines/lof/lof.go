@@ -1,0 +1,100 @@
+// Package lof implements the Local Outlier Factor of Breunig et al. [6]
+// over arbitrary-dimensional embeddings. It is the component detector of
+// the Feature Bagging baseline [23] and a classic density-based reference
+// in its own right.
+package lof
+
+import (
+	"math"
+	"sort"
+)
+
+// Scores returns the LOF score of every row of data using k neighbors
+// (higher = more outlying; ~1 = inlier). Feature subsets are selected via
+// dims (nil = all dimensions). Complexity O(n^2 d) — acceptable at the
+// evaluation sizes; LOF is not the runtime-critical baseline.
+func Scores(data [][]float64, k int, dims []int) []float64 {
+	n := len(data)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if k < 1 {
+		k = 1
+	}
+	if k > n-1 {
+		k = n - 1
+	}
+	if k < 1 {
+		// Single point: trivially an inlier.
+		for i := range out {
+			out[i] = 1
+		}
+		return out
+	}
+	if dims == nil {
+		dims = make([]int, len(data[0]))
+		for i := range dims {
+			dims[i] = i
+		}
+	}
+	dist := func(a, b []float64) float64 {
+		var s float64
+		for _, f := range dims {
+			d := a[f] - b[f]
+			s += d * d
+		}
+		return math.Sqrt(s)
+	}
+	// k-NN lists and k-distances.
+	type nb struct {
+		idx int
+		d   float64
+	}
+	neighbors := make([][]nb, n)
+	kdist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		all := make([]nb, 0, n-1)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			all = append(all, nb{j, dist(data[i], data[j])})
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a].d < all[b].d })
+		neighbors[i] = all[:k]
+		kdist[i] = all[k-1].d
+	}
+	// Local reachability density.
+	lrd := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, m := range neighbors[i] {
+			reach := m.d
+			if kdist[m.idx] > reach {
+				reach = kdist[m.idx]
+			}
+			sum += reach
+		}
+		if sum == 0 {
+			lrd[i] = math.Inf(1)
+		} else {
+			lrd[i] = float64(k) / sum
+		}
+	}
+	// LOF = mean neighbor lrd over own lrd.
+	for i := 0; i < n; i++ {
+		var sum float64
+		for _, m := range neighbors[i] {
+			if math.IsInf(lrd[i], 1) {
+				sum += 1
+			} else if math.IsInf(lrd[m.idx], 1) {
+				sum += 2 // denser neighbor: mildly outlying
+			} else {
+				sum += lrd[m.idx] / lrd[i]
+			}
+		}
+		out[i] = sum / float64(k)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package lof
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func cluster(rng *rand.Rand, cx, cy float64, n int) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{cx + rng.NormFloat64()*0.3, cy + rng.NormFloat64()*0.3}
+	}
+	return out
+}
+
+func TestOutlierScoresAboveInliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := cluster(rng, 0, 0, 100)
+	data = append(data, []float64{8, 8}) // clear outlier
+	scores := Scores(data, 10, nil)
+	outlier := scores[len(scores)-1]
+	for i := 0; i < 100; i++ {
+		if scores[i] >= outlier {
+			t.Fatalf("inlier %d (%.2f) scores above outlier (%.2f)", i, scores[i], outlier)
+		}
+	}
+	if outlier < 2 {
+		t.Errorf("outlier LOF = %v, want >> 1", outlier)
+	}
+}
+
+func TestInliersNearOne(t *testing.T) {
+	// A Gaussian cluster has genuine density variation, so tail points
+	// legitimately reach LOF ~3; assert the bulk sits near 1.
+	rng := rand.New(rand.NewSource(2))
+	data := cluster(rng, 0, 0, 200)
+	scores := Scores(data, 15, nil)
+	nearOne := 0
+	for i, s := range scores {
+		if s != s || s < 0 {
+			t.Fatalf("invalid LOF[%d] = %v", i, s)
+		}
+		if s > 0.8 && s < 1.5 {
+			nearOne++
+		}
+	}
+	if nearOne < 150 {
+		t.Errorf("only %d/200 scores near 1", nearOne)
+	}
+}
+
+func TestTwoDensityClusters(t *testing.T) {
+	// A point at the edge of a sparse cluster should not outscore a
+	// genuine between-cluster outlier.
+	rng := rand.New(rand.NewSource(3))
+	data := append(cluster(rng, 0, 0, 80), cluster(rng, 10, 10, 80)...)
+	data = append(data, []float64{5, 5})
+	scores := Scores(data, 10, nil)
+	mid := scores[len(scores)-1]
+	best := 0.0
+	for _, s := range scores[:160] {
+		if s > best {
+			best = s
+		}
+	}
+	if mid <= best {
+		t.Errorf("between-cluster point LOF %v not above cluster max %v", mid, best)
+	}
+}
+
+func TestDimsSubset(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	// Outlier only in dimension 1.
+	data := make([][]float64, 100)
+	for i := range data {
+		data[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	data = append(data, []float64{0, 15})
+	onlyDim0 := Scores(data, 10, []int{0})
+	onlyDim1 := Scores(data, 10, []int{1})
+	last := len(data) - 1
+	if onlyDim1[last] < 2 {
+		t.Errorf("dim-1 LOF of planted outlier = %v", onlyDim1[last])
+	}
+	if onlyDim0[last] > 2 {
+		t.Errorf("dim-0 LOF should not see the outlier: %v", onlyDim0[last])
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := Scores(nil, 5, nil); len(got) != 0 {
+		t.Error("empty input")
+	}
+	one := Scores([][]float64{{1, 1}}, 5, nil)
+	if len(one) != 1 || one[0] != 1 {
+		t.Errorf("singleton LOF = %v, want [1]", one)
+	}
+	// Duplicate points: infinite density handled without NaN.
+	dup := Scores([][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}, 2, nil)
+	for i, s := range dup {
+		if s != s { // NaN check
+			t.Errorf("NaN LOF at %d", i)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package luminol implements LinkedIn Luminol's default anomaly detector:
+// the average of an exponential-moving-average deviation score and a
+// derivative deviation score (the library's DefaultDetector), with the
+// SAX-bitmap detector available as an option. A Figure 7 baseline; the
+// paper measures Luminol as the fastest competitor (Figure 11), which the
+// two O(n) passes reproduce.
+package luminol
+
+import (
+	"math"
+
+	"cabd/internal/baselines/common"
+	"cabd/internal/sax"
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// Config parameterizes the detector.
+type Config struct {
+	SmoothingFactor float64 // EMA alpha (default 0.2, the library default)
+	UseBitmap       bool    // add the SAX-bitmap component
+	ChunkSize       int     // bitmap chunk length (default 2)
+	Alphabet        int     // bitmap SAX alphabet (default 4)
+	Lag             int     // bitmap window (default 50)
+	Contamination   float64 // flagged fraction; <= 0 uses the robust-z rule
+}
+
+func (c *Config) defaults() {
+	if c.SmoothingFactor <= 0 {
+		c.SmoothingFactor = 0.2
+	}
+	if c.ChunkSize <= 0 {
+		c.ChunkSize = 2
+	}
+	if c.Alphabet <= 0 {
+		c.Alphabet = 4
+	}
+	if c.Lag <= 0 {
+		c.Lag = 50
+	}
+}
+
+// Detector is the Luminol baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a Luminol detector.
+func New(cfg Config) *Detector {
+	cfg.defaults()
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "Luminol" }
+
+// Detect averages the component scores and thresholds them.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	if n < 10 {
+		return nil
+	}
+	xs := stats.Standardize(s.Values)
+	ema := d.expAvgScores(xs)
+	deriv := d.derivativeScores(xs)
+	scores := make([]float64, n)
+	for i := range scores {
+		scores[i] = (normScore(ema, i) + normScore(deriv, i)) / 2
+	}
+	if d.cfg.UseBitmap {
+		bm := d.bitmapScores(xs)
+		for i := range scores {
+			scores[i] = (2*scores[i] + normScore(bm, i)) / 3
+		}
+	}
+	return common.Threshold(scores, d.cfg.Contamination)
+}
+
+func normScore(scores []float64, i int) float64 {
+	m := stats.Max(scores)
+	if m <= 0 {
+		return 0
+	}
+	return scores[i] / m
+}
+
+// expAvgScores is Luminol's ExpAvgDetector: |x - EMA(x)|.
+func (d *Detector) expAvgScores(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	ema := xs[0]
+	a := d.cfg.SmoothingFactor
+	for i, v := range xs {
+		out[i] = math.Abs(v - ema)
+		ema = a*v + (1-a)*ema
+	}
+	return out
+}
+
+// derivativeScores is Luminol's DerivativeDetector: |dx - EMA(dx)|.
+func (d *Detector) derivativeScores(xs []float64) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	a := d.cfg.SmoothingFactor
+	var ema float64
+	for i := 1; i < n; i++ {
+		dv := math.Abs(xs[i] - xs[i-1])
+		out[i] = math.Abs(dv - ema)
+		ema = a*dv + (1-a)*ema
+	}
+	return out
+}
+
+// bitmapScores is the optional SAX-bitmap detector: distance between
+// chunk-frequency bitmaps of the lagging and leading windows.
+func (d *Detector) bitmapScores(xs []float64) []float64 {
+	n := len(xs)
+	lag := d.cfg.Lag
+	if n < 2*lag+d.cfg.ChunkSize {
+		lag = n / 4
+	}
+	out := make([]float64, n)
+	if lag < d.cfg.ChunkSize+1 {
+		return out
+	}
+	word := sax.Symbolize(xs, d.cfg.Alphabet)
+	for i := lag; i < n-lag; i++ {
+		lead := bitmap(word[i-lag:i], d.cfg.ChunkSize, d.cfg.Alphabet)
+		trail := bitmap(word[i:i+lag], d.cfg.ChunkSize, d.cfg.Alphabet)
+		out[i] = dist(lead, trail)
+	}
+	return out
+}
+
+// bitmap counts the normalized frequencies of each chunk (substring of
+// length cs) in w, indexed densely over the alphabet^cs space.
+func bitmap(w string, cs, alphabet int) []float64 {
+	size := 1
+	for i := 0; i < cs; i++ {
+		size *= alphabet
+	}
+	bm := make([]float64, size)
+	total := 0
+	for i := 0; i+cs <= len(w); i++ {
+		key := 0
+		for j := 0; j < cs; j++ {
+			key = key*alphabet + int(w[i+j]-'a')
+		}
+		if key >= 0 && key < size {
+			bm[key]++
+			total++
+		}
+	}
+	if total > 0 {
+		for i := range bm {
+			bm[i] /= float64(total)
+		}
+	}
+	return bm
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

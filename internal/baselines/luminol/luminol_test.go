@@ -1,0 +1,82 @@
+package luminol
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestDefaultDetectorFindsSpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.6*ar + rng.NormFloat64()*0.2
+		vals[i] = ar + math.Sin(2*math.Pi*float64(i)/90)
+	}
+	spikes := []int{251, 502, 777}
+	for _, p := range spikes {
+		vals[p] += 12
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	hits := 0
+	for _, p := range spikes {
+		if found[p] || found[p+1] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("only %d/3 spikes detected: %v", hits, got)
+	}
+}
+
+func TestBitmapOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 600)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.1
+	}
+	vals[300] = 10
+	// With the bitmap component enabled the detector must still run and
+	// flag the spike region.
+	got := New(Config{UseBitmap: true}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 299 && i <= 302 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("bitmap-enabled run missed the spike: %v", got)
+	}
+}
+
+func TestBitmapHelperNormalized(t *testing.T) {
+	bm := bitmap("abab", 2, 2)
+	var total float64
+	for _, v := range bm {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Errorf("bitmap mass = %v", total)
+	}
+	// "ab" appears twice, "ba" once.
+	if bm[0*2+1] <= bm[1*2+0] {
+		t.Errorf("chunk frequencies wrong: %v", bm)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 5))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 100))); len(got) != 0 {
+		t.Errorf("constant series flagged %d", len(got))
+	}
+}

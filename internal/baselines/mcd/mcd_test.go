@@ -1,0 +1,81 @@
+package mcd
+
+import (
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestRobustToContamination(t *testing.T) {
+	// 10% gross outliers must not drag the covariance estimate: MCD
+	// should flag exactly the contaminated region.
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	for i := 500; i < 600; i++ {
+		vals[i] = 15 + rng.NormFloat64()
+	}
+	got := New(Config{Contamination: 0.11}).Detect(series.New("x", vals))
+	inRegion := 0
+	for _, i := range got {
+		if i >= 500 && i < 601 {
+			inRegion++
+		}
+	}
+	if inRegion < 90 {
+		t.Errorf("only %d/%d detections inside the contaminated region", inRegion, len(got))
+	}
+}
+
+func TestFindsIsolatedOutlier(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.5
+	}
+	vals[250] = 20
+	got := New(Config{Contamination: 0.005}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i == 250 || i == 251 { // the diff feature implicates 251 too
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("isolated outlier missed: %v", got)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 400)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	a := New(Config{Seed: 4}).Detect(series.New("x", vals))
+	b := New(Config{Seed: 4}).Detect(series.New("x", vals))
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic output")
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	d := New(Config{})
+	if got := d.Detect(series.New("x", []float64{1, 2})); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+	// A constant series has singular covariance; regularization must
+	// keep it NaN-free and quiet.
+	got := d.Detect(series.New("x", make([]float64, 100)))
+	if len(got) != 0 {
+		t.Errorf("constant series flagged %d", len(got))
+	}
+}

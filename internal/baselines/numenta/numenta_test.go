@@ -1,0 +1,74 @@
+package numenta
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestFlagsPredictionBreak(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1500)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/80) + rng.NormFloat64()*0.1
+	}
+	spikes := []int{701, 1103}
+	for _, p := range spikes {
+		vals[p] += 10
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	for _, p := range spikes {
+		ok := false
+		for _, i := range got {
+			if i >= p-2 && i <= p+10 {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("spike %d missed: %v", p, got)
+		}
+	}
+}
+
+func TestFiresOnLevelShift(t *testing.T) {
+	// The paper's Figure 1 point: Numenta confuses change points with
+	// anomalies — a fresh level shift must raise the anomaly likelihood.
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1200)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.2
+		if i >= 800 {
+			vals[i] += 6
+		}
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i >= 798 && i <= 815 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("level shift not flagged (should be confused as anomaly): %v", got)
+	}
+}
+
+func TestSparseAlarms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 3000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	if len(got) > 30 {
+		t.Errorf("noise produced %d alarms at the default threshold", len(got))
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 10))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

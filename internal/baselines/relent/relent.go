@@ -1,0 +1,115 @@
+// Package relent implements the multinomial relative-entropy detector of
+// Wang et al. [39]: values are discretized into bins; for each window the
+// KL divergence (times 2n, asymptotically chi-square) between the
+// window's bin distribution and the long-run distribution is tested
+// against a chi-square quantile. A Figure 7 baseline.
+package relent
+
+import (
+	"math"
+	"sort"
+
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// Config parameterizes the test.
+type Config struct {
+	Bins       int     // value bins (default 5)
+	Window     int     // test window (default 48)
+	Confidence float64 // chi-square confidence (default 0.999)
+}
+
+func (c *Config) defaults() {
+	if c.Bins <= 0 {
+		c.Bins = 5
+	}
+	if c.Window <= 0 {
+		c.Window = 48
+	}
+	if c.Confidence <= 0 {
+		c.Confidence = 0.999
+	}
+}
+
+// Detector is the relative-entropy baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns a relative-entropy detector.
+func New(cfg Config) *Detector {
+	cfg.defaults()
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "RelEntropy" }
+
+// Detect discretizes the series, slides a window and flags every point of
+// windows whose scaled KL divergence from the global distribution exceeds
+// the chi-square critical value.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	w := d.cfg.Window
+	if n < 2*w {
+		return nil
+	}
+	bins := d.cfg.Bins
+	// Discretize by global quantiles so every bin has mass.
+	edges := make([]float64, bins-1)
+	for i := 1; i < bins; i++ {
+		edges[i-1] = stats.Quantile(s.Values, float64(i)/float64(bins))
+	}
+	sym := make([]int, n)
+	for i, v := range s.Values {
+		b := 0
+		for b < len(edges) && v > edges[b] {
+			b++
+		}
+		sym[i] = b
+	}
+	// Global distribution.
+	global := make([]float64, bins)
+	for _, b := range sym {
+		global[b]++
+	}
+	for i := range global {
+		global[i] = (global[i] + 0.5) / (float64(n) + 0.5*float64(bins))
+	}
+	crit := stats.ChiSquareQuantile(d.cfg.Confidence, float64(bins-1))
+
+	flagged := map[int]bool{}
+	counts := make([]float64, bins)
+	for start := 0; start+w <= n; start += w / 2 {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := start; i < start+w; i++ {
+			counts[sym[i]]++
+		}
+		var kl float64
+		for b := 0; b < bins; b++ {
+			if counts[b] == 0 {
+				continue
+			}
+			p := counts[b] / float64(w)
+			kl += counts[b] * math.Log(p/global[b])
+		}
+		if 2*kl > crit {
+			// Flag the most deviant points of the window: those in the
+			// rarest global bins.
+			for i := start; i < start+w; i++ {
+				if global[sym[i]] < 1.5/float64(bins) {
+					flagged[i] = true
+				}
+			}
+		}
+	}
+	out := make([]int, 0, len(flagged))
+	for i := range flagged {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,51 @@
+package relent
+
+import (
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestFlagsDistributionShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	// A burst of extreme values: the window's bin distribution diverges.
+	for i := 500; i < 520; i++ {
+		vals[i] = 8
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	hits := 0
+	for _, i := range got {
+		if i >= 500 && i < 520 {
+			hits++
+		}
+	}
+	if hits < 5 {
+		t.Errorf("burst coverage %d/20: %v", hits, got)
+	}
+}
+
+func TestQuietOnStationaryData(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	if len(got) > 100 {
+		t.Errorf("stationary data produced %d detections", len(got))
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 10))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 200))); len(got) != 0 {
+		t.Errorf("constant series flagged %d", len(got))
+	}
+}

@@ -1,0 +1,138 @@
+package spot
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestGrimshawExponential(t *testing.T) {
+	// Exponential excesses are GPD with gamma = 0, sigma = mean.
+	rng := rand.New(rand.NewSource(1))
+	ys := make([]float64, 5000)
+	for i := range ys {
+		ys[i] = rng.ExpFloat64() * 2.5
+	}
+	gamma, sigma := Grimshaw(ys)
+	if math.Abs(gamma) > 0.1 {
+		t.Errorf("gamma = %v, want ~0", gamma)
+	}
+	if math.Abs(sigma-2.5) > 0.3 {
+		t.Errorf("sigma = %v, want ~2.5", sigma)
+	}
+}
+
+func TestGrimshawParetoTail(t *testing.T) {
+	// Pareto-type excesses: Y = sigma/gamma * ((1-U)^-gamma - 1) is GPD.
+	rng := rand.New(rand.NewSource(2))
+	gammaTrue, sigmaTrue := 0.3, 1.5
+	ys := make([]float64, 8000)
+	for i := range ys {
+		u := rng.Float64()
+		ys[i] = sigmaTrue / gammaTrue * (math.Pow(1-u, -gammaTrue) - 1)
+	}
+	gamma, sigma := Grimshaw(ys)
+	if math.Abs(gamma-gammaTrue) > 0.12 {
+		t.Errorf("gamma = %v, want ~%v", gamma, gammaTrue)
+	}
+	if math.Abs(sigma-sigmaTrue) > 0.3 {
+		t.Errorf("sigma = %v, want ~%v", sigma, sigmaTrue)
+	}
+}
+
+func TestGrimshawDegenerate(t *testing.T) {
+	if g, s := Grimshaw(nil); g != 0 || s != 1 {
+		t.Errorf("empty excesses: %v %v", g, s)
+	}
+	g, s := Grimshaw([]float64{1, 1, 1, 1})
+	if math.IsNaN(g) || math.IsNaN(s) || s <= 0 {
+		t.Errorf("constant excesses: %v %v", g, s)
+	}
+}
+
+func TestSPOTFlagsExtremes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	spikes := []int{800, 1200, 1600}
+	for _, p := range spikes {
+		vals[p] = 12
+	}
+	got := New(Config{Q: 1e-3}).Detect(series.New("x", vals))
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	for _, p := range spikes {
+		if !found[p] {
+			t.Errorf("spike at %d not flagged: %v", p, got)
+		}
+	}
+	// False-alarm control: the target risk must roughly hold.
+	if len(got) > 40 {
+		t.Errorf("flagged %d points at q=1e-3 over 2000", len(got))
+	}
+}
+
+func TestSPOTTwoSided(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 2000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	vals[1000] = -12 // lower-tail anomaly
+	got := New(Config{Q: 1e-3}).Detect(series.New("x", vals))
+	ok := false
+	for _, i := range got {
+		if i == 1000 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("lower-tail spike not flagged: %v", got)
+	}
+}
+
+func TestDSPOTFollowsDrift(t *testing.T) {
+	// A slow upward drift must not flood DSPOT with alarms; a genuine
+	// spike on top of the drift must still fire.
+	rng := rand.New(rand.NewSource(5))
+	vals := make([]float64, 3000)
+	for i := range vals {
+		vals[i] = float64(i)*0.01 + rng.NormFloat64()
+	}
+	vals[2500] += 12
+	det := New(Config{Q: 1e-3, Depth: 30})
+	got := det.Detect(series.New("x", vals))
+	if len(got) > 60 {
+		t.Errorf("DSPOT flooded by drift: %d alarms", len(got))
+	}
+	ok := false
+	for _, i := range got {
+		if i == 2500 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Errorf("drifted spike not flagged: %v", got)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if New(Config{}).Name() != "SPOT" {
+		t.Error("SPOT name")
+	}
+	if New(Config{Depth: 10}).Name() != "DSPOT" {
+		t.Error("DSPOT name")
+	}
+}
+
+func TestShortSeries(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 30))); len(got) != 0 {
+		t.Errorf("short series flagged %v", got)
+	}
+}

@@ -1,0 +1,87 @@
+package sr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestSaliencyPeaksAtSpike(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1200)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/100) + rng.NormFloat64()*0.2
+	}
+	spikes := []int{401, 702, 993}
+	for _, p := range spikes {
+		vals[p] += 10
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	hits := 0
+	for _, p := range spikes {
+		if found[p] || found[p+1] || found[p-1] {
+			hits++
+		}
+	}
+	if hits < 2 {
+		t.Errorf("only %d/3 spikes salient: %v", hits, got)
+	}
+}
+
+func TestEstimateNext(t *testing.T) {
+	// A linear ramp extends linearly.
+	win := []float64{1, 2, 3, 4, 5}
+	if got := estimateNext(win, 3); math.Abs(got-6) > 1e-9 {
+		t.Errorf("ramp extension = %v, want 6", got)
+	}
+	// A constant window extends constantly.
+	flat := []float64{3, 3, 3, 3}
+	if got := estimateNext(flat, 3); got != 3 {
+		t.Errorf("flat extension = %v, want 3", got)
+	}
+	if got := estimateNext([]float64{7}, 5); got != 7 {
+		t.Errorf("singleton extension = %v", got)
+	}
+}
+
+func TestSaliencyHelperShape(t *testing.T) {
+	xs := make([]float64, 64)
+	xs[32] = 5
+	sal := saliency(xs, 3)
+	if len(sal) != 64 {
+		t.Fatalf("saliency length = %d", len(sal))
+	}
+	// The impulse must be the most salient point.
+	best := 0
+	for i, v := range sal {
+		if v > sal[best] {
+			best = i
+		}
+	}
+	if best != 32 {
+		t.Errorf("max saliency at %d, want 32", best)
+	}
+}
+
+func TestQuietOnSmoothData(t *testing.T) {
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = math.Sin(2 * math.Pi * float64(i) / 125)
+	}
+	got := New(Config{}).Detect(series.New("x", vals))
+	if len(got) > 10 {
+		t.Errorf("smooth series produced %d detections", len(got))
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 4))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

@@ -1,0 +1,179 @@
+// Package twitteresd implements Twitter's Seasonal Hybrid ESD anomaly
+// detection (Vallis, Hochenbaum, Kejariwal [37]): a seasonal-median
+// decomposition removes period structure, then the Generalized Extreme
+// Studentized Deviate test with robust (median/MAD) statistics flags up
+// to MaxAnoms outliers. A Figure 7 baseline.
+package twitteresd
+
+import (
+	"math"
+	"sort"
+
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// Config parameterizes S-H-ESD.
+type Config struct {
+	Period   int     // seasonality period; 0 = auto-estimate
+	MaxAnoms float64 // max fraction of anomalies (default 0.02)
+	Alpha    float64 // test significance (default 0.05)
+}
+
+func (c *Config) defaults() {
+	if c.MaxAnoms <= 0 {
+		c.MaxAnoms = 0.02
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 0.05
+	}
+}
+
+// Detector is the Twitter-AD baseline.
+type Detector struct {
+	cfg Config
+}
+
+// New returns an S-H-ESD detector.
+func New(cfg Config) *Detector {
+	cfg.defaults()
+	return &Detector{cfg: cfg}
+}
+
+// Name implements common.Detector.
+func (d *Detector) Name() string { return "Twitter-AD" }
+
+// Detect removes the seasonal median profile and the overall median, then
+// runs generalized ESD on the residuals.
+func (d *Detector) Detect(s *series.Series) []int {
+	n := s.Len()
+	if n < 20 {
+		return nil
+	}
+	period := d.cfg.Period
+	if period <= 0 {
+		period = estimatePeriod(s.Values)
+	}
+	resid := deseasonalize(s.Values, period)
+	maxK := int(d.cfg.MaxAnoms * float64(n))
+	if maxK < 1 {
+		maxK = 1
+	}
+	idx := esd(resid, maxK, d.cfg.Alpha)
+	sort.Ints(idx)
+	return idx
+}
+
+// estimatePeriod picks the lag (in [4, n/3]) with maximal autocorrelation.
+func estimatePeriod(xs []float64) int {
+	n := len(xs)
+	maxLag := n / 3
+	if maxLag > 400 {
+		maxLag = 400
+	}
+	z := stats.Standardize(xs)
+	best, bestLag := -1.0, 24
+	for lag := 4; lag <= maxLag; lag++ {
+		var c float64
+		for i := lag; i < n; i++ {
+			c += z[i] * z[i-lag]
+		}
+		c /= float64(n - lag)
+		if c > best {
+			best, bestLag = c, lag
+		}
+	}
+	return bestLag
+}
+
+// deseasonalize subtracts the per-phase median and the global median.
+func deseasonalize(xs []float64, period int) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if period < 2 || period >= n {
+		med := stats.Median(xs)
+		for i, v := range xs {
+			out[i] = v - med
+		}
+		return out
+	}
+	phase := make([][]float64, period)
+	for i, v := range xs {
+		phase[i%period] = append(phase[i%period], v)
+	}
+	med := make([]float64, period)
+	for p := range phase {
+		med[p] = stats.Median(phase[p])
+	}
+	for i, v := range xs {
+		out[i] = v - med[i%period]
+	}
+	global := stats.Median(out)
+	for i := range out {
+		out[i] -= global
+	}
+	return out
+}
+
+// esd runs the hybrid (median/MAD) Generalized ESD test for up to maxK
+// outliers at significance alpha.
+func esd(xs []float64, maxK int, alpha float64) []int {
+	n := len(xs)
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = true
+	}
+	remaining := n
+	var flagged []int
+	var pending []int
+	lastSignificant := 0
+	for k := 1; k <= maxK && remaining > 2; k++ {
+		med, mad := robustStats(xs, active)
+		if mad == 0 {
+			break
+		}
+		// Most extreme remaining point.
+		best, bi := -1.0, -1
+		for i := range xs {
+			if !active[i] {
+				continue
+			}
+			r := math.Abs(xs[i]-med) / mad
+			if r > best {
+				best, bi = r, i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		active[bi] = false
+		remaining--
+		pending = append(pending, bi)
+		// Critical value lambda_k.
+		nf := float64(remaining + 1)
+		p := 1 - alpha/(2*nf)
+		tq := stats.StudentTQuantile(p, nf-2)
+		lambda := (nf - 1) * tq / math.Sqrt((nf-2+tq*tq)*nf)
+		if best > lambda {
+			lastSignificant = len(pending)
+		}
+	}
+	flagged = append(flagged, pending[:lastSignificant]...)
+	return flagged
+}
+
+func robustStats(xs []float64, active []bool) (med, mad float64) {
+	vals := make([]float64, 0, len(xs))
+	for i, v := range xs {
+		if active[i] {
+			vals = append(vals, v)
+		}
+	}
+	med = stats.Median(vals)
+	dev := make([]float64, len(vals))
+	for i, v := range vals {
+		dev[i] = math.Abs(v - med)
+	}
+	mad = stats.Median(dev)
+	return med, mad
+}

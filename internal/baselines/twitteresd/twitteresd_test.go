@@ -1,0 +1,87 @@
+package twitteresd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestFindsSpikesInSeasonalData(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 1200)
+	for i := range vals {
+		vals[i] = 3*math.Sin(2*math.Pi*float64(i)/48) + rng.NormFloat64()*0.3
+	}
+	spikes := []int{301, 633, 997}
+	for _, p := range spikes {
+		vals[p] += 10
+	}
+	got := New(Config{Period: 48}).Detect(series.New("x", vals))
+	found := map[int]bool{}
+	for _, i := range got {
+		found[i] = true
+	}
+	for _, p := range spikes {
+		if !found[p] {
+			t.Errorf("spike %d missed: %v", p, got)
+		}
+	}
+}
+
+func TestAutoPeriodEstimation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/73) + rng.NormFloat64()*0.2
+	}
+	p := estimatePeriod(vals)
+	// Autocorrelation peaks at the period or a multiple.
+	if p%73 > 3 && 73-(p%73) > 3 {
+		t.Errorf("estimated period %d, want ~73k", p)
+	}
+}
+
+func TestMaxAnomsCapsDetections(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	got := New(Config{MaxAnoms: 0.005}).Detect(series.New("x", vals))
+	if len(got) > 5 {
+		t.Errorf("MaxAnoms 0.5%% produced %d detections", len(got))
+	}
+}
+
+func TestESDStopsWithoutOutliers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	resid := make([]float64, 500)
+	for i := range resid {
+		resid[i] = rng.NormFloat64()
+	}
+	got := esd(resid, 25, 0.05)
+	if len(got) > 6 {
+		t.Errorf("clean residuals produced %d ESD detections", len(got))
+	}
+}
+
+func TestDeseasonalizeRemovesProfile(t *testing.T) {
+	vals := make([]float64, 300)
+	for i := range vals {
+		vals[i] = []float64{5, -3, 1}[i%3]
+	}
+	resid := deseasonalize(vals, 3)
+	for i, r := range resid {
+		if math.Abs(r) > 1e-9 {
+			t.Fatalf("residual[%d] = %v, want 0", i, r)
+		}
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if got := New(Config{}).Detect(series.New("x", make([]float64, 10))); got != nil {
+		t.Errorf("tiny input: %v", got)
+	}
+}

@@ -1,0 +1,190 @@
+// Package changepoint implements the three offline change-point detection
+// baselines of Figure 9, re-implementing the subset of the ruptures
+// library [36] the paper invoked: PELT (Pruned Exact Linear Time, Killick
+// et al. [19]), Binary Segmentation [13] and Bottom-Up segmentation [12],
+// all with the L2 (piecewise-constant mean) cost and a penalty parameter —
+// the "penalty value" the paper brute-forces from 0 to 100.
+package changepoint
+
+import (
+	"math"
+	"sort"
+)
+
+// costL2 returns the L2 segment cost of xs[lo:hi) given prefix sums:
+// sum (x - mean)^2 over the segment.
+type prefix struct {
+	s  []float64 // prefix sums
+	s2 []float64 // prefix sums of squares
+}
+
+func newPrefix(xs []float64) prefix {
+	n := len(xs)
+	p := prefix{s: make([]float64, n+1), s2: make([]float64, n+1)}
+	for i, v := range xs {
+		p.s[i+1] = p.s[i] + v
+		p.s2[i+1] = p.s2[i] + v*v
+	}
+	return p
+}
+
+// cost is the L2 cost of the half-open segment [lo, hi).
+func (p prefix) cost(lo, hi int) float64 {
+	n := float64(hi - lo)
+	if n <= 0 {
+		return 0
+	}
+	sum := p.s[hi] - p.s[lo]
+	sum2 := p.s2[hi] - p.s2[lo]
+	return sum2 - sum*sum/n
+}
+
+// PELT returns the optimal change points of xs under penalty pen with the
+// L2 cost, using the pruned exact linear time dynamic program. Change
+// points are reported as the first index of each new segment, sorted.
+func PELT(xs []float64, pen float64) []int {
+	n := len(xs)
+	if n < 2 {
+		return nil
+	}
+	p := newPrefix(xs)
+	// f[t] = optimal cost of xs[0:t]; cp[t] = last change before t.
+	f := make([]float64, n+1)
+	cp := make([]int, n+1)
+	f[0] = -pen
+	candidates := []int{0}
+	for t := 1; t <= n; t++ {
+		bestCost := math.Inf(1)
+		bestTau := 0
+		for _, tau := range candidates {
+			c := f[tau] + p.cost(tau, t) + pen
+			if c < bestCost {
+				bestCost, bestTau = c, tau
+			}
+		}
+		f[t] = bestCost
+		cp[t] = bestTau
+		// Prune: keep tau with f[tau] + cost(tau,t) <= f[t].
+		kept := candidates[:0]
+		for _, tau := range candidates {
+			if f[tau]+p.cost(tau, t) <= f[t] {
+				kept = append(kept, tau)
+			}
+		}
+		candidates = append(kept, t)
+	}
+	// Backtrack.
+	var out []int
+	t := n
+	for t > 0 {
+		tau := cp[t]
+		if tau > 0 {
+			out = append(out, tau)
+		}
+		t = tau
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BinSeg returns change points found by greedy binary segmentation: the
+// split with the largest cost gain is applied recursively while the gain
+// exceeds the penalty. minSize guards degenerate segments (default 2 when
+// <= 0).
+func BinSeg(xs []float64, pen float64, minSize int) []int {
+	n := len(xs)
+	if minSize <= 0 {
+		minSize = 2
+	}
+	if n < 2*minSize {
+		return nil
+	}
+	p := newPrefix(xs)
+	var out []int
+	var recurse func(lo, hi int)
+	recurse = func(lo, hi int) {
+		if hi-lo < 2*minSize {
+			return
+		}
+		base := p.cost(lo, hi)
+		bestGain, bestK := 0.0, -1
+		for k := lo + minSize; k <= hi-minSize; k++ {
+			gain := base - p.cost(lo, k) - p.cost(k, hi)
+			if gain > bestGain {
+				bestGain, bestK = gain, k
+			}
+		}
+		if bestK < 0 || bestGain <= pen {
+			return
+		}
+		out = append(out, bestK)
+		recurse(lo, bestK)
+		recurse(bestK, hi)
+	}
+	recurse(0, n)
+	sort.Ints(out)
+	return out
+}
+
+// BottomUp returns change points found by bottom-up segmentation: the
+// series starts fully segmented at a fine grid and adjacent segments are
+// merged greedily by smallest merge cost until every remaining merge
+// would cost more than the penalty.
+func BottomUp(xs []float64, pen float64, grid int) []int {
+	n := len(xs)
+	if grid <= 0 {
+		grid = 2
+	}
+	if n < 2*grid {
+		return nil
+	}
+	p := newPrefix(xs)
+	// Initial boundaries at every grid-th point.
+	var bounds []int // segment starts (excluding 0)
+	for k := grid; k < n; k += grid {
+		bounds = append(bounds, k)
+	}
+	starts := func() []int {
+		out := append([]int{0}, bounds...)
+		return out
+	}
+	for len(bounds) > 0 {
+		st := starts()
+		// Merge cost of removing boundary i (between segment i and i+1).
+		bestCost, bestI := math.Inf(1), -1
+		for i := 0; i < len(bounds); i++ {
+			lo := st[i]
+			mid := bounds[i]
+			hi := n
+			if i+1 < len(bounds) {
+				hi = bounds[i+1]
+			}
+			mc := p.cost(lo, hi) - p.cost(lo, mid) - p.cost(mid, hi)
+			if mc < bestCost {
+				bestCost, bestI = mc, i
+			}
+		}
+		if bestI < 0 || bestCost > pen {
+			break
+		}
+		bounds = append(bounds[:bestI], bounds[bestI+1:]...)
+	}
+	return bounds
+}
+
+// BestPenalty brute-forces the penalty from lo to hi in steps (the
+// paper's protocol: "the best penalty value is found by a brute-force
+// search from 0 to 100") and returns the penalty maximizing the supplied
+// quality functional together with its detections.
+func BestPenalty(detect func(pen float64) []int, quality func([]int) float64,
+	lo, hi, step float64) (bestPen float64, bestCps []int, bestQ float64) {
+	bestQ = math.Inf(-1)
+	for pen := lo; pen <= hi; pen += step {
+		cps := detect(pen)
+		q := quality(cps)
+		if q > bestQ {
+			bestQ, bestPen, bestCps = q, pen, cps
+		}
+	}
+	return bestPen, bestCps, bestQ
+}

@@ -1,0 +1,174 @@
+package changepoint
+
+import (
+	"math/rand"
+	"testing"
+
+	"cabd/internal/eval"
+)
+
+// steppy builds a piecewise-constant series with noise.
+func steppy(rng *rand.Rand, segLens []int, levels []float64, noise float64) ([]float64, []int) {
+	var xs []float64
+	var cps []int
+	pos := 0
+	for i, l := range segLens {
+		for j := 0; j < l; j++ {
+			xs = append(xs, levels[i]+rng.NormFloat64()*noise)
+		}
+		pos += l
+		if i < len(segLens)-1 {
+			cps = append(cps, pos)
+		}
+	}
+	return xs, cps
+}
+
+func TestPELTExactSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs, truth := steppy(rng, []int{100, 120, 80, 100}, []float64{0, 5, -3, 2}, 0.3)
+	got := PELT(xs, 10)
+	m := eval.Match(got, truth, 2)
+	if m.F1 < 0.99 {
+		t.Errorf("PELT F = %v (got %v, want %v)", m.F1, got, truth)
+	}
+}
+
+func TestBinSegSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs, truth := steppy(rng, []int{100, 120, 80, 100}, []float64{0, 5, -3, 2}, 0.3)
+	got := BinSeg(xs, 10, 2)
+	m := eval.Match(got, truth, 2)
+	if m.F1 < 0.99 {
+		t.Errorf("BinSeg F = %v (got %v, want %v)", m.F1, got, truth)
+	}
+}
+
+func TestBottomUpSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, truth := steppy(rng, []int{100, 120, 80, 100}, []float64{0, 5, -3, 2}, 0.3)
+	got := BottomUp(xs, 10, 2)
+	m := eval.Match(got, truth, 2)
+	if m.F1 < 0.99 {
+		t.Errorf("BottomUp F = %v (got %v, want %v)", m.F1, got, truth)
+	}
+}
+
+func TestNoChangeNoDetection(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	for name, got := range map[string][]int{
+		"PELT":     PELT(xs, 20),
+		"BinSeg":   BinSeg(xs, 20, 2),
+		"BottomUp": BottomUp(xs, 20, 2),
+	} {
+		if len(got) > 2 {
+			t.Errorf("%s flagged %d changes in stationary noise", name, len(got))
+		}
+	}
+}
+
+func TestPenaltyMonotone(t *testing.T) {
+	// More penalty, fewer (or equal) change points.
+	rng := rand.New(rand.NewSource(5))
+	xs, _ := steppy(rng, []int{60, 60, 60, 60, 60}, []float64{0, 3, -1, 4, 0}, 0.5)
+	prev := len(PELT(xs, 0.5))
+	for _, pen := range []float64{2, 10, 50, 200} {
+		cur := len(PELT(xs, pen))
+		if cur > prev {
+			t.Errorf("PELT count increased with penalty: %d -> %d at pen=%v", prev, cur, pen)
+		}
+		prev = cur
+	}
+}
+
+func TestPELTMatchesBruteForceOPT(t *testing.T) {
+	// Differential: PELT must match exhaustive optimal partitioning on
+	// small inputs.
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 20 + rng.Intn(20)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+			if i > n/2 {
+				xs[i] += 4
+			}
+		}
+		pen := 2.0
+		want := optBrute(xs, pen)
+		got := PELT(xs, pen)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: PELT %v vs brute %v", trial, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: PELT %v vs brute %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// optBrute is the O(n^2) unpruned optimal-partitioning reference.
+func optBrute(xs []float64, pen float64) []int {
+	n := len(xs)
+	p := newPrefix(xs)
+	f := make([]float64, n+1)
+	cp := make([]int, n+1)
+	f[0] = -pen
+	for t := 1; t <= n; t++ {
+		best, bi := f[0]+p.cost(0, t)+pen, 0
+		for tau := 1; tau < t; tau++ {
+			if c := f[tau] + p.cost(tau, t) + pen; c < best {
+				best, bi = c, tau
+			}
+		}
+		f[t], cp[t] = best, bi
+	}
+	var out []int
+	for t := n; t > 0; t = cp[t] {
+		if cp[t] > 0 {
+			out = append(out, cp[t])
+		}
+	}
+	for i, j := 0, len(out)-1; i < j; i, j = i+1, j-1 {
+		out[i], out[j] = out[j], out[i]
+	}
+	return out
+}
+
+func TestBestPenalty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs, truth := steppy(rng, []int{80, 80, 80}, []float64{0, 4, -2}, 0.4)
+	_, cps, q := BestPenalty(
+		func(pen float64) []int { return PELT(xs, pen) },
+		func(cps []int) float64 { return eval.Match(cps, truth, 2).F1 },
+		0.5, 100, 2)
+	if q < 0.99 {
+		t.Errorf("brute-forced penalty F = %v (cps %v)", q, cps)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	if PELT(nil, 1) != nil || PELT([]float64{1}, 1) != nil {
+		t.Error("tiny inputs should yield nil")
+	}
+	if BinSeg([]float64{1, 2}, 1, 2) != nil {
+		t.Error("too-short BinSeg should yield nil")
+	}
+	if BottomUp([]float64{1, 2, 3}, 1, 2) != nil {
+		t.Error("too-short BottomUp should yield nil")
+	}
+}
+
+func BenchmarkPELT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs, _ := steppy(rng, []int{500, 500, 500, 500}, []float64{0, 3, -2, 1}, 0.5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PELT(xs, 10)
+	}
+}

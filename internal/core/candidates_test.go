@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestCandidateEstimationFindsSpike(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.1
+	}
+	vals[250] = 50
+	idx, zs := candidateIndices(series.New("x", vals), 3)
+	found := false
+	for i, ci := range idx {
+		if ci == 250 {
+			found = true
+			if zs[i] < 10 {
+				t.Errorf("spike z-score = %v, want large", zs[i])
+			}
+		}
+	}
+	if !found {
+		t.Errorf("spike not among candidates: %v", idx)
+	}
+}
+
+func TestCandidateEstimationAffineSeriesEmpty(t *testing.T) {
+	vals := make([]float64, 100)
+	for i := range vals {
+		vals[i] = 3 + 0.5*float64(i)
+	}
+	idx, zs := candidateIndices(series.New("x", vals), 3)
+	if len(idx) != 0 || zs != nil {
+		t.Errorf("affine series produced candidates: %v", idx)
+	}
+}
+
+func TestCandidateFloodGuard(t *testing.T) {
+	// Mostly-flat data with MAD = 0: every wiggle has infinite robust z.
+	// The guard must cap the candidate set at a quarter of the series.
+	rng := rand.New(rand.NewSource(2))
+	vals := make([]float64, 400)
+	for i := 0; i < 40; i++ {
+		vals[rng.Intn(400)] = 1
+	}
+	idx, zs := candidateIndices(series.New("x", vals), 3)
+	if len(idx) > 100 {
+		t.Errorf("flood guard failed: %d candidates", len(idx))
+	}
+	if len(idx) != len(zs) {
+		t.Errorf("zscores not parallel: %d vs %d", len(idx), len(zs))
+	}
+}
+
+func TestCandidatesCoverInjectedFeatures(t *testing.T) {
+	// Each injected feature must have a candidate within 2 positions.
+	rng := rand.New(rand.NewSource(3))
+	vals := make([]float64, 1000)
+	for i := range vals {
+		vals[i] = rng.NormFloat64() * 0.2
+	}
+	spots := []int{100, 300, 500, 700, 900}
+	for _, p := range spots {
+		vals[p] += 30
+	}
+	idx, _ := candidateIndices(series.New("x", vals), 3)
+	set := map[int]bool{}
+	for _, ci := range idx {
+		set[ci] = true
+	}
+	for _, p := range spots {
+		ok := false
+		for off := -2; off <= 2; off++ {
+			if set[p+off] {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("no candidate near injected spike at %d", p)
+		}
+	}
+}

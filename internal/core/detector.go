@@ -1,0 +1,339 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"cabd/internal/inn"
+	"cabd/internal/ml/forest"
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// Labeler answers point-label queries during active learning. The
+// simulated oracle of internal/oracle implements it; applications supply
+// their own (e.g. prompting a human).
+type Labeler interface {
+	Label(i int) series.Label
+}
+
+// Detector runs CABD (Algorithm 2) over series. A Detector is stateless
+// across series; it is cheap to construct.
+type Detector struct {
+	opts Options
+}
+
+// NewDetector returns a detector with opts (zero-value fields take the
+// paper's defaults).
+func NewDetector(opts Options) *Detector {
+	return &Detector{opts: opts.defaults()}
+}
+
+// Options returns the resolved option set.
+func (d *Detector) Options() Options { return d.opts }
+
+// Detect runs the unsupervised pipeline: candidate estimation, score
+// computation, GMM-bootstrapped classification. No oracle is consulted.
+func (d *Detector) Detect(s *series.Series) *Result {
+	return d.run(s, nil)
+}
+
+// DetectActive runs the full interactive pipeline (Algorithm 2 with the
+// CAL loop of Algorithm 4): after the unsupervised bootstrap, the most
+// uncertain candidates are queried against the labeler until every
+// confidence weight exceeds the configured γ or the query budget is
+// exhausted.
+func (d *Detector) DetectActive(s *series.Series, o Labeler) *Result {
+	return d.run(s, o)
+}
+
+func (d *Detector) run(s *series.Series, o Labeler) *Result {
+	res := &Result{}
+	n := s.Len()
+	if n < 4 {
+		return res
+	}
+
+	// Work on the standardized series (Equation 2).
+	std := stats.Standardize(s.Values)
+	zs := &series.Series{Name: s.Name, Values: std}
+
+	// Step 1: candidate estimation.
+	idx, zscores := candidateIndices(zs, d.opts.CandidateZ)
+	if len(idx) == 0 {
+		return res
+	}
+	cands := make([]Candidate, len(idx))
+	for i, ci := range idx {
+		cands[i] = Candidate{Index: ci, SecondDiffZ: zscores[i]}
+	}
+
+	// Step 2: score computation (parallel, Algorithm 3).
+	comp := inn.FromSeries(zs)
+	sc := newScorer(std, comp, d.opts)
+	sc.scoreAll(cands)
+
+	return d.EvaluateCandidates(cands, n, o)
+}
+
+// EvaluateCandidates runs the Score Evaluation and CAL stages (Algorithm
+// 2 lines 4-5, Algorithm 4) over pre-scored candidates and assembles the
+// detections: hypothesis bootstrap, probabilistic classification, and —
+// when a labeler is supplied — the uncertainty-sampling loop until every
+// confidence weight clears γ or the query budget runs out. n is the
+// series length (for magnitude-rule bookkeeping and index bounds).
+// Exposed so the multivariate extension can feed candidates built from
+// its own embedding through the identical evaluation machinery.
+func (d *Detector) EvaluateCandidates(cands []Candidate, n int, o Labeler) *Result {
+	res := &Result{}
+	if len(cands) == 0 {
+		return res
+	}
+	rng := rand.New(rand.NewSource(d.opts.Seed))
+
+	// Step 3: score evaluation — bootstrap pseudo-labels, then classify.
+	pseudo := bootstrapLabels(cands, d.opts, rng)
+	trueLabels := make(map[int]Class) // candidate position -> oracle class
+	d.classify(cands, pseudo, trueLabels, rng)
+	res.Rounds = append(res.Rounds, snapshot(0, 0, cands))
+
+	// Step 4: CAL active learning (Algorithm 4).
+	if o != nil {
+		budget := d.opts.MaxQueries
+		if budget <= 0 {
+			budget = n / 50 // ~2% of the series, the paper's average exposure
+			if budget < 50 {
+				budget = 50
+			}
+		}
+		// Always explore a few labels before trusting the bootstrap:
+		// when the hypothesis rules collapse to a single class (dense
+		// anomaly regimes pollute the variance score), the ensemble is
+		// unanimously — and wrongly — confident, and pure uncertainty
+		// sampling would never fire. The paper's runs likewise always
+		// consume a handful of queries (Table I: 4-5 on real data).
+		minExplore := 3
+		if minExplore > budget {
+			minExplore = budget
+		}
+		queries := 0
+		agreeStreak := 0
+		for queries < budget {
+			pos := mostUncertain(cands)
+			if pos < 0 {
+				break
+			}
+			// Terminate on min(CW) > γ, but only once the model has
+			// also been *right* about its last few queried points: a
+			// confidently wrong ensemble (dense anomaly regimes) must
+			// keep consuming labels until its answers stabilize.
+			if cands[pos].Confidence > d.opts.Confidence &&
+				queries >= minExplore && agreeStreak >= 3 {
+				break
+			}
+			predicted := cands[pos].Class
+			lbl := o.Label(cands[pos].Index)
+			queries++
+			cands[pos].Queried = true
+			truth := classOfLabel(lbl)
+			if truth == predicted {
+				agreeStreak++
+			} else {
+				agreeStreak = 0
+			}
+			trueLabels[pos] = truth
+			d.classify(cands, pseudo, trueLabels, rng)
+			res.Rounds = append(res.Rounds, snapshot(queries, queries, cands))
+		}
+		res.Queries = queries
+	}
+
+	res.Candidates = cands
+	d.assemble(res, n)
+	return res
+}
+
+// classify trains the random forest on the pseudo-labels overridden by
+// oracle answers (true labels carry LabelWeight sampling weight) and
+// refreshes every candidate's class and confidence weight. Confidence is
+// the out-of-bag probability, so it is not a self-fulfilling echo of the
+// candidate's own training label; queried candidates keep their oracle
+// label with full confidence.
+func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[int]Class, rng *rand.Rand) {
+	n := len(cands)
+	X := make([][]float64, n)
+	y := make([]int, n)
+	w := make([]float64, n)
+	counts := make([]float64, NumClasses)
+	for i := range cands {
+		X[i] = cands[i].features(d.opts)
+		if cls, ok := trueLabels[i]; ok {
+			y[i] = int(cls)
+		} else {
+			y[i] = int(pseudo[i])
+		}
+		counts[y[i]]++
+	}
+	// Tempered (square-root) class balancing keeps minority classes — a
+	// handful of change points among dozens of normal candidates — from
+	// being squashed by the majority during bagging, without inflating
+	// rare-class false positives; oracle labels are further upweighted.
+	for i := range cands {
+		w[i] = math.Sqrt(float64(n) / (float64(NumClasses) * counts[y[i]]))
+		if _, ok := trueLabels[i]; ok {
+			w[i] *= float64(d.opts.LabelWeight)
+		}
+	}
+	fr := forest.TrainWeighted(X, y, w, forest.Config{
+		Trees:      d.opts.Trees,
+		MinLeaf:    3, // soft leaves: boundary candidates keep honest (<1) confidence
+		NumClasses: NumClasses,
+	}, rng)
+	for i := range cands {
+		if cls, ok := trueLabels[i]; ok {
+			cands[i].Class = cls
+			cands[i].Confidence = 1
+			continue
+		}
+		// Class from the full ensemble; confidence weight from the
+		// out-of-bag probability of that class. A candidate that is the
+		// lone example of its feature region keeps its hypothesis label
+		// but shows near-zero OOB support, making it the first point
+		// the active-learning loop asks the user about.
+		full := fr.PredictProba(X[i])
+		best, bi := -1.0, 0
+		for c, p := range full {
+			if p > best {
+				best, bi = p, c
+			}
+		}
+		oob := fr.PredictProbaOOB(i, X[i])
+		cands[i].Class = Class(bi)
+		cands[i].Confidence = oob[bi]
+	}
+}
+
+// mostUncertain returns the position of the unqueried candidate with the
+// lowest confidence weight (highest uncertainty, Equation 13), or -1.
+func mostUncertain(cands []Candidate) int {
+	pos, best := -1, 2.0
+	for i := range cands {
+		if cands[i].Queried {
+			continue
+		}
+		if cands[i].Confidence < best {
+			best, pos = cands[i].Confidence, i
+		}
+	}
+	return pos
+}
+
+// snapshot records the current predictions for the Table II traces.
+func snapshot(round, queries int, cands []Candidate) RoundSnapshot {
+	rs := RoundSnapshot{Round: round, Queries: queries, MinConfidence: 1}
+	for i := range cands {
+		c := &cands[i]
+		if !c.Queried && c.Confidence < rs.MinConfidence {
+			rs.MinConfidence = c.Confidence
+		}
+		switch c.Class {
+		case ClassAnomaly:
+			rs.Anomalies = append(rs.Anomalies, c.Index)
+			for _, j := range c.INN {
+				rs.Anomalies = append(rs.Anomalies, j)
+			}
+		case ClassChange:
+			rs.ChangePoints = append(rs.ChangePoints, c.Index)
+		}
+	}
+	rs.Anomalies = dedupInts(rs.Anomalies)
+	rs.ChangePoints = dedupInts(rs.ChangePoints)
+	return rs
+}
+
+// assemble expands classified candidates into the final detection lists:
+// an anomaly candidate covers itself plus its INN members (a collective
+// anomaly's interior points are not candidates themselves — the
+// neighborhood carries them); a change-point candidate reports a single
+// position, with nearby duplicates suppressed.
+func (d *Detector) assemble(res *Result, n int) {
+	anom := make(map[int]Detection)
+	var changes []Detection
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		switch c.Class {
+		case ClassAnomaly:
+			sub := series.CollectiveAnomaly
+			if len(c.INN) == 0 {
+				sub = series.SingleAnomaly
+			}
+			add := func(j int) {
+				if j < 0 || j >= n {
+					return
+				}
+				if prev, ok := anom[j]; !ok || c.Confidence > prev.Confidence {
+					anom[j] = Detection{Index: j, Class: ClassAnomaly,
+						Subtype: sub, Confidence: c.Confidence}
+				}
+			}
+			add(c.Index)
+			// Expand to the neighborhood only when the pattern obeys
+			// the paper's size rule (an abnormal pattern above 5% of
+			// the dataset is not an anomaly) and its removal actually
+			// matters locally; oversized or inert neighborhoods
+			// contribute just the candidate point.
+			if c.Magnitude < 0.05 && c.Variance >= 0.25 {
+				for _, j := range c.INN {
+					add(j)
+				}
+			}
+		case ClassChange:
+			changes = append(changes, Detection{Index: c.Index,
+				Class: ClassChange, Subtype: series.ChangePoint,
+				Confidence: c.Confidence})
+		}
+	}
+	for _, det := range anom {
+		res.Anomalies = append(res.Anomalies, det)
+	}
+	sort.Slice(res.Anomalies, func(a, b int) bool {
+		return res.Anomalies[a].Index < res.Anomalies[b].Index
+	})
+	// Suppress change points within 2 positions of a stronger one.
+	sort.Slice(changes, func(a, b int) bool {
+		return changes[a].Confidence > changes[b].Confidence
+	})
+	taken := map[int]bool{}
+	for _, det := range changes {
+		blocked := false
+		for off := -2; off <= 2; off++ {
+			if taken[det.Index+off] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			continue
+		}
+		taken[det.Index] = true
+		res.ChangePoints = append(res.ChangePoints, det)
+	}
+	sort.Slice(res.ChangePoints, func(a, b int) bool {
+		return res.ChangePoints[a].Index < res.ChangePoints[b].Index
+	})
+}
+
+func dedupInts(xs []int) []int {
+	if len(xs) == 0 {
+		return xs
+	}
+	sort.Ints(xs)
+	out := xs[:1]
+	for _, v := range xs[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cabd/internal/series"
+)
+
+// TestAffineInvariance: the pipeline standardizes its input (Equation 2),
+// so detections must be identical under any positive affine transform of
+// the values — the property that makes CABD unit-free (Celsius vs
+// Fahrenheit, liters vs gallons).
+func TestAffineInvariance(t *testing.T) {
+	base := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		vals := make([]float64, 600)
+		ar := 0.0
+		for i := range vals {
+			ar = 0.7*ar + rng.NormFloat64()*0.1
+			vals[i] = 2*math.Sin(2*math.Pi*float64(i)/90) + ar
+		}
+		vals[200] += 15
+		for i := 400; i < 405; i++ {
+			vals[i] -= 12
+		}
+		return vals
+	}
+	f := func(seed int64, scaleRaw, shiftRaw float64) bool {
+		scale := 0.1 + math.Mod(math.Abs(scaleRaw), 100)
+		shift := math.Mod(shiftRaw, 1e4)
+		if math.IsNaN(scale) || math.IsNaN(shift) {
+			return true
+		}
+		vals := base(seed%16 + 1)
+		transformed := make([]float64, len(vals))
+		for i, v := range vals {
+			transformed[i] = v*scale + shift
+		}
+		det := NewDetector(Options{})
+		a := det.Detect(series.New("a", vals))
+		b := det.Detect(series.New("b", transformed))
+		ai, bi := a.AnomalyIndices(), b.AnomalyIndices()
+		if len(ai) != len(bi) {
+			return false
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				return false
+			}
+		}
+		ac, bc := a.ChangePointIndices(), b.ChangePointIndices()
+		if len(ac) != len(bc) {
+			return false
+		}
+		for i := range ac {
+			if ac[i] != bc[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTimeReversalFindsSameSpikes: reversing the series must still find
+// the (reversed) isolated spikes — the detector has no preferred time
+// direction for point errors.
+func TestTimeReversalFindsSameSpikes(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 600
+	vals := make([]float64, n)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/90) + ar
+	}
+	spikes := []int{150, 430}
+	for _, p := range spikes {
+		vals[p] += 15
+	}
+	rev := make([]float64, n)
+	for i, v := range vals {
+		rev[n-1-i] = v
+	}
+	det := NewDetector(Options{})
+	fw := det.Detect(series.New("f", vals))
+	bw := det.Detect(series.New("b", rev))
+	found := map[int]bool{}
+	for _, i := range bw.AnomalyIndices() {
+		found[n-1-i] = true
+	}
+	for _, p := range spikes {
+		if !found[p] {
+			t.Errorf("reversed series missed spike at %d", p)
+		}
+	}
+	_ = fw
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"cabd/internal/inn"
+	"cabd/internal/sax"
+	"cabd/internal/stats"
+)
+
+// scorer computes the score metric β (Algorithm 3) for candidates of one
+// standardized series.
+type scorer struct {
+	opts     Options
+	values   []float64 // standardized values
+	comp     *inn.Computer
+	tlim     int              // pruned search range
+	corpus   map[int][]string // sliding SAX words keyed by window length
+	corpusMu sync.Mutex
+}
+
+func newScorer(values []float64, comp *inn.Computer, opts Options) *scorer {
+	return &scorer{
+		opts:   opts,
+		values: values,
+		comp:   comp,
+		tlim:   comp.RangeLimit(opts.RangeFrac),
+		corpus: make(map[int][]string),
+	}
+}
+
+// neighborhood returns the INN (or KNN) members of index i under the
+// configured strategy.
+func (sc *scorer) neighborhood(i int) []int {
+	switch sc.opts.Strategy {
+	case LinearINN:
+		return sc.comp.Minimal(i, sc.tlim)
+	case MutualSetINN:
+		return sc.comp.MutualSet(i, sc.tlim)
+	case FixedKNN:
+		return sc.comp.KNN(i, sc.opts.KNNK)
+	default:
+		return sc.comp.Binary(i, sc.tlim)
+	}
+}
+
+// hull returns the contiguous index span [lo, hi] covering i and its
+// neighborhood (the "pattern" P the correlation and variance scores
+// operate on).
+func hull(i int, nb []int) (lo, hi int) {
+	lo, hi = i, i
+	for _, j := range nb {
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	return lo, hi
+}
+
+// score fills in the three INN scores of candidate c (Definitions 5, 8,
+// 9; see DESIGN.md for the interpretation notes).
+func (sc *scorer) score(c *Candidate) {
+	n := len(sc.values)
+	c.INN = sc.neighborhood(c.Index)
+	ss := len(c.INN)
+
+	// Magnitude score (Definition 5): INN size over dataset size.
+	c.Magnitude = float64(ss) / float64(n)
+
+	lo, hi := hull(c.Index, c.INN)
+	c.LeftExtent = c.Index - lo
+	c.RightExtent = hi - c.Index
+	if ext := c.LeftExtent + c.RightExtent; ext > 0 {
+		c.Asymmetry = float64(absInt(c.RightExtent-c.LeftExtent)) / float64(ext)
+	}
+
+	// Correlation score (Definition 8): frequency of the pattern's SAX
+	// word among all same-length windows of the series. The window is
+	// centered on the candidate with a half-width tied to the pattern
+	// size (clamped to [3, 12]): centering guarantees the word captures
+	// the local shape transition — spike, group boundary or level shift
+	// — rather than only the flat interior of a large one-sided hull.
+	hw := ss
+	if hw < 3 {
+		hw = 3
+	}
+	if hw > 12 {
+		hw = 12
+	}
+	wlo, whi := c.Index-hw, c.Index+hw+1
+	if wlo < 0 {
+		wlo = 0
+	}
+	if whi > n {
+		whi = n
+	}
+	wlen := whi - wlo
+	if wlen >= 2 && wlen <= n/2 {
+		word := sax.Word(sc.values[wlo:whi], sc.opts.SAXSegments, sc.opts.SAXAlphabet)
+		c.Correlation = sax.Frequency(sc.corpusFor(wlen), word)
+	} else {
+		// Degenerate or series-scale windows occur everywhere.
+		c.Correlation = 1
+	}
+
+	// Variance score (Definition 9, oriented as in hypothesis 3 and
+	// Fig. 3): the relative drop of the SPa standard deviation when the
+	// pattern is removed. SPa is the pattern extended by max(SS, 3)
+	// adjacent points on each side.
+	pad := ss
+	if pad < 3 {
+		pad = 3
+	}
+	slo, shi := lo-pad, hi+pad+1
+	if slo < 0 {
+		slo = 0
+	}
+	if shi > n {
+		shi = n
+	}
+	spa := sc.values[slo:shi]
+	rest := make([]float64, 0, len(spa))
+	rest = append(rest, sc.values[slo:lo]...)
+	rest = append(rest, sc.values[hi+1:shi]...)
+	sdAll := stats.Std(spa)
+	if sdAll == 0 || len(rest) < 2 {
+		c.Variance = 0
+		return
+	}
+	vs := 1 - stats.Std(rest)/sdAll
+	if vs < 0 {
+		vs = 0
+	}
+	if vs > 1 {
+		vs = 1
+	}
+	c.Variance = vs
+}
+
+// corpusFor returns the sliding SAX words of the whole series at window
+// length w, cached per length. Candidates in the same series often share
+// pattern sizes, so the cache hit rate is high.
+func (sc *scorer) corpusFor(w int) []string {
+	sc.corpusMu.Lock()
+	defer sc.corpusMu.Unlock()
+	if words, ok := sc.corpus[w]; ok {
+		return words
+	}
+	words := sax.SlidingWords(sc.values, w, sc.opts.SAXSegments, sc.opts.SAXAlphabet)
+	sc.corpus[w] = words
+	return words
+}
+
+// scoreAll computes the metric for every candidate in parallel (the
+// paper's Algorithm 3 computes the scores concurrently).
+func (sc *scorer) scoreAll(cands []Candidate) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers < 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(cands))
+	for i := range cands {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				sc.score(&cands[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,128 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+func TestReadValuesPlain(t *testing.T) {
+	in := "1.5\n2.5\n\n# comment\n3.5\n"
+	got, err := ReadValues(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 2.5, 3.5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("values[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestReadValuesCSVWithHeader(t *testing.T) {
+	in := "index,value,label\n0,10.5,normal\n1,11.5,normal\n"
+	got, err := ReadValues(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 10.5 || got[1] != 11.5 {
+		t.Errorf("values = %v", got)
+	}
+}
+
+func TestReadValuesRejectsGarbageMidFile(t *testing.T) {
+	in := "1.0\nnot-a-number\n"
+	if _, err := ReadValues(strings.NewReader(in)); err == nil {
+		t.Error("expected error for garbage after data")
+	}
+}
+
+func TestReadValuesEmpty(t *testing.T) {
+	if _, err := ReadValues(strings.NewReader("# only comments\n")); err == nil {
+		t.Error("expected error for empty input")
+	}
+}
+
+func TestLabeledRoundTrip(t *testing.T) {
+	s := series.New("rt", []float64{1, 2, 30, 4})
+	s.EnsureLabels()[2] = series.SingleAnomaly
+	s.Truth = []float64{1, 2, 3, 4}
+
+	var buf bytes.Buffer
+	if err := WriteLabeled(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadLabeled(&buf, "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Fatalf("round-trip length = %d", got.Len())
+	}
+	for i := range s.Values {
+		if got.Values[i] != s.Values[i] {
+			t.Errorf("value[%d] = %v", i, got.Values[i])
+		}
+		if got.LabelAt(i) != s.LabelAt(i) {
+			t.Errorf("label[%d] = %v", i, got.LabelAt(i))
+		}
+		if got.Truth[i] != s.Truth[i] {
+			t.Errorf("truth[%d] = %v", i, got.Truth[i])
+		}
+	}
+}
+
+func TestReadLabeledDegradedColumns(t *testing.T) {
+	in := "0,5.0\n1,6.0,change-point\n"
+	s, err := ReadLabeled(strings.NewReader(in), "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.LabelAt(0) != series.Normal || s.LabelAt(1) != series.ChangePoint {
+		t.Errorf("labels = %v", s.Labels)
+	}
+	if s.Truth[0] != 5.0 {
+		t.Errorf("truth fallback = %v", s.Truth[0])
+	}
+}
+
+func TestParseLabelUnknownIsNormal(t *testing.T) {
+	if parseLabel("weird") != series.Normal {
+		t.Error("unknown label should map to normal")
+	}
+}
+
+func TestReadMulti(t *testing.T) {
+	in := "t,temp,vib\n0,60.0,2.0\n1,61.0,2.1\n2,62.0,2.2\n"
+	dims, err := ReadMulti(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || len(dims[0]) != 3 {
+		t.Fatalf("dims shape = %dx%d", len(dims), len(dims[0]))
+	}
+	if dims[0][2] != 62.0 || dims[1][0] != 2.0 {
+		t.Errorf("dims = %v", dims)
+	}
+}
+
+func TestReadMultiNoIndexColumn(t *testing.T) {
+	in := "5.0,2.0\n6.0,2.1\n"
+	dims, err := ReadMulti(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 2 || dims[0][0] != 5.0 {
+		t.Errorf("dims = %v", dims)
+	}
+}
+
+func TestReadMultiRaggedRowsRejected(t *testing.T) {
+	in := "1,2\n3,4,5\n"
+	if _, err := ReadMulti(strings.NewReader(in)); err == nil {
+		t.Error("ragged rows accepted")
+	}
+}

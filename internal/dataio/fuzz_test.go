@@ -1,0 +1,60 @@
+package dataio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadValues exercises the value parser against arbitrary input: it
+// must never panic and every accepted value set must be finite in size
+// and parse consistently on a second read.
+func FuzzReadValues(f *testing.F) {
+	f.Add("1.0\n2.0\n3.0\n")
+	f.Add("index,value\n0,1.5\n1,2.5\n")
+	f.Add("# comment\n\n42\n")
+	f.Add("a,b,c\n")
+	f.Add("1e308\n-1e308\nNaN\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		vals, err := ReadValues(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		if len(vals) == 0 {
+			t.Fatal("nil error with zero values")
+		}
+		again, err2 := ReadValues(strings.NewReader(in))
+		if err2 != nil || len(again) != len(vals) {
+			t.Fatalf("re-parse disagrees: %v / %d vs %d", err2, len(again), len(vals))
+		}
+	})
+}
+
+// FuzzReadLabeled checks the labeled-series parser the same way, plus a
+// write/read round-trip of whatever was accepted.
+func FuzzReadLabeled(f *testing.F) {
+	f.Add("0,1.0,normal,1.0\n1,9.0,single-anomaly,2.0\n")
+	f.Add("index,value,label,truth\n0,1,change-point,1\n")
+	f.Add("0,x\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		s, err := ReadLabeled(strings.NewReader(in), "fuzz")
+		if err != nil {
+			return
+		}
+		if s.Len() == 0 {
+			t.Fatal("nil error with empty series")
+		}
+		if len(s.Labels) != s.Len() || len(s.Truth) != s.Len() {
+			t.Fatalf("ragged series: %d values, %d labels, %d truth",
+				s.Len(), len(s.Labels), len(s.Truth))
+		}
+		var buf bytes.Buffer
+		if err := WriteLabeled(&buf, s); err != nil {
+			t.Fatal(err)
+		}
+		rt, err := ReadLabeled(&buf, "rt")
+		if err != nil || rt.Len() != s.Len() {
+			t.Fatalf("round trip failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,108 @@
+// Package eval implements the measurement methodology of Section V-A:
+// point-wise precision / recall / F-score over detected versus
+// ground-truth index sets, the BNF benefit function of active learning
+// (Equation 14), the Jaccard-style accuracy of Table II and the RMS
+// repair-quality metric of Section V-G.
+package eval
+
+import "sort"
+
+// PRF bundles precision, recall and F-score.
+type PRF struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+	TP        int
+	FP        int
+	FN        int
+}
+
+// Match compares a predicted index set against ground truth with a
+// symmetric index tolerance: a prediction is a true positive when a truth
+// index lies within tol positions (tol = 0 demands exact point hits, the
+// paper's set-intersection definition). Each truth index can satisfy at
+// most one prediction and vice versa (greedy nearest matching on sorted
+// indices).
+func Match(pred, truth []int, tol int) PRF {
+	p := dedupSorted(pred)
+	g := dedupSorted(truth)
+	usedG := make([]bool, len(g))
+	tp := 0
+	for _, pi := range p {
+		// Find the closest unused truth index within tolerance.
+		lo := sort.SearchInts(g, pi-tol)
+		bestJ, bestD := -1, tol+1
+		for j := lo; j < len(g) && g[j] <= pi+tol; j++ {
+			if usedG[j] {
+				continue
+			}
+			d := abs(g[j] - pi)
+			if d < bestD {
+				bestD, bestJ = d, j
+			}
+		}
+		if bestJ >= 0 {
+			usedG[bestJ] = true
+			tp++
+		}
+	}
+	res := PRF{TP: tp, FP: len(p) - tp, FN: len(g) - tp}
+	if len(p) > 0 {
+		res.Precision = float64(tp) / float64(len(p))
+	}
+	if len(g) > 0 {
+		res.Recall = float64(tp) / float64(len(g))
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res
+}
+
+// BNF is the benefit function of Equation 14: 1 - annotations/total, the
+// saving of interactive labeling relative to labeling every anomaly and
+// change point by hand. A zero total yields 0.
+func BNF(annotations, total int) float64 {
+	if total <= 0 {
+		return 0
+	}
+	b := 1 - float64(annotations)/float64(total)
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Accuracy is Table II's measure: correct detections divided by the size
+// of the union of predictions and ground truth (predictions that hit truth
+// count once; misses on either side inflate the denominator).
+func Accuracy(pred, truth []int, tol int) float64 {
+	m := Match(pred, truth, tol)
+	union := m.TP + m.FP + m.FN
+	if union == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(union)
+}
+
+func dedupSorted(xs []int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	cp := append([]int(nil), xs...)
+	sort.Ints(cp)
+	out := cp[:1]
+	for _, v := range cp[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

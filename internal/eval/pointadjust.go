@@ -1,0 +1,125 @@
+package eval
+
+import "sort"
+
+// Segments groups sorted-or-unsorted truth indices into maximal runs of
+// consecutive indices — the collective-anomaly segments of a labeling.
+func Segments(truth []int) [][2]int {
+	if len(truth) == 0 {
+		return nil
+	}
+	idx := dedupSorted(truth)
+	var segs [][2]int
+	start, prev := idx[0], idx[0]
+	for _, i := range idx[1:] {
+		if i == prev+1 {
+			prev = i
+			continue
+		}
+		segs = append(segs, [2]int{start, prev})
+		start, prev = i, i
+	}
+	return append(segs, [2]int{start, prev})
+}
+
+// PointAdjust scores predictions under the point-adjust protocol of the
+// KPI/AIOps competition (also used by the DONUT and SR-CNN evaluations):
+// if any point of a true anomaly segment is detected, the entire segment
+// counts as detected; false positives remain point-wise. This is more
+// permissive than Match and is provided for cross-paper comparability.
+func PointAdjust(pred, truth []int) PRF {
+	p := dedupSorted(pred)
+	segs := Segments(truth)
+	inSeg := func(i int) int {
+		for si, s := range segs {
+			if i >= s[0] && i <= s[1] {
+				return si
+			}
+		}
+		return -1
+	}
+	segHit := make([]bool, len(segs))
+	fp := 0
+	for _, pi := range p {
+		if si := inSeg(pi); si >= 0 {
+			segHit[si] = true
+		} else {
+			fp++
+		}
+	}
+	// Adjusted counts: every point of a hit segment is a TP; every point
+	// of a missed segment is an FN.
+	tp, fn := 0, 0
+	for si, s := range segs {
+		size := s[1] - s[0] + 1
+		if segHit[si] {
+			tp += size
+		} else {
+			fn += size
+		}
+	}
+	res := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		res.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		res.Recall = float64(tp) / float64(tp+fn)
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res
+}
+
+// WindowedMatch scores predictions NAB-style: each truth point owns a
+// window of +-w positions; a prediction inside any unclaimed window
+// claims it (one prediction per window counts), predictions outside all
+// windows are false positives.
+func WindowedMatch(pred, truth []int, w int) PRF {
+	p := dedupSorted(pred)
+	g := dedupSorted(truth)
+	claimed := make([]bool, len(g))
+	tp, fp := 0, 0
+	for _, pi := range p {
+		lo := sort.SearchInts(g, pi-w)
+		hit := false
+		for j := lo; j < len(g) && g[j] <= pi+w; j++ {
+			if !claimed[j] {
+				claimed[j] = true
+				hit = true
+				break
+			}
+		}
+		if hit {
+			tp++
+		} else {
+			// Inside an already-claimed window: neither TP nor FP
+			// (NAB ignores duplicate alarms for the same window).
+			dup := false
+			for j := lo; j < len(g) && g[j] <= pi+w; j++ {
+				dup = true
+				break
+			}
+			if !dup {
+				fp++
+			}
+		}
+	}
+	fn := 0
+	for _, c := range claimed {
+		if !c {
+			fn++
+		}
+	}
+	res := PRF{TP: tp, FP: fp, FN: fn}
+	if tp+fp > 0 {
+		res.Precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		res.Recall = float64(tp) / float64(tp+fn)
+	}
+	if res.Precision+res.Recall > 0 {
+		res.F1 = 2 * res.Precision * res.Recall / (res.Precision + res.Recall)
+	}
+	return res
+}

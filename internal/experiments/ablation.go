@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"io"
+	"math/rand"
+
+	"cabd/internal/core"
+)
+
+// Fig12Row is one cell of Figure 12: CABD with INN versus CABD with a
+// fixed-k KNN neighborhood (k brute-forced), with and without AL.
+type Fig12Row struct {
+	Variant string // "CABD-INN" or "CABD-KNN"
+	Family  string
+	Task    string // "anomaly" or "change"
+	UnsupF  float64
+	ALF     float64
+	BestK   int // brute-forced k for the KNN variant
+}
+
+// fig12KGrid is the brute-force grid for the KNN ablation's k (the paper
+// searches 0..data size; the grid covers the same decades).
+var fig12KGrid = []int{3, 5, 10, 20, 50, 100}
+
+// Fig12 reproduces Figure 12 on the Yahoo-like and synthetic families.
+func Fig12(sc Scale) []Fig12Row {
+	sc = sc.defaults()
+	fams := map[string][]Dataset{
+		"Yahoo":     sc.YahooSuite(),
+		"Synthetic": sc.SynthSuite(),
+	}
+	var rows []Fig12Row
+	for _, fam := range []string{"Yahoo", "Synthetic"} {
+		sets := fams[fam]
+		n := float64(len(sets))
+		// INN variant.
+		var apU, apA, cpU, cpA float64
+		for _, ds := range sets {
+			unsup, al := runPair(ds.S, core.Options{})
+			apU += apF(unsup, ds.S).F1
+			apA += apF(al, ds.S).F1
+			cpU += cpF(unsup, ds.S).F1
+			cpA += cpF(al, ds.S).F1
+		}
+		rows = append(rows,
+			Fig12Row{"CABD-INN", fam, "anomaly", apU / n, apA / n, 0},
+			Fig12Row{"CABD-INN", fam, "change", cpU / n, cpA / n, 0})
+		// KNN variant: best k by brute force on the unsupervised F.
+		bestK, bestF := fig12KGrid[0], -1.0
+		for _, k := range fig12KGrid {
+			var f float64
+			for _, ds := range sets {
+				res := core.NewDetector(core.Options{Strategy: core.FixedKNN, KNNK: k}).Detect(ds.S)
+				f += apF(res, ds.S).F1
+			}
+			if f > bestF {
+				bestF, bestK = f, k
+			}
+		}
+		var kApU, kApA, kCpU, kCpA float64
+		for _, ds := range sets {
+			unsup, al := runPair(ds.S, core.Options{Strategy: core.FixedKNN, KNNK: bestK})
+			kApU += apF(unsup, ds.S).F1
+			kApA += apF(al, ds.S).F1
+			kCpU += cpF(unsup, ds.S).F1
+			kCpA += cpF(al, ds.S).F1
+		}
+		rows = append(rows,
+			Fig12Row{"CABD-KNN", fam, "anomaly", kApU / n, kApA / n, bestK},
+			Fig12Row{"CABD-KNN", fam, "change", kCpU / n, kCpA / n, bestK})
+	}
+	return rows
+}
+
+// PrintFig12 renders the INN/KNN ablation.
+func PrintFig12(w io.Writer, rows []Fig12Row) {
+	fprintf(w, "Figure 12: INN vs KNN neighborhoods, with and without active learning\n")
+	for _, r := range rows {
+		k := ""
+		if r.BestK > 0 {
+			k = fprintfS(" (best k=%d)", r.BestK)
+		}
+		fprintf(w, "  %-10s %-9s %-8s w/o AL F=%s  w/ AL F=%s%s\n",
+			r.Family, r.Variant, r.Task, pct(r.UnsupF), pct(r.ALF), k)
+	}
+}
+
+// Fig13Row is one cell of Figure 13: anomaly detection quality with a
+// single INN score enabled versus the full metric.
+type Fig13Row struct {
+	Scores string // "MAG", "COR", "VAR" or "ALL"
+	Family string
+	UnsupF float64
+	ALF    float64
+}
+
+// Fig13 reproduces Figure 13 on the KPI-like and Yahoo-like families.
+func Fig13(sc Scale) []Fig13Row {
+	sc = sc.defaults()
+	fams := map[string][]Dataset{
+		"KPI":   sc.KPISuite(),
+		"Yahoo": sc.YahooSuite(),
+	}
+	variants := []struct {
+		name string
+		opts core.Options
+	}{
+		{"MAG", core.Options{DisableCorrelation: true, DisableVariance: true}},
+		{"COR", core.Options{DisableMagnitude: true, DisableVariance: true}},
+		{"VAR", core.Options{DisableMagnitude: true, DisableCorrelation: true}},
+		{"ALL", core.Options{}},
+	}
+	var rows []Fig13Row
+	for _, fam := range []string{"KPI", "Yahoo"} {
+		sets := fams[fam]
+		n := float64(len(sets))
+		for _, v := range variants {
+			var fu, fa float64
+			for _, ds := range sets {
+				unsup, al := runPair(ds.S, v.opts)
+				fu += apF(unsup, ds.S).F1
+				fa += apF(al, ds.S).F1
+			}
+			rows = append(rows, Fig13Row{v.name, fam, fu / n, fa / n})
+		}
+	}
+	return rows
+}
+
+// PrintFig13 renders the score ablation.
+func PrintFig13(w io.Writer, rows []Fig13Row) {
+	fprintf(w, "Figure 13: influence of the Magnitude/Correlation/Variance scores\n")
+	for _, r := range rows {
+		fprintf(w, "  %-7s %-4s w/o AL F=%s  w/ AL F=%s\n",
+			r.Family, r.Scores, pct(r.UnsupF), pct(r.ALF))
+	}
+}
+
+// Fig3Cluster summarizes one GMM cluster of the candidate score space
+// (Figure 3): its size and mean scores, plus the label the bootstrap
+// rules would assign.
+type Fig3Cluster struct {
+	Cluster   int
+	Size      int
+	Magnitude float64
+	Variance  float64
+}
+
+// Fig3 reproduces the Figure 3 clustering study on one synthetic dataset:
+// GMM clusters over the candidate score vectors.
+func Fig3(sc Scale) []Fig3Cluster {
+	sc = sc.defaults()
+	ds := sc.SynthSuite()[0]
+	res := core.NewDetector(core.Options{}).Detect(ds.S)
+	assign, means := core.ClusterScores(res.Candidates, core.Options{}, newRand(7))
+	if assign == nil {
+		return nil
+	}
+	out := make([]Fig3Cluster, len(means))
+	for c := range means {
+		out[c] = Fig3Cluster{Cluster: c, Magnitude: means[c][0], Variance: means[c][2]}
+	}
+	for _, a := range assign {
+		out[a].Size++
+	}
+	return out
+}
+
+// PrintFig3 renders the cluster summary.
+func PrintFig3(w io.Writer, clusters []Fig3Cluster) {
+	fprintf(w, "Figure 3: GMM clustering of candidate scores (magnitude vs variance)\n")
+	for _, c := range clusters {
+		fprintf(w, "  cluster %d: size=%-4d mean MS=%.4f mean VS=%.3f\n",
+			c.Cluster, c.Size, c.Magnitude, c.Variance)
+	}
+}
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

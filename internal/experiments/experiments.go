@@ -1,0 +1,159 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (Section V). Each experiment is a pure function from a Scale
+// (dataset sizes, so benchmarks can run reduced workloads while
+// cmd/cabd-bench runs the paper-sized ones) to structured rows, plus a
+// printer that emits the same rows/series the paper reports. The
+// per-experiment index lives in DESIGN.md; measured-vs-paper numbers are
+// recorded in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cabd/internal/core"
+	"cabd/internal/eval"
+	"cabd/internal/oracle"
+	"cabd/internal/series"
+	"cabd/internal/synth"
+)
+
+// Scale fixes the dataset sizes of a run. Zero values select the reduced
+// benchmark scale; Full() selects the paper's sizes.
+type Scale struct {
+	SynthN     int // per synthetic relation (paper: 20000)
+	SynthCount int // relations in the suite (paper: 25)
+	YahooN     int // per Yahoo-like series (paper: 1500-20000)
+	YahooCount int // Yahoo-like series (paper: 50)
+	KPIN       int // KPI-like length (paper: ~100000)
+	KPICount   int // KPI-like series
+	IoTN       int // IoT tank length (paper: 3100 over 2 sensors)
+}
+
+func (s Scale) defaults() Scale {
+	if s.SynthN <= 0 {
+		s.SynthN = 2000
+	}
+	if s.SynthCount <= 0 {
+		s.SynthCount = 5
+	}
+	if s.YahooN <= 0 {
+		s.YahooN = 1500
+	}
+	if s.YahooCount <= 0 {
+		s.YahooCount = 5
+	}
+	if s.KPIN <= 0 {
+		s.KPIN = 5000
+	}
+	if s.KPICount <= 0 {
+		s.KPICount = 2
+	}
+	if s.IoTN <= 0 {
+		s.IoTN = 1550
+	}
+	return s
+}
+
+// Full returns the paper-scale configuration.
+func Full() Scale {
+	return Scale{SynthN: 20000, SynthCount: 25, YahooN: 1500, YahooCount: 50,
+		KPIN: 100000, KPICount: 5, IoTN: 1550}
+}
+
+// Dataset is one evaluation series with its family name.
+type Dataset struct {
+	Family string
+	S      *series.Series
+}
+
+// SynthSuite returns the scaled 25-relation synthetic suite (1%..20%
+// anomaly + change-point density ramp).
+func (s Scale) SynthSuite() []Dataset {
+	s = s.defaults()
+	all := synth.Suite(s.SynthN)
+	if s.SynthCount < len(all) {
+		// Keep the density ramp: subsample evenly.
+		var keep []*series.Series
+		for i := 0; i < s.SynthCount; i++ {
+			keep = append(keep, all[i*len(all)/s.SynthCount])
+		}
+		all = keep
+	}
+	out := make([]Dataset, len(all))
+	for i, ds := range all {
+		out[i] = Dataset{Family: "Synthetic", S: ds}
+	}
+	return out
+}
+
+// YahooSuite returns the scaled Yahoo-like series set.
+func (s Scale) YahooSuite() []Dataset {
+	s = s.defaults()
+	out := make([]Dataset, s.YahooCount)
+	for i := range out {
+		out[i] = Dataset{Family: "Yahoo", S: synth.YahooLike(int64(100+i), s.YahooN)}
+	}
+	return out
+}
+
+// KPISuite returns the scaled KPI-like series set.
+func (s Scale) KPISuite() []Dataset {
+	s = s.defaults()
+	out := make([]Dataset, s.KPICount)
+	for i := range out {
+		out[i] = Dataset{Family: "KPI", S: synth.KPILike(int64(200+i), s.KPIN)}
+	}
+	return out
+}
+
+// IoTSuite returns the two tank-sensor series.
+func (s Scale) IoTSuite() []Dataset {
+	s = s.defaults()
+	return []Dataset{
+		{Family: "IoT", S: synth.IoTTank(300, s.IoTN)},
+		{Family: "IoT", S: synth.IoTTank(301, s.IoTN)},
+	}
+}
+
+// MatchTol is the +-index tolerance used when matching detections to
+// ground truth throughout the experiments.
+const MatchTol = 2
+
+// runPair runs CABD on one series without and with active learning and
+// returns the two results plus the oracle query count.
+func runPair(s *series.Series, opts core.Options) (unsup, al *core.Result) {
+	det := core.NewDetector(opts)
+	unsup = det.Detect(s)
+	al = det.DetectActive(s, oracle.New(s))
+	return unsup, al
+}
+
+// apF and cpF score a result against the series ground truth.
+func apF(r *core.Result, s *series.Series) eval.PRF {
+	return eval.Match(r.AnomalyIndices(), s.AnomalyIndices(), MatchTol)
+}
+
+func cpF(r *core.Result, s *series.Series) eval.PRF {
+	return eval.Match(r.ChangePointIndices(), s.ChangePointIndices(), MatchTol)
+}
+
+// labelFrac returns the fraction of points with the given predicate.
+func labelFrac(s *series.Series, pred func(series.Label) bool) float64 {
+	if s.Len() == 0 {
+		return 0
+	}
+	c := 0
+	for _, l := range s.Labels {
+		if pred(l) {
+			c++
+		}
+	}
+	return float64(c) / float64(s.Len())
+}
+
+// fprintf is a helper that ignores write errors (experiment printers
+// write to stdout or a buffer).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,339 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tiny is a reduced scale so the whole experiment suite runs in seconds.
+var tiny = Scale{SynthN: 800, SynthCount: 2, YahooN: 800, YahooCount: 2,
+	KPIN: 1500, KPICount: 1, IoTN: 800}
+
+func TestTable1ShapeAndStory(t *testing.T) {
+	rows := Table1(tiny)
+	if len(rows) != 4 {
+		t.Fatalf("Table1 rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.ALAPF < r.UnsupAPF-0.05 {
+			t.Errorf("%s: AL degraded anomaly F: %v -> %v", r.Dataset, r.UnsupAPF, r.ALAPF)
+		}
+		if r.Queries <= 0 {
+			t.Errorf("%s: no oracle queries recorded", r.Dataset)
+		}
+		if r.AnPct <= 0 {
+			t.Errorf("%s: anomaly density missing", r.Dataset)
+		}
+	}
+	var buf bytes.Buffer
+	PrintTable1(&buf, rows)
+	if !strings.Contains(buf.String(), "IoT") {
+		t.Error("printed table missing IoT row")
+	}
+}
+
+func TestFig5BNFPositive(t *testing.T) {
+	pts := Fig5(tiny)
+	if len(pts) != tiny.SynthCount {
+		t.Fatalf("Fig5 points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.BNF < 0 || p.BNF > 1 {
+			t.Errorf("BNF out of range: %+v", p)
+		}
+		if p.Total == 0 {
+			t.Errorf("dataset without abnormal points: %+v", p)
+		}
+	}
+	// The benefit must be substantial at the densest setting (many
+	// anomalies recognized per label).
+	if last := pts[len(pts)-1]; last.BNF < 0.3 {
+		t.Errorf("dense-dataset BNF = %v, want >= 0.3 (grows with scale)", last.BNF)
+	}
+}
+
+func TestFig6QueriesGrowWithConfidence(t *testing.T) {
+	sc := Scale{SynthN: 800, SynthCount: 1, YahooN: 400, YahooCount: 1,
+		KPIN: 800, KPICount: 1, IoTN: 400}
+	pts := Fig6(sc)
+	if len(pts) != 4*6 {
+		t.Fatalf("Fig6 points = %d, want 24", len(pts))
+	}
+	// Within each density, queries at γ=0.95 >= queries at γ=0.5.
+	byDensity := map[float64][]Fig6Point{}
+	for _, p := range pts {
+		byDensity[p.AnomalyPct] = append(byDensity[p.AnomalyPct], p)
+	}
+	for d, ps := range byDensity {
+		if ps[len(ps)-1].Queries < ps[0].Queries {
+			t.Errorf("density %v: queries decreased with confidence: %d -> %d",
+				d, ps[0].Queries, ps[len(ps)-1].Queries)
+		}
+	}
+}
+
+func TestFig7CABDWins(t *testing.T) {
+	rows := Fig7(tiny)
+	best := map[string]CompareRow{}
+	var cabd = map[string]float64{}
+	for _, r := range rows {
+		if r.Algorithm == "CABD" {
+			cabd[r.Family] = r.F1
+			continue
+		}
+		if b, ok := best[r.Family]; !ok || r.F1 > b.F1 {
+			best[r.Family] = r
+		}
+	}
+	// The paper's claim: CABD beats every unsupervised baseline on every
+	// family. On the synthetic substitutes one decomposition-based
+	// baseline (S-H-ESD) is stronger than on the paper's real data —
+	// injected value-spikes in a decomposable seasonal signal are its
+	// best case (see EXPERIMENTS.md) — so the assertion is a margin rule:
+	// CABD never loses a family by more than 0.1 and wins most of them.
+	wins := 0
+	for fam, b := range best {
+		if cabd[fam] >= b.F1 {
+			wins++
+		}
+		if cabd[fam]+0.1 < b.F1 {
+			t.Errorf("%s: baseline %s (%.2f) beats CABD (%.2f) by > 0.1",
+				fam, b.Algorithm, b.F1, cabd[fam])
+		}
+	}
+	if wins < 3 {
+		t.Errorf("CABD wins only %d/4 families", wins)
+	}
+}
+
+func TestFig8CABDALWins(t *testing.T) {
+	rows := Fig8(tiny)
+	var cabd = map[string]float64{}
+	best := map[string]CompareRow{}
+	for _, r := range rows {
+		if r.Algorithm == "CABD+AL" {
+			cabd[r.Family] = r.F1
+			continue
+		}
+		if b, ok := best[r.Family]; !ok || r.F1 > b.F1 {
+			best[r.Family] = r
+		}
+	}
+	wins := 0
+	for fam, b := range best {
+		if cabd[fam] >= b.F1 {
+			wins++
+		} else {
+			t.Logf("%s: %s (%.2f) above CABD+AL (%.2f)", fam, b.Algorithm, b.F1, cabd[fam])
+		}
+	}
+	// Paper: CABD wins everywhere with one exception; require >= 3 of 4.
+	if wins < 3 {
+		t.Errorf("CABD+AL wins only %d/4 families", wins)
+	}
+}
+
+func TestFig9ALBeatsBruteForcedBaselines(t *testing.T) {
+	rows := Fig9(tiny)
+	var alF, bestBase map[string]float64 = map[string]float64{}, map[string]float64{}
+	for _, r := range rows {
+		switch r.Algorithm {
+		case "CABD w/ AL":
+			alF[r.Family] = r.F1
+		case "PELT", "BinSeg", "BottomUp":
+			if r.F1 > bestBase[r.Family] {
+				bestBase[r.Family] = r.F1
+			}
+		}
+	}
+	for fam, f := range alF {
+		if f+0.1 < bestBase[fam] {
+			t.Errorf("%s: best baseline %.2f beats CABD w/AL %.2f by >0.1",
+				fam, bestBase[fam], f)
+		}
+	}
+}
+
+func TestFig11RuntimeShape(t *testing.T) {
+	pts := Fig11([]int{1000, 2000})
+	byAlgo := map[string][]Fig11Point{}
+	for _, p := range pts {
+		if p.Seconds < 0 {
+			t.Errorf("negative runtime: %+v", p)
+		}
+		byAlgo[p.Algorithm] = append(byAlgo[p.Algorithm], p)
+	}
+	opt := byAlgo["CABD (optimized)"]
+	unopt := byAlgo["CABD (no opt)"]
+	if len(opt) != 2 || len(unopt) != 2 {
+		t.Fatalf("missing CABD runtime rows: %v", byAlgo)
+	}
+	// The optimized variant must not be slower than the unoptimized one
+	// at the largest size (Figure 11's headline).
+	if opt[1].Seconds > unopt[1].Seconds*1.2 {
+		t.Errorf("optimized CABD (%.3fs) slower than unoptimized (%.3fs)",
+			opt[1].Seconds, unopt[1].Seconds)
+	}
+}
+
+func TestFig12INNBeatsKNN(t *testing.T) {
+	rows := Fig12(Scale{SynthN: 800, SynthCount: 1, YahooN: 800, YahooCount: 1,
+		KPIN: 800, KPICount: 1, IoTN: 400})
+	f := map[string]float64{}
+	for _, r := range rows {
+		f[r.Variant+"/"+r.Family+"/"+r.Task] = r.ALF
+	}
+	for _, fam := range []string{"Yahoo", "Synthetic"} {
+		if f["CABD-INN/"+fam+"/anomaly"] < f["CABD-KNN/"+fam+"/anomaly"] {
+			t.Errorf("%s: KNN variant beats INN on anomalies (%.2f vs %.2f)",
+				fam, f["CABD-KNN/"+fam+"/anomaly"], f["CABD-INN/"+fam+"/anomaly"])
+		}
+	}
+}
+
+func TestFig13AllScoresBest(t *testing.T) {
+	rows := Fig13(Scale{SynthN: 400, SynthCount: 1, YahooN: 800, YahooCount: 2,
+		KPIN: 1500, KPICount: 1, IoTN: 400})
+	byFam := map[string]map[string]float64{}
+	for _, r := range rows {
+		if byFam[r.Family] == nil {
+			byFam[r.Family] = map[string]float64{}
+		}
+		byFam[r.Family][r.Scores] = r.ALF
+	}
+	for fam, fs := range byFam {
+		for _, single := range []string{"MAG", "COR", "VAR"} {
+			if fs["ALL"]+0.05 < fs[single] {
+				t.Errorf("%s: single score %s (%.2f) beats ALL (%.2f)",
+					fam, single, fs[single], fs["ALL"])
+			}
+		}
+	}
+}
+
+func TestFig14CABDImprovesRepair(t *testing.T) {
+	rows := Fig14(Scale{SynthN: 800, SynthCount: 3, YahooN: 400, YahooCount: 1,
+		KPIN: 800, KPICount: 1, IoTN: 400})
+	betterCount := 0
+	for _, r := range rows {
+		if r.RMSCABD < r.RMSBefore {
+			betterCount++
+		}
+		if r.Labels <= 0 {
+			t.Errorf("%s: no labels spent", r.Dataset)
+		}
+	}
+	if betterCount < 2 {
+		t.Errorf("CABD-guided repair improved only %d/3 datasets", betterCount)
+	}
+	// Guided must beat random on average (the Figure 14 headline).
+	var g, rn float64
+	for _, r := range rows {
+		g += r.RMSCABD
+		rn += r.RMSRandom
+	}
+	if g >= rn {
+		t.Errorf("guided repair RMS %.3f not better than random %.3f", g, rn)
+	}
+}
+
+func TestFig1EventPreservation(t *testing.T) {
+	rows := Fig1(Scale{IoTN: 800})
+	if len(rows) != 3 {
+		t.Fatalf("Fig1 rows = %d", len(rows))
+	}
+	if rows[0].Algorithm != "CABD" || !rows[0].EventsPreserved {
+		t.Errorf("CABD must preserve events: %+v", rows[0])
+	}
+	if rows[0].APF < 0.8 {
+		t.Errorf("CABD Fig1 anomaly F = %v", rows[0].APF)
+	}
+}
+
+func TestFig3ClusterSummary(t *testing.T) {
+	clusters := Fig3(tiny)
+	if len(clusters) == 0 {
+		t.Fatal("no clusters")
+	}
+	total := 0
+	for _, c := range clusters {
+		total += c.Size
+	}
+	if total == 0 {
+		t.Error("clusters are empty")
+	}
+}
+
+func TestTable2Traces(t *testing.T) {
+	traces := Table2(Scale{SynthN: 400, SynthCount: 1, YahooN: 800, YahooCount: 3,
+		KPIN: 800, KPICount: 1, IoTN: 800})
+	if len(traces) != 5 {
+		t.Fatalf("Table2 traces = %d, want 5", len(traces))
+	}
+	for _, tr := range traces {
+		if len(tr.Rounds) == 0 {
+			t.Errorf("%s: no rounds", tr.Dataset)
+			continue
+		}
+		final := tr.Rounds[len(tr.Rounds)-1]
+		first := tr.Rounds[0]
+		if final.Accuracy+0.05 < first.Accuracy {
+			t.Errorf("%s: accuracy degraded %.2f -> %.2f",
+				tr.Dataset, first.Accuracy, final.Accuracy)
+		}
+	}
+}
+
+func TestPrinters(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig5(&buf, Fig5(Scale{SynthN: 400, SynthCount: 1, YahooN: 400,
+		YahooCount: 1, KPIN: 800, KPICount: 1, IoTN: 400}))
+	PrintFig3(&buf, Fig3(Scale{SynthN: 400, SynthCount: 1, YahooN: 400,
+		YahooCount: 1, KPIN: 800, KPICount: 1, IoTN: 400}))
+	if buf.Len() == 0 {
+		t.Error("printers produced no output")
+	}
+}
+
+func TestMultiExtension(t *testing.T) {
+	rows := MultiExtension(Scale{SynthN: 1200, SynthCount: 1, YahooN: 400,
+		YahooCount: 1, KPIN: 800, KPICount: 1, IoTN: 400})
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byD := map[int]map[string]float64{}
+	for _, r := range rows {
+		if byD[r.Dims] == nil {
+			byD[r.Dims] = map[string]float64{}
+		}
+		byD[r.Dims][r.Variant] = r.APF
+	}
+	// The joint detector must match the union's quality...
+	for _, d := range []int{2, 3, 5} {
+		if byD[d]["joint"]+0.1 < byD[d]["per-dimension"] {
+			t.Errorf("joint (%.2f) below per-dimension union (%.2f) at d=%d",
+				byD[d]["joint"], byD[d]["per-dimension"], d)
+		}
+	}
+	// ...while consuming fewer labels at the highest dimensionality
+	// (one AL loop instead of five).
+	var jq, pq int
+	for _, r := range rows {
+		if r.Dims == 5 {
+			if r.Variant == "joint" {
+				jq = r.Queries
+			} else {
+				pq = r.Queries
+			}
+		}
+	}
+	if jq > pq {
+		t.Errorf("joint labels (%d) exceed per-dimension total (%d) at d=5", jq, pq)
+	}
+	var buf bytes.Buffer
+	PrintMultiExtension(&buf, rows)
+	if buf.Len() == 0 {
+		t.Error("printer empty")
+	}
+}

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPrintCompareOrdering(t *testing.T) {
+	rows := []CompareRow{
+		{"B", "Yahoo", 0.3},
+		{"A", "Yahoo", 0.9},
+		{"C", "IoT", 0.5},
+	}
+	var buf bytes.Buffer
+	PrintCompare(&buf, "title", rows)
+	out := buf.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	// Within a family, rows print best-first.
+	ai := strings.Index(out, "A ")
+	bi := strings.Index(out, "B ")
+	if ai < 0 || bi < 0 || ai > bi {
+		t.Errorf("rows not sorted by F: %q", out)
+	}
+}
+
+func TestPrintFig9AndFig10(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig9(&buf, []Fig9Row{
+		{"CABD w/ AL", "IoT", 1.0, 0},
+		{"PELT", "IoT", 0.2, 98},
+	})
+	if !strings.Contains(buf.String(), "best pen 98") {
+		t.Errorf("missing penalty annotation: %q", buf.String())
+	}
+	buf.Reset()
+	PrintFig10(&buf, []Fig10Row{{"HBOS+PELT", "Synthetic", 0.42}})
+	if !strings.Contains(buf.String(), "42.0") {
+		t.Errorf("missing F value: %q", buf.String())
+	}
+}
+
+func TestPrintFig11(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig11(&buf, []Fig11Point{{"CABD (optimized)", 2000, 0.123}})
+	if !strings.Contains(buf.String(), "0.123") {
+		t.Errorf("missing runtime: %q", buf.String())
+	}
+}
+
+func TestPrintFig12AndFig13(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig12(&buf, []Fig12Row{
+		{"CABD-KNN", "Yahoo", "anomaly", 0.3, 0.5, 7},
+	})
+	if !strings.Contains(buf.String(), "best k=7") {
+		t.Errorf("missing k annotation: %q", buf.String())
+	}
+	buf.Reset()
+	PrintFig13(&buf, []Fig13Row{{"VAR", "KPI", 0.8, 0.9}})
+	if !strings.Contains(buf.String(), "VAR") {
+		t.Errorf("missing variant: %q", buf.String())
+	}
+}
+
+func TestPrintFig14AndFig1(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig14(&buf, []Fig14Row{{"ds-1", 2.0, 0.5, 1.9, 40}})
+	if !strings.Contains(buf.String(), "ds-1") {
+		t.Errorf("missing dataset: %q", buf.String())
+	}
+	buf.Reset()
+	PrintFig1(&buf, []Fig1Row{
+		{"CABD", 1, 1, true},
+		{"KNN-CAD", 0.2, 0, false},
+	})
+	out := buf.String()
+	if !strings.Contains(out, "events preserved") ||
+		!strings.Contains(out, "confuses events with errors") {
+		t.Errorf("missing preservation verdicts: %q", out)
+	}
+}
+
+func TestPrintTable2Format(t *testing.T) {
+	var buf bytes.Buffer
+	PrintTable2(&buf, []Table2Trace{{
+		Dataset: "x",
+		Rounds:  []Table2Round{{Round: 0, Accuracy: 0.5, Confidence: 0.4}},
+	}})
+	if !strings.Contains(buf.String(), "acc=0.50 conf=0.40") {
+		t.Errorf("trace format: %q", buf.String())
+	}
+}
+
+func TestPrintFig6Format(t *testing.T) {
+	var buf bytes.Buffer
+	PrintFig6(&buf, []Fig6Point{{AnomalyPct: 5, Confidence: 0.8, APF: 0.9, CPF: 0.7, Queries: 12}})
+	if !strings.Contains(buf.String(), "12") {
+		t.Errorf("fig6 format: %q", buf.String())
+	}
+}

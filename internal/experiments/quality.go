@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"cabd/internal/core"
+	"cabd/internal/eval"
+	"cabd/internal/oracle"
+	"cabd/internal/series"
+	"cabd/internal/synth"
+)
+
+// Table1Row is one dataset row of Table I: detection quality with and
+// without active learning plus the number of oracle queries.
+type Table1Row struct {
+	Dataset   string
+	AnPct     float64 // % of anomalous points
+	CPPct     float64 // % of change points
+	UnsupAPF  float64 // anomaly F-score without AL
+	UnsupCPF  float64 // change F-score without AL (NaN-free: 0 when no CPs)
+	ALAPF     float64 // anomaly F-score with AL
+	ALCPF     float64 // change F-score with AL
+	Queries   float64 // average oracle queries
+	HasChange bool    // dataset family carries change points
+}
+
+// Table1 reproduces Table I over the four dataset families.
+func Table1(sc Scale) []Table1Row {
+	sc = sc.defaults()
+	families := [][]Dataset{sc.SynthSuite(), sc.YahooSuite(), sc.KPISuite(), sc.IoTSuite()}
+	names := []string{"Synthetic", "Yahoo", "KPI", "IoT"}
+	rows := make([]Table1Row, 0, 4)
+	for fi, fam := range families {
+		row := Table1Row{Dataset: names[fi]}
+		for _, ds := range fam {
+			unsup, al := runPair(ds.S, core.Options{})
+			row.AnPct += 100 * labelFrac(ds.S, series.Label.IsAnomaly)
+			row.CPPct += 100 * labelFrac(ds.S, func(l series.Label) bool { return l == series.ChangePoint })
+			row.UnsupAPF += apF(unsup, ds.S).F1
+			row.ALAPF += apF(al, ds.S).F1
+			if len(ds.S.ChangePointIndices()) > 0 {
+				row.HasChange = true
+				row.UnsupCPF += cpF(unsup, ds.S).F1
+				row.ALCPF += cpF(al, ds.S).F1
+			}
+			row.Queries += float64(al.Queries)
+		}
+		n := float64(len(fam))
+		row.AnPct /= n
+		row.CPPct /= n
+		row.UnsupAPF /= n
+		row.UnsupCPF /= n
+		row.ALAPF /= n
+		row.ALCPF /= n
+		row.Queries /= n
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// PrintTable1 renders Table I in the paper's layout.
+func PrintTable1(w io.Writer, rows []Table1Row) {
+	fprintf(w, "Table I: CABD quality for Anomaly (AP) and Change Point (CP) prediction\n")
+	fprintf(w, "%-10s %6s %6s | %8s %8s | %8s %8s | %8s\n",
+		"Dataset", "%An", "%CP", "AP w/o", "CP w/o", "AP w/AL", "CP w/AL", "queries")
+	for _, r := range rows {
+		cpU, cpA := "-", "-"
+		if r.HasChange {
+			cpU = pct(r.UnsupCPF)
+			cpA = pct(r.ALCPF)
+		}
+		fprintf(w, "%-10s %6.1f %6.1f | %8s %8s | %8s %8s | %8.1f\n",
+			r.Dataset, r.AnPct, r.CPPct, pct(r.UnsupAPF), cpU,
+			pct(r.ALAPF), cpA, r.Queries)
+	}
+}
+
+func pct(f float64) string { return fmt.Sprintf("%.1f", 100*f) }
+
+// Fig5Point is one point of Figure 5: BNF versus abnormal density.
+type Fig5Point struct {
+	Dataset     string
+	AbnormalPct float64
+	BNF         float64
+	Queries     int
+	Total       int
+}
+
+// Fig5 reproduces Figure 5: the benefit function across the synthetic
+// suite's density ramp.
+func Fig5(sc Scale) []Fig5Point {
+	sc = sc.defaults()
+	var out []Fig5Point
+	for _, ds := range sc.SynthSuite() {
+		det := core.NewDetector(core.Options{})
+		res := det.DetectActive(ds.S, oracle.New(ds.S))
+		total := len(ds.S.AnomalyIndices()) + len(ds.S.ChangePointIndices())
+		out = append(out, Fig5Point{
+			Dataset:     ds.S.Name,
+			AbnormalPct: 100 * labelFrac(ds.S, func(l series.Label) bool { return l != series.Normal }),
+			BNF:         eval.BNF(res.Queries, total),
+			Queries:     res.Queries,
+			Total:       total,
+		})
+	}
+	return out
+}
+
+// PrintFig5 renders the Figure 5 series.
+func PrintFig5(w io.Writer, pts []Fig5Point) {
+	fprintf(w, "Figure 5: BNF with increasing anomaly and change points\n")
+	fprintf(w, "%-8s %10s %8s %8s %8s\n", "dataset", "abnormal%", "queries", "total", "BNF")
+	for _, p := range pts {
+		fprintf(w, "%-8s %10.1f %8d %8d %8.2f\n",
+			p.Dataset, p.AbnormalPct, p.Queries, p.Total, p.BNF)
+	}
+}
+
+// Fig6Point is one point of Figure 6: quality and query count as the
+// required confidence γ varies, for several anomaly densities.
+type Fig6Point struct {
+	AnomalyPct float64
+	Confidence float64
+	APF        float64
+	CPF        float64
+	Queries    int
+}
+
+// Fig6 reproduces Figures 6(a)-(c).
+func Fig6(sc Scale) []Fig6Point {
+	sc = sc.defaults()
+	var out []Fig6Point
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.20} {
+		s := synth.Generate(synth.Config{
+			N: sc.SynthN, Seed: 500 + int64(frac*1000),
+			SingleFrac:     frac * 0.25,
+			CollectiveFrac: frac * 0.45,
+			ChangeFrac:     frac * 0.30,
+			TrendSlope:     8.0 / float64(sc.SynthN),
+		})
+		for _, gamma := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.95} {
+			det := core.NewDetector(core.Options{Confidence: gamma})
+			res := det.DetectActive(s, oracle.New(s))
+			out = append(out, Fig6Point{
+				AnomalyPct: 100 * frac,
+				Confidence: gamma,
+				APF:        apF(res, s).F1,
+				CPF:        cpF(res, s).F1,
+				Queries:    res.Queries,
+			})
+		}
+	}
+	return out
+}
+
+// PrintFig6 renders the Figure 6 series.
+func PrintFig6(w io.Writer, pts []Fig6Point) {
+	fprintf(w, "Figure 6: detection quality and #queries vs desired confidence\n")
+	fprintf(w, "%10s %6s | %8s %8s %8s\n", "abnormal%", "conf", "AP F", "CP F", "queries")
+	for _, p := range pts {
+		fprintf(w, "%10.0f %6.2f | %8s %8s %8d\n",
+			p.AnomalyPct, p.Confidence, pct(p.APF), pct(p.CPF), p.Queries)
+	}
+}
+
+// Table2Trace is the active-learning accuracy/confidence trace of one
+// dataset (Table II).
+type Table2Trace struct {
+	Dataset string
+	Rounds  []Table2Round
+}
+
+// Table2Round is one user-interaction round.
+type Table2Round struct {
+	Round      int
+	Accuracy   float64
+	Confidence float64
+}
+
+// Table2 reproduces Table II: per-round accuracy (Jaccard of predictions
+// vs ground truth) and model confidence for five datasets.
+func Table2(sc Scale) []Table2Trace {
+	sc = sc.defaults()
+	sets := []Dataset{}
+	ys := sc.YahooSuite()
+	if len(ys) > 3 {
+		ys = ys[:3]
+	}
+	sets = append(sets, ys...)
+	io2 := sc.IoTSuite()
+	sets = append(sets, io2...)
+	var out []Table2Trace
+	for _, ds := range sets {
+		det := core.NewDetector(core.Options{})
+		res := det.DetectActive(ds.S, oracle.New(ds.S))
+		truth := append(append([]int{}, ds.S.AnomalyIndices()...), ds.S.ChangePointIndices()...)
+		tr := Table2Trace{Dataset: ds.S.Name}
+		for _, snap := range res.Rounds {
+			pred := append(append([]int{}, snap.Anomalies...), snap.ChangePoints...)
+			tr.Rounds = append(tr.Rounds, Table2Round{
+				Round:      snap.Round,
+				Accuracy:   eval.Accuracy(pred, truth, MatchTol),
+				Confidence: snap.MinConfidence,
+			})
+		}
+		out = append(out, tr)
+	}
+	return out
+}
+
+// PrintTable2 renders the Table II traces.
+func PrintTable2(w io.Writer, traces []Table2Trace) {
+	fprintf(w, "Table II: accuracy | confidence per active-learning round\n")
+	for _, tr := range traces {
+		fprintf(w, "%s:\n", tr.Dataset)
+		for _, r := range tr.Rounds {
+			fprintf(w, "  round %2d: acc=%.2f conf=%.2f\n", r.Round, r.Accuracy, r.Confidence)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"cabd/internal/baselines/common"
+	"cabd/internal/baselines/donut"
+	"cabd/internal/baselines/knncad"
+	"cabd/internal/baselines/luminol"
+	"cabd/internal/baselines/numenta"
+	"cabd/internal/baselines/twitteresd"
+	"cabd/internal/core"
+	"cabd/internal/synth"
+)
+
+// Fig11Point is one (algorithm, size) runtime measurement of Figure 11.
+type Fig11Point struct {
+	Algorithm string
+	N         int
+	Seconds   float64
+}
+
+// Fig11Sizes is the data-size sweep of the runtime study (paper: up to
+// 20k points).
+var Fig11Sizes = []int{2000, 5000, 10000, 20000}
+
+// Fig11 reproduces Figure 11: runtime versus data size for CABD with and
+// without the INN optimizations, and the baseline detectors. Labeling
+// time is excluded (runs are unsupervised). Sizes can be overridden for
+// quick benchmark runs.
+func Fig11(sizes []int) []Fig11Point {
+	if len(sizes) == 0 {
+		sizes = Fig11Sizes
+	}
+	var out []Fig11Point
+	for _, n := range sizes {
+		s := synth.YahooLike(42, n)
+		timeIt := func(name string, f func()) {
+			start := time.Now()
+			f()
+			out = append(out, Fig11Point{name, n, time.Since(start).Seconds()})
+		}
+		timeIt("CABD (optimized)", func() {
+			core.NewDetector(core.Options{Strategy: core.BinaryINN}).Detect(s)
+		})
+		timeIt("CABD (no opt)", func() {
+			core.NewDetector(core.Options{Strategy: core.MutualSetINN}).Detect(s)
+		})
+		dets := []common.Detector{
+			luminol.New(luminol.Config{}),
+			twitteresd.New(twitteresd.Config{}),
+			knncad.New(knncad.Config{}),
+			numenta.New(numenta.Config{}),
+		}
+		for _, det := range dets {
+			d := det
+			timeIt(d.Name(), func() { d.Detect(s) })
+		}
+		// DONUT is the slow deep-model row; keep its training modest so
+		// the sweep finishes, the ordering is what matters.
+		timeIt("DONUT", func() {
+			donut.New(donut.Config{Epochs: 5}).Detect(s)
+		})
+	}
+	return out
+}
+
+// PrintFig11 renders the runtime sweep.
+func PrintFig11(w io.Writer, pts []Fig11Point) {
+	fprintf(w, "Figure 11: runtime (seconds) vs data size\n")
+	fprintf(w, "%-18s %8s %10s\n", "algorithm", "n", "seconds")
+	for _, p := range pts {
+		fprintf(w, "%-18s %8d %10.3f\n", p.Algorithm, p.N, p.Seconds)
+	}
+}

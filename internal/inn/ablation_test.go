@@ -1,0 +1,95 @@
+package inn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/series"
+)
+
+// The benchmarks below quantify the design choices DESIGN.md documents:
+// the galloping binary search versus the linear scan versus the
+// unconstrained mutual set (the paper's optimized/unoptimized split), and
+// the cost of the per-offset rank bound at different pattern sizes.
+
+func ablationSeries(n int) *series.Series {
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]float64, n)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/200) + ar
+	}
+	// A few collective anomalies so extents are non-trivial.
+	for g := 0; g < n/400; g++ {
+		start := 100 + g*397
+		for i := start; i < start+8 && i < n; i++ {
+			vals[i] += 20
+		}
+	}
+	return series.New("ablation", vals)
+}
+
+func benchStrategy(b *testing.B, n int, f func(c *Computer, i, t int) []int) {
+	c := FromSeries(ablationSeries(n))
+	t := c.RangeLimit(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f(c, i%n, t)
+	}
+}
+
+func BenchmarkAblation_GallopBinary2k(b *testing.B) {
+	benchStrategy(b, 2000, func(c *Computer, i, t int) []int { return c.Binary(i, t) })
+}
+
+func BenchmarkAblation_LinearScan2k(b *testing.B) {
+	benchStrategy(b, 2000, func(c *Computer, i, t int) []int { return c.Minimal(i, t) })
+}
+
+func BenchmarkAblation_MutualSet2k(b *testing.B) {
+	benchStrategy(b, 2000, func(c *Computer, i, t int) []int { return c.MutualSet(i, t) })
+}
+
+func BenchmarkAblation_GallopBinary20k(b *testing.B) {
+	benchStrategy(b, 20000, func(c *Computer, i, t int) []int { return c.Binary(i, t) })
+}
+
+func BenchmarkAblation_MutualSet20k(b *testing.B) {
+	benchStrategy(b, 20000, func(c *Computer, i, t int) []int { return c.MutualSet(i, t) })
+}
+
+// TestGallopAgreesWithLinearScan quantifies where the galloping binary
+// search diverges from the exact linear scan — the residual risk of
+// Algorithm 5's contiguity assumption. On normal points with long,
+// gap-riddled mutual runs the two legitimately disagree (and neither
+// answer affects detection); on the anomaly-pattern members whose INN
+// feeds the scores, they must agree.
+func TestGallopAgreesWithLinearScan(t *testing.T) {
+	s := ablationSeries(4000)
+	c := FromSeries(s)
+	tlim := c.RangeLimit(0)
+	diverged, probes := 0, 0
+	for i := 0; i < 4000; i += 3 {
+		probes++
+		if len(c.Minimal(i, tlim)) != len(c.Binary(i, tlim)) {
+			diverged++
+		}
+	}
+	t.Logf("global gallop/linear divergence: %.1f%% of %d probes",
+		100*float64(diverged)/float64(probes), probes)
+	// Exactness where it matters: the injected collective-anomaly
+	// members (see ablationSeries).
+	for g := 0; g < 4000/400; g++ {
+		start := 100 + g*397
+		for i := start; i < start+8 && i < 4000; i++ {
+			lin := c.Minimal(i, tlim)
+			bin := c.Binary(i, tlim)
+			if len(lin) != len(bin) {
+				t.Errorf("group member %d: linear %d vs gallop %d members",
+					i, len(lin), len(bin))
+			}
+		}
+	}
+}

@@ -1,0 +1,159 @@
+// Package kdtree implements a static 2-D KD-tree with k-nearest-neighbor
+// queries. The paper's runtime evaluation (Section V-D) uses a KD-tree to
+// accelerate neighbor search for the INN computation; this package is that
+// substrate. Points are [2]float64 (standardized index, standardized value)
+// and carry their original series index as payload.
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+type node struct {
+	point       [2]float64
+	index       int // original index
+	axis        int
+	left, right *node
+}
+
+// New builds a KD-tree over pts. The original position of each point in
+// pts is retained and returned by queries. Building is O(n log n).
+func New(pts [][2]float64) *KD {
+	items := make([]item, len(pts))
+	for i, p := range pts {
+		items[i] = item{p: p, i: i}
+	}
+	return &KD{root: build(items, 0), n: len(pts)}
+}
+
+// KD is the public tree handle.
+type KD struct {
+	root *node
+	n    int
+}
+
+// Len returns the number of indexed points.
+func (t *KD) Len() int { return t.n }
+
+type item struct {
+	p [2]float64
+	i int
+}
+
+func build(items []item, depth int) *node {
+	if len(items) == 0 {
+		return nil
+	}
+	axis := depth % 2
+	sort.Slice(items, func(a, b int) bool { return items[a].p[axis] < items[b].p[axis] })
+	mid := len(items) / 2
+	n := &node{point: items[mid].p, index: items[mid].i, axis: axis}
+	n.left = build(items[:mid], depth+1)
+	n.right = build(items[mid+1:], depth+1)
+	return n
+}
+
+// Neighbor is one k-NN query result.
+type Neighbor struct {
+	Index int     // original position in the input slice
+	Dist  float64 // Euclidean distance to the query point
+}
+
+// maxHeap of neighbors keyed by distance (largest on top) so we can evict
+// the worst candidate while scanning.
+type nnHeap []Neighbor
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}
+
+// KNN returns the k nearest neighbors of q, sorted by increasing distance.
+// When skipSelf >= 0, the point with that original index is excluded —
+// queries for a point already in the tree pass its own index. If fewer
+// than k points are available the result is shorter.
+func (t *KD) KNN(q [2]float64, k int, skipSelf int) []Neighbor {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	h := make(nnHeap, 0, k+1)
+	var search func(n *node)
+	search = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.index != skipSelf {
+			d := dist(q, n.point)
+			if len(h) < k {
+				heap.Push(&h, Neighbor{Index: n.index, Dist: d})
+			} else if d < h[0].Dist {
+				heap.Pop(&h)
+				heap.Push(&h, Neighbor{Index: n.index, Dist: d})
+			}
+		}
+		diff := q[n.axis] - n.point[n.axis]
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		search(near)
+		// Only descend the far side if the splitting plane is closer
+		// than the current worst neighbor (or we still need points).
+		if len(h) < k || math.Abs(diff) < h[0].Dist {
+			search(far)
+		}
+	}
+	search(t.root)
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+// Within returns all points with distance <= r from q (excluding skipSelf),
+// unsorted.
+func (t *KD) Within(q [2]float64, r float64, skipSelf int) []Neighbor {
+	var out []Neighbor
+	var search func(n *node)
+	search = func(n *node) {
+		if n == nil {
+			return
+		}
+		if n.index != skipSelf {
+			if d := dist(q, n.point); d <= r {
+				out = append(out, Neighbor{Index: n.index, Dist: d})
+			}
+		}
+		diff := q[n.axis] - n.point[n.axis]
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		search(near)
+		if math.Abs(diff) <= r {
+			search(far)
+		}
+	}
+	search(t.root)
+	return out
+}
+
+func dist(p, q [2]float64) float64 {
+	dx := p[0] - q[0]
+	dy := p[1] - q[1]
+	return math.Sqrt(dx*dx + dy*dy)
+}

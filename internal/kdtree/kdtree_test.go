@@ -1,0 +1,181 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// bruteKNN is the reference implementation used for differential testing.
+func bruteKNN(pts [][2]float64, q [2]float64, k, skipSelf int) []Neighbor {
+	var all []Neighbor
+	for i, p := range pts {
+		if i == skipSelf {
+			continue
+		}
+		all = append(all, Neighbor{Index: i, Dist: dist(q, p)})
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist != all[b].Dist {
+			return all[a].Dist < all[b].Dist
+		}
+		return all[a].Index < all[b].Index
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func randomPoints(rng *rand.Rand, n int) [][2]float64 {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+	}
+	return pts
+}
+
+func TestKNNSimple(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {2, 0}, {10, 0}}
+	tr := New(pts)
+	nn := tr.KNN([2]float64{0.1, 0}, 2, -1)
+	if len(nn) != 2 || nn[0].Index != 0 || nn[1].Index != 1 {
+		t.Errorf("KNN = %+v", nn)
+	}
+}
+
+func TestKNNSkipSelf(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 0}, {2, 0}}
+	tr := New(pts)
+	nn := tr.KNN(pts[0], 1, 0)
+	if len(nn) != 1 || nn[0].Index != 1 {
+		t.Errorf("skip-self KNN = %+v", nn)
+	}
+}
+
+func TestKNNFewerThanK(t *testing.T) {
+	pts := [][2]float64{{0, 0}, {1, 1}}
+	tr := New(pts)
+	nn := tr.KNN([2]float64{0, 0}, 10, -1)
+	if len(nn) != 2 {
+		t.Errorf("expected all points, got %d", len(nn))
+	}
+	if got := tr.KNN([2]float64{0, 0}, 0, -1); got != nil {
+		t.Errorf("k=0 should return nil, got %v", got)
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := New(nil)
+	if tr.Len() != 0 {
+		t.Error("empty tree length")
+	}
+	if got := tr.KNN([2]float64{0, 0}, 3, -1); got != nil {
+		t.Errorf("empty tree KNN = %v", got)
+	}
+	if got := tr.Within([2]float64{0, 0}, 5, -1); got != nil {
+		t.Errorf("empty tree Within = %v", got)
+	}
+}
+
+// Differential test: KD-tree KNN must exactly match brute force for many
+// random configurations (distances equal; indices equal up to distance
+// ties, which the deterministic tie-break makes exact).
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(200)
+		pts := randomPoints(rng, n)
+		tr := New(pts)
+		for qi := 0; qi < 10; qi++ {
+			q := [2]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+			k := 1 + rng.Intn(12)
+			skip := -1
+			if rng.Intn(2) == 0 && n > 1 {
+				skip = rng.Intn(n)
+			}
+			got := tr.KNN(q, k, skip)
+			want := bruteKNN(pts, q, k, skip)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
+			}
+			for i := range got {
+				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
+					t.Fatalf("trial %d: dist[%d] %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(150)
+		pts := randomPoints(rng, n)
+		tr := New(pts)
+		q := [2]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+		r := rng.Float64() * 15
+		got := tr.Within(q, r, -1)
+		want := 0
+		for _, p := range pts {
+			if dist(q, p) <= r {
+				want++
+			}
+		}
+		if len(got) != want {
+			t.Fatalf("trial %d: Within found %d, brute %d", trial, len(got), want)
+		}
+		for _, nb := range got {
+			if nb.Dist > r {
+				t.Fatalf("Within returned point beyond radius: %v > %v", nb.Dist, r)
+			}
+		}
+	}
+}
+
+func TestKNNSortedAscending(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pts := randomPoints(rng, 100)
+	tr := New(pts)
+	nn := tr.KNN([2]float64{0, 0}, 20, -1)
+	for i := 1; i < len(nn); i++ {
+		if nn[i].Dist < nn[i-1].Dist {
+			t.Fatalf("results not sorted: %v after %v", nn[i].Dist, nn[i-1].Dist)
+		}
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][2]float64{{1, 1}, {1, 1}, {1, 1}, {5, 5}}
+	tr := New(pts)
+	nn := tr.KNN([2]float64{1, 1}, 3, -1)
+	if len(nn) != 3 {
+		t.Fatalf("expected 3 results, got %d", len(nn))
+	}
+	for _, x := range nn[:3] {
+		if x.Dist != 0 {
+			t.Errorf("duplicate distance = %v", x.Dist)
+		}
+	}
+}
+
+func BenchmarkKNN(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 20000)
+	tr := New(pts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.KNN(pts[i%len(pts)], 10, i%len(pts))
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	pts := randomPoints(rng, 20000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(pts)
+	}
+}

@@ -1,0 +1,115 @@
+package kdtree
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// ND is a static KD-tree over points of arbitrary (fixed) dimension,
+// backing the multivariate extension of the detector (the paper's
+// future-work direction: "we plan to study how our techniques apply on
+// multi-dimensional time series").
+type ND struct {
+	root *ndNode
+	dim  int
+	n    int
+}
+
+type ndNode struct {
+	point       []float64
+	index       int
+	axis        int
+	left, right *ndNode
+}
+
+// NewND builds an N-dimensional KD-tree over pts (rows are points; all
+// rows must share one length). The original position of each point is
+// retained and returned by queries.
+func NewND(pts [][]float64) *ND {
+	if len(pts) == 0 {
+		return &ND{}
+	}
+	items := make([]ndItem, len(pts))
+	for i, p := range pts {
+		items[i] = ndItem{p: p, i: i}
+	}
+	d := len(pts[0])
+	return &ND{root: buildND(items, 0, d), dim: d, n: len(pts)}
+}
+
+type ndItem struct {
+	p []float64
+	i int
+}
+
+func buildND(items []ndItem, depth, dim int) *ndNode {
+	if len(items) == 0 {
+		return nil
+	}
+	axis := depth % dim
+	sort.Slice(items, func(a, b int) bool { return items[a].p[axis] < items[b].p[axis] })
+	mid := len(items) / 2
+	n := &ndNode{point: items[mid].p, index: items[mid].i, axis: axis}
+	n.left = buildND(items[:mid], depth+1, dim)
+	n.right = buildND(items[mid+1:], depth+1, dim)
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *ND) Len() int { return t.n }
+
+// Dim returns the point dimensionality (0 for an empty tree).
+func (t *ND) Dim() int { return t.dim }
+
+// KNN returns the k nearest neighbors of q, sorted by increasing distance
+// with index tie-break; skipSelf excludes that original index.
+func (t *ND) KNN(q []float64, k int, skipSelf int) []Neighbor {
+	if k <= 0 || t.root == nil {
+		return nil
+	}
+	h := make(nnHeap, 0, k+1)
+	var search func(n *ndNode)
+	search = func(n *ndNode) {
+		if n == nil {
+			return
+		}
+		if n.index != skipSelf {
+			d := distN(q, n.point)
+			if len(h) < k {
+				heap.Push(&h, Neighbor{Index: n.index, Dist: d})
+			} else if d < h[0].Dist {
+				heap.Pop(&h)
+				heap.Push(&h, Neighbor{Index: n.index, Dist: d})
+			}
+		}
+		diff := q[n.axis] - n.point[n.axis]
+		near, far := n.left, n.right
+		if diff > 0 {
+			near, far = n.right, n.left
+		}
+		search(near)
+		if len(h) < k || math.Abs(diff) < h[0].Dist {
+			search(far)
+		}
+	}
+	search(t.root)
+	out := make([]Neighbor, len(h))
+	copy(out, h)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].Index < out[b].Index
+	})
+	return out
+}
+
+func distN(p, q []float64) float64 {
+	var s float64
+	for i := range p {
+		d := p[i] - q[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}

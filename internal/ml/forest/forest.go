@@ -1,0 +1,315 @@
+// Package forest implements a random forest classifier (bagged CART trees
+// with per-split random feature subsets and Gini impurity), the default
+// probabilistic classification algorithm of CABD [25]. Class probabilities
+// are averaged leaf distributions across trees; CABD uses them directly as
+// the confidence weights of Section IV and their complement as the
+// uncertainty driving active learning (Equation 13).
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Config controls forest training.
+type Config struct {
+	Trees      int // number of trees (default 100)
+	MaxDepth   int // depth cap per tree (default 12)
+	MinLeaf    int // minimum samples per leaf (default 1)
+	MTry       int // features considered per split (default ceil(sqrt(d)))
+	NumClasses int // required: size of the label space
+}
+
+func (c *Config) defaults(d int) {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 1
+	}
+	if c.MTry <= 0 {
+		c.MTry = int(math.Ceil(math.Sqrt(float64(d))))
+	}
+	if c.MTry > d {
+		c.MTry = d
+	}
+}
+
+// Forest is a trained ensemble.
+type Forest struct {
+	trees      []*node
+	inBag      [][]bool // per tree: was training row i in the bootstrap sample
+	numClasses int
+}
+
+type node struct {
+	feature     int
+	threshold   float64
+	left, right *node
+	probs       []float64 // leaf class distribution (nil for internal)
+}
+
+// Train fits a forest on X (rows are feature vectors) and y (class ids in
+// [0, cfg.NumClasses)). rng drives bootstrap and feature sampling; pass a
+// seeded source for reproducibility. Returns nil when the input is empty.
+func Train(X [][]float64, y []int, cfg Config, rng *rand.Rand) *Forest {
+	return TrainWeighted(X, y, nil, cfg, rng)
+}
+
+// TrainWeighted is Train with per-row sampling weights: each bootstrap
+// draw picks row i with probability weights[i]/sum(weights). nil weights
+// are uniform. Rows with higher weight steer the ensemble the way
+// replicating them would, while keeping one row per example so out-of-bag
+// estimates stay meaningful.
+func TrainWeighted(X [][]float64, y []int, weights []float64, cfg Config, rng *rand.Rand) *Forest {
+	n := len(X)
+	if n == 0 || len(y) != n || cfg.NumClasses <= 0 {
+		return nil
+	}
+	if weights != nil && len(weights) != n {
+		return nil
+	}
+	d := len(X[0])
+	cfg.defaults(d)
+	f := &Forest{numClasses: cfg.NumClasses}
+	// Cumulative weights for sampling.
+	var cum []float64
+	if weights != nil {
+		cum = make([]float64, n)
+		var total float64
+		for i, w := range weights {
+			if w < 0 {
+				w = 0
+			}
+			total += w
+			cum[i] = total
+		}
+		if total <= 0 {
+			cum = nil
+		}
+	}
+	idx := make([]int, n)
+	for t := 0; t < cfg.Trees; t++ {
+		bag := make([]bool, n)
+		for i := range idx {
+			var pick int
+			if cum != nil {
+				pick = searchCum(cum, rng.Float64()*cum[n-1])
+			} else {
+				pick = rng.Intn(n)
+			}
+			idx[i] = pick
+			bag[pick] = true
+		}
+		boot := append([]int(nil), idx...)
+		f.trees = append(f.trees, buildTree(X, y, boot, cfg, rng, 0))
+		f.inBag = append(f.inBag, bag)
+	}
+	return f
+}
+
+// searchCum returns the first index whose cumulative weight exceeds v.
+func searchCum(cum []float64, v float64) int {
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func buildTree(X [][]float64, y []int, idx []int, cfg Config, rng *rand.Rand, depth int) *node {
+	if depth >= cfg.MaxDepth || len(idx) <= cfg.MinLeaf || pure(y, idx) {
+		return leaf(y, idx, cfg.NumClasses)
+	}
+	feat, thr, ok := bestSplit(X, y, idx, cfg, rng)
+	if !ok {
+		return leaf(y, idx, cfg.NumClasses)
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return leaf(y, idx, cfg.NumClasses)
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      buildTree(X, y, li, cfg, rng, depth+1),
+		right:     buildTree(X, y, ri, cfg, rng, depth+1),
+	}
+}
+
+func pure(y []int, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := y[idx[0]]
+	for _, i := range idx[1:] {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}
+
+func leaf(y []int, idx []int, k int) *node {
+	probs := make([]float64, k)
+	if len(idx) == 0 {
+		for c := range probs {
+			probs[c] = 1 / float64(k)
+		}
+		return &node{probs: probs}
+	}
+	for _, i := range idx {
+		probs[y[i]]++
+	}
+	for c := range probs {
+		probs[c] /= float64(len(idx))
+	}
+	return &node{probs: probs}
+}
+
+// bestSplit searches cfg.MTry random features for the Gini-optimal
+// threshold over the candidate midpoints.
+func bestSplit(X [][]float64, y []int, idx []int, cfg Config, rng *rand.Rand) (int, float64, bool) {
+	d := len(X[0])
+	feats := rng.Perm(d)[:cfg.MTry]
+	bestGini := math.Inf(1)
+	bestFeat, bestThr, found := 0, 0.0, false
+	vals := make([]float64, 0, len(idx))
+	for _, feat := range feats {
+		vals = vals[:0]
+		for _, i := range idx {
+			vals = append(vals, X[i][feat])
+		}
+		sort.Float64s(vals)
+		for v := 1; v < len(vals); v++ {
+			if vals[v] == vals[v-1] {
+				continue
+			}
+			thr := (vals[v] + vals[v-1]) / 2
+			g := splitGini(X, y, idx, feat, thr, cfg.NumClasses)
+			if g < bestGini {
+				bestGini, bestFeat, bestThr, found = g, feat, thr, true
+			}
+		}
+	}
+	return bestFeat, bestThr, found
+}
+
+func splitGini(X [][]float64, y []int, idx []int, feat int, thr float64, k int) float64 {
+	lc := make([]int, k)
+	rc := make([]int, k)
+	var ln, rn int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			lc[y[i]]++
+			ln++
+		} else {
+			rc[y[i]]++
+			rn++
+		}
+	}
+	return weightedGini(lc, ln) + weightedGini(rc, rn)
+}
+
+func weightedGini(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for _, c := range counts {
+		p := float64(c) / float64(n)
+		s += p * p
+	}
+	return float64(n) * (1 - s)
+}
+
+// PredictProba returns the class probability distribution for x, averaged
+// over all trees.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	probs := make([]float64, f.numClasses)
+	if len(f.trees) == 0 {
+		return probs
+	}
+	for _, t := range f.trees {
+		n := t
+		for n.probs == nil {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		for c, p := range n.probs {
+			probs[c] += p
+		}
+	}
+	for c := range probs {
+		probs[c] /= float64(len(f.trees))
+	}
+	return probs
+}
+
+// PredictProbaOOB returns the out-of-bag class distribution of training
+// row i with features x: only trees whose bootstrap sample excluded row i
+// vote, so the estimate is not self-fulfilling. When every tree saw the
+// row (possible for heavily weighted rows), it falls back to the full
+// ensemble.
+func (f *Forest) PredictProbaOOB(i int, x []float64) []float64 {
+	probs := make([]float64, f.numClasses)
+	voters := 0
+	for t, tree := range f.trees {
+		if f.inBag[t][i] {
+			continue
+		}
+		n := tree
+		for n.probs == nil {
+			if x[n.feature] <= n.threshold {
+				n = n.left
+			} else {
+				n = n.right
+			}
+		}
+		for c, p := range n.probs {
+			probs[c] += p
+		}
+		voters++
+	}
+	if voters == 0 {
+		return f.PredictProba(x)
+	}
+	for c := range probs {
+		probs[c] /= float64(voters)
+	}
+	return probs
+}
+
+// Predict returns the most probable class for x.
+func (f *Forest) Predict(x []float64) int {
+	probs := f.PredictProba(x)
+	best, bi := -1.0, 0
+	for c, p := range probs {
+		if p > best {
+			best, bi = p, c
+		}
+	}
+	return bi
+}
+
+// NumClasses returns the size of the label space the forest was trained on.
+func (f *Forest) NumClasses() int { return f.numClasses }

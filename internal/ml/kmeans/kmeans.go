@@ -1,0 +1,139 @@
+// Package kmeans implements Lloyd's algorithm with k-means++ seeding. It
+// initializes the Gaussian Mixture Model used by CABD's unsupervised
+// hypothesis bootstrap (Section IV, "Score Evaluation").
+package kmeans
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Result holds a clustering: one centroid per cluster and the cluster
+// assignment of every input row.
+type Result struct {
+	Centroids  [][]float64
+	Assignment []int
+	Inertia    float64 // sum of squared distances to assigned centroids
+}
+
+// Run clusters data (rows are observations) into k clusters using
+// k-means++ seeding and at most maxIter Lloyd iterations. rng drives the
+// seeding so results are reproducible. If len(data) < k, every row becomes
+// its own cluster (k shrinks).
+func Run(data [][]float64, k, maxIter int, rng *rand.Rand) Result {
+	n := len(data)
+	if n == 0 || k <= 0 {
+		return Result{}
+	}
+	if k > n {
+		k = n
+	}
+	cents := seedPlusPlus(data, k, rng)
+	assign := make([]int, n)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, row := range data {
+			best := nearest(row, cents)
+			if best != assign[i] {
+				assign[i] = best
+				changed = true
+			}
+		}
+		// Recompute centroids.
+		counts := make([]int, len(cents))
+		sums := make([][]float64, len(cents))
+		for c := range sums {
+			sums[c] = make([]float64, len(data[0]))
+		}
+		for i, row := range data {
+			c := assign[i]
+			counts[c]++
+			for j, v := range row {
+				sums[c][j] += v
+			}
+		}
+		for c := range cents {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the farthest point.
+				cents[c] = append([]float64(nil), data[farthest(data, cents)]...)
+				continue
+			}
+			for j := range cents[c] {
+				cents[c][j] = sums[c][j] / float64(counts[c])
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+	}
+	// Final assignment + inertia.
+	var inertia float64
+	for i, row := range data {
+		assign[i] = nearest(row, cents)
+		inertia += dist2(row, cents[assign[i]])
+	}
+	return Result{Centroids: cents, Assignment: assign, Inertia: inertia}
+}
+
+// seedPlusPlus picks k initial centroids with the k-means++ scheme:
+// first uniform, then proportional to squared distance from the chosen set.
+func seedPlusPlus(data [][]float64, k int, rng *rand.Rand) [][]float64 {
+	n := len(data)
+	cents := make([][]float64, 0, k)
+	first := rng.Intn(n)
+	cents = append(cents, append([]float64(nil), data[first]...))
+	d2 := make([]float64, n)
+	for len(cents) < k {
+		var total float64
+		for i, row := range data {
+			d2[i] = dist2(row, cents[nearest(row, cents)])
+			total += d2[i]
+		}
+		if total == 0 {
+			// All remaining points coincide with centroids; duplicate.
+			cents = append(cents, append([]float64(nil), data[rng.Intn(n)]...))
+			continue
+		}
+		target := rng.Float64() * total
+		var acc float64
+		pick := n - 1
+		for i, v := range d2 {
+			acc += v
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		cents = append(cents, append([]float64(nil), data[pick]...))
+	}
+	return cents
+}
+
+func nearest(row []float64, cents [][]float64) int {
+	best, bd := 0, math.Inf(1)
+	for c, cent := range cents {
+		if d := dist2(row, cent); d < bd {
+			bd, best = d, c
+		}
+	}
+	return best
+}
+
+func farthest(data [][]float64, cents [][]float64) int {
+	best, bd := 0, -1.0
+	for i, row := range data {
+		if d := dist2(row, cents[nearest(row, cents)]); d > bd {
+			bd, best = d, i
+		}
+	}
+	return best
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}

@@ -1,0 +1,85 @@
+package kmeans
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func twoBlobs(rng *rand.Rand, n int) ([][]float64, []int) {
+	data := make([][]float64, 0, 2*n)
+	truth := make([]int, 0, 2*n)
+	for i := 0; i < n; i++ {
+		data = append(data, []float64{rng.NormFloat64() * 0.5, rng.NormFloat64() * 0.5})
+		truth = append(truth, 0)
+	}
+	for i := 0; i < n; i++ {
+		data = append(data, []float64{10 + rng.NormFloat64()*0.5, 10 + rng.NormFloat64()*0.5})
+		truth = append(truth, 1)
+	}
+	return data, truth
+}
+
+func TestTwoBlobsSeparation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data, truth := twoBlobs(rng, 50)
+	res := Run(data, 2, 100, rng)
+	// All points of a blob must share one assignment, different per blob.
+	a0 := res.Assignment[0]
+	for i, c := range res.Assignment {
+		if truth[i] == 0 && c != a0 {
+			t.Fatalf("blob 0 split at %d", i)
+		}
+		if truth[i] == 1 && c == a0 {
+			t.Fatalf("blobs merged at %d", i)
+		}
+	}
+}
+
+func TestInertiaDecreasesWithK(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data, _ := twoBlobs(rng, 40)
+	r1 := Run(data, 1, 100, rand.New(rand.NewSource(3)))
+	r2 := Run(data, 2, 100, rand.New(rand.NewSource(3)))
+	if r2.Inertia >= r1.Inertia {
+		t.Errorf("inertia did not decrease: k1=%v k2=%v", r1.Inertia, r2.Inertia)
+	}
+}
+
+func TestKGreaterThanN(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := [][]float64{{0, 0}, {1, 1}}
+	res := Run(data, 10, 50, rng)
+	if len(res.Centroids) != 2 {
+		t.Errorf("k should shrink to n, got %d centroids", len(res.Centroids))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Run(nil, 3, 10, rand.New(rand.NewSource(1)))
+	if res.Centroids != nil || res.Assignment != nil {
+		t.Error("empty input should yield zero result")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([][]float64, 10)
+	for i := range data {
+		data[i] = []float64{3, 3}
+	}
+	res := Run(data, 3, 50, rng)
+	if res.Inertia != 0 {
+		t.Errorf("identical points inertia = %v", res.Inertia)
+	}
+}
+
+func TestDeterministicWithSameSeed(t *testing.T) {
+	data, _ := twoBlobs(rand.New(rand.NewSource(6)), 30)
+	r1 := Run(data, 2, 100, rand.New(rand.NewSource(7)))
+	r2 := Run(data, 2, 100, rand.New(rand.NewSource(7)))
+	for i := range r1.Assignment {
+		if r1.Assignment[i] != r2.Assignment[i] {
+			t.Fatal("same seed produced different clustering")
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestGradientCheck verifies every analytic gradient against central
+// finite differences on a small network.
+func TestGradientCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	v := NewVAE(4, 5, 2, rng)
+	x := []float64{0.3, -0.7, 1.1, 0.2}
+	eps := []float64{0.5, -1.2}
+
+	v.AccumulateGrad(x, eps)
+	analytic := make([][]float64, len(v.Grads()))
+	for i, g := range v.Grads() {
+		analytic[i] = append([]float64(nil), g...)
+	}
+
+	const h = 1e-5
+	for pi, p := range v.Params() {
+		for i := range p {
+			orig := p[i]
+			p[i] = orig + h
+			lp := v.NegELBO(x, eps)
+			p[i] = orig - h
+			lm := v.NegELBO(x, eps)
+			p[i] = orig
+			num := (lp - lm) / (2 * h)
+			if math.Abs(num-analytic[pi][i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("param %d[%d]: analytic %v vs numeric %v",
+					pi, i, analytic[pi][i], num)
+			}
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Windows drawn from a simple 1-factor structure.
+	windows := make([][]float64, 200)
+	for i := range windows {
+		base := rng.NormFloat64()
+		w := make([]float64, 8)
+		for j := range w {
+			w[j] = base + 0.1*rng.NormFloat64()
+		}
+		windows[i] = w
+	}
+	v := NewVAE(8, 12, 3, rng)
+	first := v.Train(windows, TrainConfig{Epochs: 1, LR: 1e-3}, rng)
+	last := v.Train(windows, TrainConfig{Epochs: 25, LR: 1e-3}, rng)
+	if last >= first {
+		t.Errorf("training did not reduce loss: first %v, last %v", first, last)
+	}
+}
+
+func TestAnomalousWindowScoresHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	windows := make([][]float64, 300)
+	for i := range windows {
+		w := make([]float64, 8)
+		phase := rng.Float64() * 2 * math.Pi
+		for j := range w {
+			w[j] = math.Sin(phase+float64(j)*0.7) + 0.05*rng.NormFloat64()
+		}
+		windows[i] = w
+	}
+	v := NewVAE(8, 16, 3, rng)
+	v.Train(windows, TrainConfig{Epochs: 40, LR: 2e-3}, rng)
+
+	normal := windows[0]
+	anomalous := make([]float64, 8)
+	for j := range anomalous {
+		anomalous[j] = 10 // far outside the training distribution
+	}
+	sn := v.ReconstructionNLL(normal, 16, rng)
+	sa := v.ReconstructionNLL(anomalous, 16, rng)
+	if sa <= sn {
+		t.Errorf("anomalous NLL %v not above normal %v", sa, sn)
+	}
+}
+
+func TestTrainEmptyInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	v := NewVAE(4, 4, 2, rng)
+	if got := v.Train(nil, TrainConfig{}, rng); got != 0 {
+		t.Errorf("empty training loss = %v", got)
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	mk := func() float64 {
+		rng := rand.New(rand.NewSource(5))
+		v := NewVAE(4, 6, 2, rng)
+		windows := [][]float64{{1, 2, 3, 4}, {2, 3, 4, 5}, {0, 1, 2, 3}}
+		return v.Train(windows, TrainConfig{Epochs: 5}, rng)
+	}
+	if a, b := mk(), mk(); a != b {
+		t.Errorf("same seed diverged: %v vs %v", a, b)
+	}
+}

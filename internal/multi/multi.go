@@ -1,0 +1,312 @@
+// Package multi extends CABD to multi-dimensional time series — the
+// direction the paper's conclusion singles out as future work ("we plan
+// to study how our techniques apply on multi-dimensional times series").
+//
+// The extension keeps every stage of the univariate pipeline and
+// generalizes the geometry:
+//
+//   - points embed as (standardized index, standardized value_1, ...,
+//     standardized value_d) and the INN is computed over that space with
+//     the same per-offset mutual-rank bound and 5% prune;
+//   - candidate estimation takes, per point, the strongest per-dimension
+//     robust z-score of the absolute second difference;
+//   - the magnitude and asymmetry features are dimension-free already;
+//     the correlation score symbolizes the window of the dimension that
+//     triggered the candidate; the variance score uses the total
+//     (trace) standard deviation of the window;
+//   - score evaluation, the GMM/rule bootstrap, the random forest and
+//     the CAL loop are reused verbatim from internal/core.
+package multi
+
+import (
+	"math"
+
+	"cabd/internal/core"
+	"cabd/internal/inn"
+	"cabd/internal/sax"
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// Series is a d-dimensional, equally spaced time series: Dims holds d
+// slices of equal length n. Labels, when non-nil, carries per-point
+// ground truth shared across dimensions.
+type Series struct {
+	Name   string
+	Dims   [][]float64
+	Labels []series.Label
+}
+
+// NewSeries wraps dims (which must be non-empty and of equal lengths).
+func NewSeries(name string, dims [][]float64) *Series {
+	return &Series{Name: name, Dims: dims}
+}
+
+// Len returns the number of time steps (0 for an empty series).
+func (s *Series) Len() int {
+	if len(s.Dims) == 0 {
+		return 0
+	}
+	return len(s.Dims[0])
+}
+
+// D returns the number of dimensions.
+func (s *Series) D() int { return len(s.Dims) }
+
+// LabelAt returns the ground-truth label of index i (Normal when
+// unlabeled or out of range).
+func (s *Series) LabelAt(i int) series.Label {
+	if s.Labels == nil || i < 0 || i >= len(s.Labels) {
+		return series.Normal
+	}
+	return s.Labels[i]
+}
+
+// AnomalyIndices returns the indices labeled as anomalies.
+func (s *Series) AnomalyIndices() []int {
+	var out []int
+	for i, l := range s.Labels {
+		if l.IsAnomaly() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ChangePointIndices returns the indices labeled as change points.
+func (s *Series) ChangePointIndices() []int {
+	var out []int
+	for i, l := range s.Labels {
+		if l == series.ChangePoint {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Detector runs multivariate CABD. Options are the univariate option set;
+// the Strategy field selects Binary (default) or Linear INN computation
+// (MutualSetINN and FixedKNN fall back to Binary in this extension).
+type Detector struct {
+	opts core.Options
+	core *core.Detector
+}
+
+// NewDetector returns a multivariate detector.
+func NewDetector(opts core.Options) *Detector {
+	c := core.NewDetector(opts)
+	return &Detector{opts: c.Options(), core: c}
+}
+
+// Detect runs the unsupervised multivariate pipeline.
+func (d *Detector) Detect(s *Series) *core.Result {
+	return d.run(s, nil)
+}
+
+// DetectActive runs the pipeline with the CAL active-learning loop.
+func (d *Detector) DetectActive(s *Series, o core.Labeler) *core.Result {
+	return d.run(s, o)
+}
+
+func (d *Detector) run(s *Series, o core.Labeler) *core.Result {
+	n := s.Len()
+	if n < 4 || s.D() == 0 {
+		return &core.Result{}
+	}
+	// Standardize every dimension (Equation 2 per dimension).
+	std := make([][]float64, s.D())
+	for k, dim := range s.Dims {
+		std[k] = stats.Standardize(dim)
+	}
+
+	// Candidate estimation: the strongest per-dimension second
+	// difference z-score.
+	zmax := make([]float64, n)
+	zdim := make([]int, n)
+	for k, dim := range std {
+		d2 := series.SecondDiff(dim)
+		rz := stats.RobustZ(d2)
+		for i, z := range rz {
+			if z > zmax[i] {
+				zmax[i] = z
+				zdim[i] = k
+			}
+		}
+	}
+	var cands []core.Candidate
+	for i, z := range zmax {
+		if z > d.opts.CandidateZ {
+			cands = append(cands, core.Candidate{Index: i, SecondDiffZ: z})
+		}
+	}
+	if len(cands) == 0 {
+		return &core.Result{}
+	}
+	if len(cands) > n/4 {
+		cands = topByZ(cands, n/4)
+	}
+
+	// Joint embedding and neighborhood computation.
+	pts := embed(std)
+	comp := inn.NewNComputer(pts)
+	tlim := comp.RangeLimit(d.opts.RangeFrac)
+	for ci := range cands {
+		c := &cands[ci]
+		if d.opts.Strategy == core.LinearINN {
+			c.INN = comp.Minimal(c.Index, tlim)
+		} else {
+			c.INN = comp.Binary(c.Index, tlim)
+		}
+		d.score(c, std, zdim[c.Index])
+	}
+	return d.core.EvaluateCandidates(cands, n, o)
+}
+
+// topByZ keeps the k strongest candidates (guard against MAD collapse).
+func topByZ(cands []core.Candidate, k int) []core.Candidate {
+	if k < 1 {
+		k = 1
+	}
+	// Selection by straightforward sort; candidate counts are small.
+	out := append([]core.Candidate(nil), cands...)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].SecondDiffZ > out[i].SecondDiffZ {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	if len(out) > k {
+		out = out[:k]
+	}
+	// Restore index order.
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			if out[j].Index < out[i].Index {
+				out[i], out[j] = out[j], out[i]
+			}
+		}
+	}
+	return out
+}
+
+// embed builds (standardized index, v_1..v_d) rows.
+func embed(std [][]float64) [][]float64 {
+	n := len(std[0])
+	idx := make([]float64, n)
+	for i := range idx {
+		idx[i] = float64(i)
+	}
+	sidx := stats.Standardize(idx)
+	pts := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := make([]float64, 1+len(std))
+		row[0] = sidx[i]
+		for k := range std {
+			row[k+1] = std[k][i]
+		}
+		pts[i] = row
+	}
+	return pts
+}
+
+// score fills the candidate's features from the multivariate geometry;
+// trigger is the dimension whose second difference flagged the candidate.
+func (d *Detector) score(c *core.Candidate, std [][]float64, trigger int) {
+	n := len(std[0])
+	ss := len(c.INN)
+	c.Magnitude = float64(ss) / float64(n)
+	lo, hi := c.Index, c.Index
+	for _, j := range c.INN {
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	c.LeftExtent = c.Index - lo
+	c.RightExtent = hi - c.Index
+	if ext := c.LeftExtent + c.RightExtent; ext > 0 {
+		diff := c.RightExtent - c.LeftExtent
+		if diff < 0 {
+			diff = -diff
+		}
+		c.Asymmetry = float64(diff) / float64(ext)
+	}
+
+	// Correlation score over the triggering dimension.
+	hw := ss
+	if hw < 3 {
+		hw = 3
+	}
+	if hw > 12 {
+		hw = 12
+	}
+	wlo, whi := c.Index-hw, c.Index+hw+1
+	if wlo < 0 {
+		wlo = 0
+	}
+	if whi > n {
+		whi = n
+	}
+	if wlen := whi - wlo; wlen >= 2 && wlen <= n/2 {
+		word := sax.Word(std[trigger][wlo:whi], d.opts.SAXSegments, d.opts.SAXAlphabet)
+		corpus := sax.SlidingWords(std[trigger], wlen, d.opts.SAXSegments, d.opts.SAXAlphabet)
+		c.Correlation = sax.Frequency(corpus, word)
+	} else {
+		c.Correlation = 1
+	}
+
+	// Variance score: total (all-dimension) standard deviation drop.
+	pad := ss
+	if pad < 3 {
+		pad = 3
+	}
+	slo, shi := lo-pad, hi+pad+1
+	if slo < 0 {
+		slo = 0
+	}
+	if shi > n {
+		shi = n
+	}
+	sdAll := totalStd(std, slo, shi, -1, -1)
+	sdRest := totalStd(std, slo, shi, lo, hi+1)
+	if sdAll == 0 {
+		c.Variance = 0
+		return
+	}
+	vs := 1 - sdRest/sdAll
+	if vs < 0 {
+		vs = 0
+	}
+	if vs > 1 {
+		vs = 1
+	}
+	c.Variance = vs
+}
+
+// totalStd is the square root of the mean per-dimension variance of the
+// window [lo, hi), excluding [exLo, exHi) when exLo >= 0.
+func totalStd(std [][]float64, lo, hi, exLo, exHi int) float64 {
+	var acc float64
+	var dims int
+	for _, dim := range std {
+		var vals []float64
+		for i := lo; i < hi; i++ {
+			if exLo >= 0 && i >= exLo && i < exHi {
+				continue
+			}
+			vals = append(vals, dim[i])
+		}
+		if len(vals) < 2 {
+			return 0
+		}
+		acc += stats.Variance(vals)
+		dims++
+	}
+	if dims == 0 {
+		return 0
+	}
+	return math.Sqrt(acc / float64(dims))
+}

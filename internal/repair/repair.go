@@ -1,0 +1,288 @@
+// Package repair implements the two time-series cleaning algorithms the
+// paper positions against (Section VI) and integrates with (Section V-G):
+//
+//   - IMR, Iterative Minimum Repairing (Zhang et al. [42]): an AR error
+//     model is fitted on labeled (trusted) points; the most confident
+//     repair is applied, the model re-estimated, and so on. Figure 14
+//     shows IMR's repair RMS improving ~4x when CABD's active learning
+//     chooses which points get labeled.
+//   - SCREEN (Song et al. [34]): speed-constraint-based cleaning — each
+//     point is minimally moved into the feasible band implied by maximum
+//     rise/fall speeds.
+package repair
+
+import (
+	"math"
+
+	"cabd/internal/stats"
+)
+
+// IMRConfig parameterizes IMR.
+type IMRConfig struct {
+	Order   int     // AR order of the error model (default 3)
+	MaxIter int     // repair iterations cap (default 10x dirty points)
+	Tol     float64 // minimum predicted error worth repairing (default 1e-4)
+}
+
+func (c *IMRConfig) defaults() {
+	if c.Order <= 0 {
+		c.Order = 3
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-4
+	}
+}
+
+// IMR repairs values: known maps indices to their trusted true values
+// (the user's labels); dirty lists the indices suspected erroneous (from
+// a detector, or all unlabeled points for the label-only protocol). The
+// repaired copy of values is returned; values itself is not modified.
+//
+// Each iteration fits an AR model of the signal on the currently trusted
+// context (labels plus points not flagged dirty), predicts every pending
+// dirty point from its trusted lags on both sides, and commits the single
+// most confident repair — the minimum-repairing principle of [42]: one
+// change at a time, so subsequent estimates benefit from it. Confidence
+// is the agreement between the forward and backward predictions. (The
+// original IMR models the error process, which is informative when errors
+// form dirty segments with AR structure; for the impulsive sensor errors
+// of this paper's datasets the equivalent signal-side formulation is used
+// — see DESIGN.md.)
+func IMR(values []float64, known map[int]float64, dirty []int, cfg IMRConfig) []float64 {
+	cfg.defaults()
+	n := len(values)
+	out := append([]float64(nil), values...)
+	if n == 0 {
+		return out
+	}
+	trusted := make([]bool, n)
+	for i := range trusted {
+		trusted[i] = true
+	}
+	pending := make(map[int]bool, len(dirty))
+	for _, i := range dirty {
+		if i >= 0 && i < n {
+			pending[i] = true
+			trusted[i] = false
+		}
+	}
+	for i, v := range known {
+		if i < 0 || i >= n {
+			continue
+		}
+		out[i] = v
+		trusted[i] = true
+		delete(pending, i)
+	}
+	maxIter := cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 10 * (len(pending) + 1)
+	}
+	for iter := 0; iter < maxIter && len(pending) > 0; iter++ {
+		phi, mu := fitAR(out, trusted, cfg.Order)
+		bestI, bestConf := -1, math.Inf(-1)
+		var bestPred float64
+		for i := range pending {
+			fwd, okF := lagPredict(out, trusted, phi, mu, i, -1)
+			bwd, okB := lagPredict(out, trusted, phi, mu, i, +1)
+			// Single-sided predictions rank below every two-sided one
+			// (finite penalty: -Inf would never win the argmax and
+			// collective segments would stay unrepaired).
+			const oneSided = -1e9
+			var pred, conf float64
+			switch {
+			case okF && okB:
+				pred = (fwd + bwd) / 2
+				conf = -math.Abs(fwd - bwd)
+			case okF:
+				pred, conf = fwd, oneSided
+			case okB:
+				pred, conf = bwd, oneSided
+			default:
+				continue
+			}
+			if conf > bestConf {
+				bestConf, bestI, bestPred = conf, i, pred
+			}
+		}
+		if bestI < 0 {
+			break
+		}
+		if math.Abs(bestPred-out[bestI]) > cfg.Tol {
+			out[bestI] = bestPred
+		}
+		trusted[bestI] = true
+		delete(pending, bestI)
+	}
+	return out
+}
+
+// fitAR estimates demeaned AR coefficients of the signal by least squares
+// over positions whose full lag context is trusted. Falls back to a
+// persistence model when the system is underdetermined. Returns the
+// coefficients and the mean the model operates around.
+func fitAR(xs []float64, trusted []bool, p int) ([]float64, float64) {
+	n := len(xs)
+	var sum float64
+	var cnt int
+	for i, v := range xs {
+		if trusted[i] {
+			sum += v
+			cnt++
+		}
+	}
+	mu := 0.0
+	if cnt > 0 {
+		mu = sum / float64(cnt)
+	}
+	var rows [][]float64
+	var ys []float64
+	for t := p; t < n; t++ {
+		if !trusted[t] {
+			continue
+		}
+		ok := true
+		for j := 1; j <= p; j++ {
+			if !trusted[t-j] {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		row := make([]float64, p)
+		for j := 1; j <= p; j++ {
+			row[j-1] = xs[t-j] - mu
+		}
+		rows = append(rows, row)
+		ys = append(ys, xs[t]-mu)
+	}
+	if len(rows) < p+1 {
+		phi := make([]float64, p)
+		if p > 0 {
+			phi[0] = 1
+		}
+		return phi, mu
+	}
+	return olsSolve(rows, ys, p), mu
+}
+
+// olsSolve solves the normal equations (X^T X + ridge) phi = X^T y by
+// Gaussian elimination with a small ridge for stability.
+func olsSolve(X [][]float64, y []float64, p int) []float64 {
+	a := make([][]float64, p)
+	for i := range a {
+		a[i] = make([]float64, p+1)
+	}
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			var s float64
+			for r := range X {
+				s += X[r][i] * X[r][j]
+			}
+			if i == j {
+				s += 1e-8
+			}
+			a[i][j] = s
+		}
+		var s float64
+		for r := range X {
+			s += X[r][i] * y[r]
+		}
+		a[i][p] = s
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p; col++ {
+		piv := col
+		for r := col + 1; r < p; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		a[col], a[piv] = a[piv], a[col]
+		if math.Abs(a[col][col]) < 1e-12 {
+			continue
+		}
+		for r := 0; r < p; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= p; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	phi := make([]float64, p)
+	for i := 0; i < p; i++ {
+		if math.Abs(a[i][i]) > 1e-12 {
+			phi[i] = a[i][p] / a[i][i]
+		}
+	}
+	return phi
+}
+
+// lagPredict predicts the value at position i from its p trusted lags in
+// direction dir (-1 = from the left, +1 = from the right). ok is false
+// when any lag is untrusted or out of range.
+func lagPredict(xs []float64, trusted []bool, phi []float64, mu float64, i, dir int) (float64, bool) {
+	var pred float64
+	for j := 1; j <= len(phi); j++ {
+		k := i + dir*j
+		if k < 0 || k >= len(xs) || !trusted[k] {
+			return 0, false
+		}
+		pred += phi[j-1] * (xs[k] - mu)
+	}
+	return pred + mu, true
+}
+
+// ScreenConfig parameterizes SCREEN.
+type ScreenConfig struct {
+	SMax   float64 // maximum allowed rise per step (> 0)
+	SMin   float64 // maximum allowed fall per step (< 0)
+	Window int     // look-ahead window (default 10)
+}
+
+// Screen repairs values under the speed constraint [SMin, SMax] per unit
+// step, following SCREEN's median-based minimum repair: each point is
+// moved to the median of its own value and the bounds implied by the
+// look-ahead window, guaranteeing the repaired sequence satisfies the
+// constraint while minimizing total change.
+func Screen(values []float64, cfg ScreenConfig) []float64 {
+	n := len(values)
+	out := append([]float64(nil), values...)
+	if n < 2 || cfg.SMax <= 0 || cfg.SMin >= 0 {
+		return out
+	}
+	w := cfg.Window
+	if w <= 0 {
+		w = 10
+	}
+	for i := 1; i < n; i++ {
+		lo := out[i-1] + cfg.SMin
+		hi := out[i-1] + cfg.SMax
+		// Candidate from the look-ahead: the median of the projections
+		// of future points back onto position i.
+		var cand []float64
+		cand = append(cand, out[i])
+		for j := i + 1; j < n && j <= i+w; j++ {
+			dt := float64(j - i)
+			cand = append(cand, values[j]-cfg.SMin*dt, values[j]-cfg.SMax*dt)
+		}
+		x := stats.Median(cand)
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		// Minimum repair: keep the original when feasible.
+		if out[i] >= lo && out[i] <= hi {
+			continue
+		}
+		out[i] = x
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package repair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/stats"
+)
+
+// corrupted builds a smooth truth series plus spike errors.
+func corrupted(seed int64, n int, errAt []int) (obs, truth []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	truth = make([]float64, n)
+	ar := 0.0
+	for i := range truth {
+		ar = 0.8*ar + rng.NormFloat64()*0.1
+		truth[i] = ar + math.Sin(2*math.Pi*float64(i)/80)
+	}
+	obs = append([]float64(nil), truth...)
+	for _, p := range errAt {
+		obs[p] += 8
+	}
+	return obs, truth
+}
+
+func TestIMRRepairsLabeledNeighborhood(t *testing.T) {
+	errAt := []int{100, 200, 300}
+	obs, truth := corrupted(1, 500, errAt)
+	// Label a few trusted points around each error plus the errors'
+	// true values at 2 of them; repair the third from the model.
+	known := map[int]float64{}
+	for _, p := range []int{95, 96, 97, 98, 99, 101, 102, 103,
+		195, 196, 197, 198, 199, 201, 202, 203,
+		295, 296, 297, 298, 299, 301, 302, 303} {
+		known[p] = truth[p]
+	}
+	known[100] = truth[100]
+	known[200] = truth[200]
+	repaired := IMR(obs, known, errAt, IMRConfig{})
+	before := stats.RMS(obs, truth)
+	after := stats.RMS(repaired, truth)
+	if after >= before {
+		t.Errorf("IMR did not improve RMS: %v -> %v", before, after)
+	}
+	// The unlabeled error must move toward the truth.
+	if math.Abs(repaired[300]-truth[300]) >= math.Abs(obs[300]-truth[300]) {
+		t.Errorf("unlabeled error not repaired: obs=%v repaired=%v truth=%v",
+			obs[300], repaired[300], truth[300])
+	}
+}
+
+func TestIMRGuidedBeatsRandomLabels(t *testing.T) {
+	// The Figure 14 mechanism: with an equal label budget, labels placed
+	// on detected anomalies repair far better than random placement.
+	rng := rand.New(rand.NewSource(2))
+	errAt := []int{80, 160, 240, 320, 400}
+	obs, truth := corrupted(2, 500, errAt)
+
+	// Guided: label the errors themselves plus local context.
+	guided := map[int]float64{}
+	for _, p := range errAt {
+		for off := -2; off <= 2; off++ {
+			guided[p+off] = truth[p+off]
+		}
+	}
+	guidedOut := IMR(obs, guided, errAt, IMRConfig{})
+
+	// Random: the same number of labels placed uniformly; all points are
+	// repair candidates.
+	random := map[int]float64{}
+	for len(random) < len(guided) {
+		i := rng.Intn(500)
+		random[i] = truth[i]
+	}
+	var allIdx []int
+	for i := 0; i < 500; i++ {
+		allIdx = append(allIdx, i)
+	}
+	randomOut := IMR(obs, random, allIdx, IMRConfig{})
+
+	g := stats.RMS(guidedOut, truth)
+	r := stats.RMS(randomOut, truth)
+	if g >= r {
+		t.Errorf("guided IMR RMS %v not better than random %v", g, r)
+	}
+}
+
+func TestIMRNoDirtyNoChange(t *testing.T) {
+	obs, truth := corrupted(3, 200, nil)
+	repaired := IMR(obs, map[int]float64{50: truth[50]}, nil, IMRConfig{})
+	for i := range obs {
+		if i != 50 && repaired[i] != obs[i] {
+			t.Errorf("IMR modified clean point %d", i)
+		}
+	}
+}
+
+func TestIMRInputUntouched(t *testing.T) {
+	obs, truth := corrupted(4, 100, []int{50})
+	orig := append([]float64(nil), obs...)
+	IMR(obs, map[int]float64{49: truth[49], 51: truth[51]}, []int{50}, IMRConfig{})
+	for i := range obs {
+		if obs[i] != orig[i] {
+			t.Fatal("IMR mutated its input")
+		}
+	}
+}
+
+func TestScreenEnforcesSpeedConstraint(t *testing.T) {
+	obs := []float64{0, 0.1, 5, 0.3, 0.4, 0.5} // spike violating speed 1
+	out := Screen(obs, ScreenConfig{SMax: 1, SMin: -1})
+	for i := 1; i < len(out); i++ {
+		d := out[i] - out[i-1]
+		if d > 1+1e-9 || d < -1-1e-9 {
+			t.Errorf("speed constraint violated at %d: %v", i, d)
+		}
+	}
+	// The spike must be pulled toward its neighbors.
+	if math.Abs(out[2]-0.2) > 1.2 {
+		t.Errorf("spike not repaired: %v", out[2])
+	}
+}
+
+func TestScreenKeepsFeasibleSeries(t *testing.T) {
+	obs := []float64{0, 0.5, 1.0, 1.4, 1.8}
+	out := Screen(obs, ScreenConfig{SMax: 1, SMin: -1})
+	for i := range obs {
+		if out[i] != obs[i] {
+			t.Errorf("feasible point %d changed: %v -> %v", i, obs[i], out[i])
+		}
+	}
+}
+
+func TestScreenDegenerate(t *testing.T) {
+	if out := Screen(nil, ScreenConfig{SMax: 1, SMin: -1}); len(out) != 0 {
+		t.Error("nil input")
+	}
+	// Invalid speed config returns a copy unchanged.
+	obs := []float64{1, 9, 1}
+	out := Screen(obs, ScreenConfig{})
+	for i := range obs {
+		if out[i] != obs[i] {
+			t.Error("invalid config should not modify")
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package sax implements Piecewise Aggregate Approximation (PAA,
+// Definition 6) and Symbolic Aggregate approXimation (SAX, Definition 7)
+// following Lin et al. [26]. CABD's correlation score represents a
+// candidate's INN window as a SAX word and counts how often that word
+// occurs across the whole series; the Luminol baseline uses SAX bitmaps.
+package sax
+
+import (
+	"strings"
+
+	"cabd/internal/stats"
+)
+
+// DefaultAlphabet is the alphabet size used by the correlation score.
+// Lin et al. recommend 3-10 symbols; 4 keeps words discriminative on the
+// short windows CABD produces.
+const DefaultAlphabet = 4
+
+// PAA reduces xs to m segment means (Definition 6). When m >= len(xs) the
+// input is returned copied (each point is its own segment). Segment
+// boundaries use the fractional scheme so uneven divisions distribute
+// points fairly.
+func PAA(xs []float64, m int) []float64 {
+	n := len(xs)
+	if n == 0 || m <= 0 {
+		return nil
+	}
+	if m >= n {
+		out := make([]float64, n)
+		copy(out, xs)
+		return out
+	}
+	out := make([]float64, m)
+	// Fractional PAA: point j contributes to segment floor(j*m/n).
+	counts := make([]float64, m)
+	for j, v := range xs {
+		seg := j * m / n
+		out[seg] += v
+		counts[seg]++
+	}
+	for i := range out {
+		if counts[i] > 0 {
+			out[i] /= counts[i]
+		}
+	}
+	return out
+}
+
+// Breakpoints returns the a-1 standard normal quantiles that split the
+// real line into a equiprobable regions, the canonical SAX breakpoints.
+func Breakpoints(a int) []float64 {
+	if a < 2 {
+		return nil
+	}
+	bp := make([]float64, a-1)
+	for i := 1; i < a; i++ {
+		bp[i-1] = stats.NormalQuantile(float64(i) / float64(a))
+	}
+	return bp
+}
+
+// Symbolize maps already-normalized values to letters 'a', 'b', ... using
+// the equiprobable Gaussian breakpoints for alphabet size a.
+func Symbolize(xs []float64, a int) string {
+	bp := Breakpoints(a)
+	var b strings.Builder
+	b.Grow(len(xs))
+	for _, v := range xs {
+		idx := 0
+		for idx < len(bp) && v > bp[idx] {
+			idx++
+		}
+		b.WriteByte(byte('a' + idx))
+	}
+	return b.String()
+}
+
+// Word converts xs to a SAX word: standardize, PAA to m segments,
+// symbolize with alphabet size a. An empty input yields "".
+func Word(xs []float64, m, a int) string {
+	if len(xs) == 0 {
+		return ""
+	}
+	z := stats.Standardize(xs)
+	return Symbolize(PAA(z, m), a)
+}
+
+// SlidingWords converts every length-w window of xs (stride 1) into a SAX
+// word of m segments over alphabet a. Each window is standardized
+// independently, following the standard SAX subsequence pipeline. Returns
+// nil when w > len(xs) or parameters are degenerate.
+func SlidingWords(xs []float64, w, m, a int) []string {
+	n := len(xs)
+	if w <= 0 || w > n || m <= 0 || a < 2 {
+		return nil
+	}
+	words := make([]string, 0, n-w+1)
+	for i := 0; i+w <= n; i++ {
+		words = append(words, Word(xs[i:i+w], m, a))
+	}
+	return words
+}
+
+// Frequency returns the fraction of words equal to target. An empty word
+// list returns 0.
+func Frequency(words []string, target string) float64 {
+	if len(words) == 0 {
+		return 0
+	}
+	count := 0
+	for _, w := range words {
+		if w == target {
+			count++
+		}
+	}
+	return float64(count) / float64(len(words))
+}
+
+// MinDist is the SAX lower-bounding distance between two equal-length
+// words under alphabet size a, per Lin et al. Symbols one step apart have
+// distance 0; farther symbols use the breakpoint gap. Unequal lengths
+// return -1.
+func MinDist(w1, w2 string, a int) float64 {
+	if len(w1) != len(w2) {
+		return -1
+	}
+	bp := Breakpoints(a)
+	var sum float64
+	for i := 0; i < len(w1); i++ {
+		r := int(w1[i] - 'a')
+		c := int(w2[i] - 'a')
+		if r > c {
+			r, c = c, r
+		}
+		if c-r <= 1 {
+			continue
+		}
+		d := bp[c-1] - bp[r]
+		sum += d * d
+	}
+	return sum
+}

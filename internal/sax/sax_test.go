@@ -1,0 +1,223 @@
+package sax
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPAAExactDivision(t *testing.T) {
+	xs := []float64{1, 1, 2, 2, 3, 3}
+	got := PAA(xs, 3)
+	want := []float64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("PAA[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestPAAUnevenDivision(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	got := PAA(xs, 2)
+	// floor(j*2/5): j=0,1,2 -> seg0; j=3,4 -> seg1.
+	if math.Abs(got[0]-2) > 1e-12 || math.Abs(got[1]-4.5) > 1e-12 {
+		t.Errorf("PAA = %v", got)
+	}
+}
+
+func TestPAADegenerate(t *testing.T) {
+	if PAA(nil, 3) != nil {
+		t.Error("nil input should give nil")
+	}
+	if PAA([]float64{1}, 0) != nil {
+		t.Error("m=0 should give nil")
+	}
+	xs := []float64{1, 2}
+	got := PAA(xs, 5)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Errorf("m>n PAA = %v", got)
+	}
+	// m>n must copy, not alias.
+	got[0] = 99
+	if xs[0] == 99 {
+		t.Error("PAA aliased its input")
+	}
+}
+
+func TestBreakpoints(t *testing.T) {
+	bp := Breakpoints(4)
+	if len(bp) != 3 {
+		t.Fatalf("len = %d", len(bp))
+	}
+	// Known SAX breakpoints for a=4: -0.6745, 0, 0.6745.
+	want := []float64{-0.6745, 0, 0.6745}
+	for i := range want {
+		if math.Abs(bp[i]-want[i]) > 1e-3 {
+			t.Errorf("bp[%d] = %v, want %v", i, bp[i], want[i])
+		}
+	}
+	if Breakpoints(1) != nil {
+		t.Error("a=1 should give nil")
+	}
+}
+
+func TestSymbolize(t *testing.T) {
+	// With a=4 breakpoints at -0.67, 0, 0.67.
+	got := Symbolize([]float64{-2, -0.3, 0.3, 2}, 4)
+	if got != "abcd" {
+		t.Errorf("Symbolize = %q, want abcd", got)
+	}
+}
+
+func TestWordBasic(t *testing.T) {
+	// A ramp standardizes monotonically: symbols must be nondecreasing.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	w := Word(xs, 4, 4)
+	if len(w) != 4 {
+		t.Fatalf("word length = %d", len(w))
+	}
+	for i := 1; i < len(w); i++ {
+		if w[i] < w[i-1] {
+			t.Errorf("ramp word not monotone: %q", w)
+		}
+	}
+	if Word(nil, 4, 4) != "" {
+		t.Error("empty input should give empty word")
+	}
+}
+
+func TestWordShapeInvariance(t *testing.T) {
+	// SAX words are invariant to affine transformation of the input
+	// because of the internal standardization.
+	xs := []float64{1, 5, 2, 8, 3, 9, 1, 4}
+	ys := make([]float64, len(xs))
+	for i, v := range xs {
+		ys[i] = v*12.5 + 100
+	}
+	if Word(xs, 4, 4) != Word(ys, 4, 4) {
+		t.Errorf("affine invariance violated: %q vs %q", Word(xs, 4, 4), Word(ys, 4, 4))
+	}
+}
+
+func TestSlidingWords(t *testing.T) {
+	xs := []float64{0, 1, 0, 1, 0, 1, 0, 1}
+	words := SlidingWords(xs, 4, 4, 3)
+	if len(words) != 5 {
+		t.Fatalf("expected 5 windows, got %d", len(words))
+	}
+	// The alternating series has only two distinct windows (0101, 1010),
+	// which standardize to mirror-image words.
+	uniq := map[string]bool{}
+	for _, w := range words {
+		uniq[w] = true
+	}
+	if len(uniq) != 2 {
+		t.Errorf("expected 2 distinct words, got %v", uniq)
+	}
+	if SlidingWords(xs, 20, 2, 3) != nil {
+		t.Error("w>n should give nil")
+	}
+}
+
+func TestFrequency(t *testing.T) {
+	words := []string{"ab", "cd", "ab", "ab"}
+	if got := Frequency(words, "ab"); got != 0.75 {
+		t.Errorf("Frequency = %v", got)
+	}
+	if got := Frequency(nil, "ab"); got != 0 {
+		t.Errorf("empty Frequency = %v", got)
+	}
+	if got := Frequency(words, "zz"); got != 0 {
+		t.Errorf("absent Frequency = %v", got)
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	// Adjacent symbols have zero distance.
+	if got := MinDist("ab", "ba", 4); got != 0 {
+		t.Errorf("adjacent MinDist = %v", got)
+	}
+	if got := MinDist("aa", "cc", 4); got <= 0 {
+		t.Errorf("far MinDist = %v, want > 0", got)
+	}
+	if got := MinDist("a", "ab", 4); got != -1 {
+		t.Errorf("length mismatch = %v", got)
+	}
+	if got := MinDist("ad", "ad", 4); got != 0 {
+		t.Errorf("identical MinDist = %v", got)
+	}
+}
+
+// Property: words always have length min(m, len(xs)) and draw only from
+// the first a letters.
+func TestWordProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		m := 1 + rng.Intn(20)
+		a := 2 + rng.Intn(8)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		w := Word(xs, m, a)
+		wantLen := m
+		if n < m {
+			wantLen = n
+		}
+		if len(w) != wantLen {
+			return false
+		}
+		for i := 0; i < len(w); i++ {
+			if w[i] < 'a' || w[i] >= byte('a'+a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MinDist is symmetric and zero on identical words.
+func TestMinDistProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	alphabet := "abcd"
+	randWord := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteByte(alphabet[rng.Intn(4)])
+		}
+		return b.String()
+	}
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(10)
+		w1, w2 := randWord(n), randWord(n)
+		d12, d21 := MinDist(w1, w2, 4), MinDist(w2, w1, 4)
+		if d12 != d21 {
+			t.Fatalf("asymmetric: %q %q -> %v vs %v", w1, w2, d12, d21)
+		}
+		if MinDist(w1, w1, 4) != 0 {
+			t.Fatalf("self distance nonzero for %q", w1)
+		}
+		if d12 < 0 {
+			t.Fatalf("negative distance for %q %q", w1, w2)
+		}
+	}
+}
+
+func BenchmarkSlidingWords(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 2000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SlidingWords(xs, 16, 4, 4)
+	}
+}

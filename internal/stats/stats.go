@@ -1,0 +1,281 @@
+// Package stats provides the robust statistics primitives used throughout
+// the CABD reproduction: moments, medians, MAD (Definition 4 of the paper),
+// quantiles, histograms and normalization helpers.
+//
+// All functions operate on []float64 and never modify their input unless
+// explicitly documented. NaN handling: inputs are assumed NaN-free; the
+// synthetic generators and loaders guarantee this.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the population variance of xs (divide by n), or 0 when
+// len(xs) < 2. The population form matches Equation 2 of the paper, where
+// series are standardized by the dataset standard deviation.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs))
+}
+
+// Std returns the population standard deviation of xs.
+func Std(xs []float64) float64 {
+	return math.Sqrt(Variance(xs))
+}
+
+// SampleVariance returns the unbiased sample variance (divide by n-1).
+func SampleVariance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	return Variance(xs) * float64(len(xs)) / float64(len(xs)-1)
+}
+
+// SampleStd returns the unbiased sample standard deviation.
+func SampleStd(xs []float64) float64 {
+	return math.Sqrt(SampleVariance(xs))
+}
+
+// Median returns the median of xs without modifying it, or 0 for an empty
+// slice. Even-length inputs return the midpoint of the two central values.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := make([]float64, n)
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MAD returns the Median Absolute Deviation of xs (Definition 4):
+// median(|x_i - median(xs)|). It is the robust dispersion measure the
+// candidate-estimation step uses.
+func MAD(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	med := Median(xs)
+	dev := make([]float64, len(xs))
+	for i, x := range xs {
+		dev[i] = math.Abs(x - med)
+	}
+	return Median(dev)
+}
+
+// RobustZ returns |x - median| / MAD for every element, the robust z-score
+// used to select candidate points. When MAD is zero (constant data), the
+// score is 0 where x equals the median and +Inf elsewhere.
+func RobustZ(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	if len(xs) == 0 {
+		return out
+	}
+	med := Median(xs)
+	mad := MAD(xs)
+	for i, x := range xs {
+		d := math.Abs(x - med)
+		switch {
+		case mad > 0:
+			out[i] = d / mad
+		case d == 0:
+			out[i] = 0
+		default:
+			out[i] = math.Inf(1)
+		}
+	}
+	return out
+}
+
+// Min returns the minimum of xs, or +Inf for an empty slice.
+func Min(xs []float64) float64 {
+	m := math.Inf(1)
+	for _, x := range xs {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of xs, or -Inf for an empty slice.
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the maximum element, or -1 for an empty slice.
+// Ties resolve to the first occurrence.
+func ArgMax(xs []float64) int {
+	idx := -1
+	best := math.Inf(-1)
+	for i, x := range xs {
+		if x > best {
+			best, idx = x, i
+		}
+	}
+	return idx
+}
+
+// ArgMin returns the index of the minimum element, or -1 for an empty slice.
+func ArgMin(xs []float64) int {
+	idx := -1
+	best := math.Inf(1)
+	for i, x := range xs {
+		if x < best {
+			best, idx = x, i
+		}
+	}
+	return idx
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs using linear
+// interpolation between order statistics, matching the common "type 7"
+// definition. It returns 0 for an empty slice.
+func Quantile(xs []float64, q float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := make([]float64, n)
+	copy(cp, xs)
+	sort.Float64s(cp)
+	if q <= 0 {
+		return cp[0]
+	}
+	if q >= 1 {
+		return cp[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := lo + 1
+	if hi >= n {
+		return cp[n-1]
+	}
+	frac := pos - float64(lo)
+	return cp[lo]*(1-frac) + cp[hi]*frac
+}
+
+// Standardize rescales xs in place-free fashion to zero mean and unit
+// standard deviation (Equation 2). A constant series maps to all zeros.
+func Standardize(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	m := Mean(xs)
+	sd := Std(xs)
+	if sd == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = (x - m) / sd
+	}
+	return out
+}
+
+// Histogram bins xs into nbins equal-width bins over [min, max] and returns
+// the counts plus the bin edges (len nbins+1). Values equal to max fall in
+// the last bin. A degenerate range produces all mass in bin 0.
+func Histogram(xs []float64, nbins int) (counts []int, edges []float64) {
+	if nbins < 1 {
+		nbins = 1
+	}
+	counts = make([]int, nbins)
+	edges = make([]float64, nbins+1)
+	if len(xs) == 0 {
+		return counts, edges
+	}
+	lo, hi := Min(xs), Max(xs)
+	if hi <= lo {
+		for i := range edges {
+			edges[i] = lo
+		}
+		counts[0] = len(xs)
+		return counts, edges
+	}
+	w := (hi - lo) / float64(nbins)
+	for i := range edges {
+		edges[i] = lo + float64(i)*w
+	}
+	edges[nbins] = hi
+	for _, x := range xs {
+		b := int((x - lo) / w)
+		if b >= nbins {
+			b = nbins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	return counts, edges
+}
+
+// Correlation returns the Pearson correlation coefficient of two
+// equal-length slices, or 0 when either side has zero variance.
+func Correlation(a, b []float64) float64 {
+	n := len(a)
+	if n != len(b) || n < 2 {
+		return 0
+	}
+	ma, mb := Mean(a), Mean(b)
+	var sab, saa, sbb float64
+	for i := 0; i < n; i++ {
+		da, db := a[i]-ma, b[i]-mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return 0
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// RMS returns the root-mean-square difference between two equal-length
+// slices, the repair-quality metric of Section V-G. Mismatched lengths
+// compare over the shorter prefix.
+func RMS(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s / float64(n))
+}

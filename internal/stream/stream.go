@@ -1,0 +1,138 @@
+// Package stream wraps the CABD detector for online use — the deployment
+// mode of the paper's production prototype (IoT gateways see readings one
+// at a time, not as files). Observations are pushed one by one; every hop
+// the detector re-analyzes a sliding window and emits the detections that
+// have left the window's trailing uncertainty zone, with global indices
+// and cross-window deduplication.
+package stream
+
+import (
+	"cabd/internal/core"
+	"cabd/internal/series"
+)
+
+// Config parameterizes the streaming wrapper.
+type Config struct {
+	// Window is the analysis window length (default 1024). Larger
+	// windows give the INN more context; smaller windows bound latency
+	// and memory.
+	Window int
+	// Hop is how many new observations trigger a re-analysis (default
+	// Window/8). Detection latency is at most Hop + Margin points.
+	Hop int
+	// Margin is the number of trailing points considered unstable (a
+	// fresh level shift looks like an anomaly until its segment grows;
+	// default 16). Detections inside the margin wait for the next hop.
+	Margin int
+	// Detector options.
+	Options core.Options
+}
+
+func (c *Config) defaults() {
+	if c.Window <= 0 {
+		c.Window = 1024
+	}
+	if c.Hop <= 0 {
+		c.Hop = c.Window / 8
+	}
+	if c.Margin <= 0 {
+		c.Margin = 16
+	}
+	if c.Margin >= c.Window/2 {
+		c.Margin = c.Window / 2
+	}
+}
+
+// Detection is one streamed detection with its global index.
+type Detection struct {
+	Index      int // global position in the stream
+	Class      core.Class
+	Subtype    series.Label
+	Confidence float64
+}
+
+// Detector is the streaming wrapper. Not safe for concurrent use.
+type Detector struct {
+	cfg      Config
+	det      *core.Detector
+	buf      []float64 // sliding window
+	start    int       // global index of buf[0]
+	total    int       // observations seen
+	sinceRun int       // observations since the last analysis
+	emitted  map[int]bool
+}
+
+// New returns a streaming detector.
+func New(cfg Config) *Detector {
+	cfg.defaults()
+	return &Detector{
+		cfg:     cfg,
+		det:     core.NewDetector(cfg.Options),
+		emitted: map[int]bool{},
+	}
+}
+
+// Push appends one observation and returns any newly confirmed
+// detections (often none; at most once per hop).
+func (d *Detector) Push(v float64) []Detection {
+	d.buf = append(d.buf, v)
+	if len(d.buf) > d.cfg.Window {
+		drop := len(d.buf) - d.cfg.Window
+		d.buf = d.buf[drop:]
+		d.start += drop
+		// Forget emitted indices that fell out of the window.
+		for idx := range d.emitted {
+			if idx < d.start {
+				delete(d.emitted, idx)
+			}
+		}
+	}
+	d.total++
+	d.sinceRun++
+	if d.sinceRun < d.cfg.Hop || len(d.buf) < d.cfg.Window/2 {
+		return nil
+	}
+	d.sinceRun = 0
+	return d.analyze()
+}
+
+// Flush analyzes the current window one final time with no trailing
+// margin (end of stream: the margin has nothing more to wait for).
+func (d *Detector) Flush() []Detection {
+	return d.analyzeWithMargin(0)
+}
+
+// Total returns the number of observations pushed.
+func (d *Detector) Total() int { return d.total }
+
+func (d *Detector) analyze() []Detection {
+	return d.analyzeWithMargin(d.cfg.Margin)
+}
+
+func (d *Detector) analyzeWithMargin(margin int) []Detection {
+	if len(d.buf) < 8 {
+		return nil
+	}
+	res := d.det.Detect(series.New("stream", d.buf))
+	cut := len(d.buf) - margin
+	var out []Detection
+	report := func(dets []core.Detection) {
+		for _, det := range dets {
+			if det.Index >= cut {
+				continue // still inside the unstable margin
+			}
+			g := d.start + det.Index
+			if d.emitted[g] {
+				continue
+			}
+			d.emitted[g] = true
+			out = append(out, Detection{
+				Index: g, Class: det.Class,
+				Subtype: det.Subtype, Confidence: det.Confidence,
+			})
+		}
+	}
+	report(res.Anomalies)
+	report(res.ChangePoints)
+	return out
+}

@@ -1,0 +1,135 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/core"
+)
+
+func signal(seed int64, n int, spikes []int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]float64, n)
+	ar := 0.0
+	for i := range vals {
+		ar = 0.7*ar + rng.NormFloat64()*0.1
+		vals[i] = 2*math.Sin(2*math.Pi*float64(i)/120) + ar
+	}
+	for _, p := range spikes {
+		vals[p] += 15
+	}
+	return vals
+}
+
+func runStream(d *Detector, vals []float64) []Detection {
+	var all []Detection
+	for _, v := range vals {
+		all = append(all, d.Push(v)...)
+	}
+	all = append(all, d.Flush()...)
+	return all
+}
+
+func TestStreamFindsSpikes(t *testing.T) {
+	spikes := []int{300, 900, 1500, 2100}
+	vals := signal(1, 2600, spikes)
+	d := New(Config{Window: 600, Hop: 100})
+	got := runStream(d, vals)
+	found := map[int]bool{}
+	for _, det := range got {
+		if det.Class == core.ClassAnomaly {
+			found[det.Index] = true
+		}
+	}
+	for _, p := range spikes {
+		if !found[p] {
+			t.Errorf("spike at %d not streamed", p)
+		}
+	}
+}
+
+func TestNoDuplicateEmissions(t *testing.T) {
+	vals := signal(2, 2000, []int{500, 1000})
+	d := New(Config{Window: 600, Hop: 50})
+	seen := map[int]int{}
+	for _, det := range runStream(d, vals) {
+		seen[det.Index]++
+	}
+	for idx, count := range seen {
+		if count > 1 {
+			t.Errorf("index %d emitted %d times", idx, count)
+		}
+	}
+}
+
+func TestGlobalIndicesInRange(t *testing.T) {
+	vals := signal(3, 1500, []int{700})
+	d := New(Config{Window: 400, Hop: 80})
+	for _, det := range runStream(d, vals) {
+		if det.Index < 0 || det.Index >= 1500 {
+			t.Errorf("global index out of range: %d", det.Index)
+		}
+	}
+	if d.Total() != 1500 {
+		t.Errorf("Total = %d", d.Total())
+	}
+}
+
+func TestLatencyBound(t *testing.T) {
+	// A spike must be reported within Hop + Margin observations of its
+	// arrival, not at the end of the stream.
+	vals := signal(4, 1600, nil)
+	spike := 800
+	vals[spike] += 15
+	d := New(Config{Window: 500, Hop: 60, Margin: 16})
+	reportedAt := -1
+	for i, v := range vals {
+		for _, det := range d.Push(v) {
+			if det.Index == spike {
+				reportedAt = i
+			}
+		}
+	}
+	if reportedAt < 0 {
+		t.Fatal("spike never reported before end of stream")
+	}
+	if lag := reportedAt - spike; lag > 60+16 {
+		t.Errorf("detection lag = %d, want <= hop+margin", lag)
+	}
+}
+
+func TestFlushEmitsTail(t *testing.T) {
+	vals := signal(5, 1000, nil)
+	vals[995] += 15 // inside the final margin
+	d := New(Config{Window: 400, Hop: 80, Margin: 30})
+	var streamed []Detection
+	for _, v := range vals {
+		streamed = append(streamed, d.Push(v)...)
+	}
+	for _, det := range streamed {
+		if det.Index == 995 {
+			t.Fatal("margin detection leaked before Flush")
+		}
+	}
+	found := false
+	for _, det := range d.Flush() {
+		if det.Index == 995 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("Flush did not emit the tail spike")
+	}
+}
+
+func TestShortStreamQuiet(t *testing.T) {
+	d := New(Config{Window: 200, Hop: 20})
+	var got []Detection
+	for i := 0; i < 30; i++ {
+		got = append(got, d.Push(1)...)
+	}
+	if len(got) != 0 {
+		t.Errorf("short constant stream produced %d detections", len(got))
+	}
+}

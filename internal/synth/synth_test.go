@@ -1,0 +1,186 @@
+package synth
+
+import (
+	"math"
+	"testing"
+
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+func fracOf(s *series.Series, pred func(series.Label) bool) float64 {
+	count := 0
+	for _, l := range s.Labels {
+		if pred(l) {
+			count++
+		}
+	}
+	return float64(count) / float64(s.Len())
+}
+
+func TestGenerateRespectsFractions(t *testing.T) {
+	cfg := Config{
+		N: 5000, Seed: 1,
+		SingleFrac: 0.02, CollectiveFrac: 0.05, ChangeFrac: 0.01,
+	}
+	s := Generate(cfg)
+	if s.Len() != 5000 {
+		t.Fatalf("length = %d", s.Len())
+	}
+	single := fracOf(s, func(l series.Label) bool { return l == series.SingleAnomaly })
+	coll := fracOf(s, func(l series.Label) bool { return l == series.CollectiveAnomaly })
+	cp := fracOf(s, func(l series.Label) bool { return l == series.ChangePoint })
+	if math.Abs(single-0.02) > 0.008 {
+		t.Errorf("single fraction = %v, want ~0.02", single)
+	}
+	if math.Abs(coll-0.05) > 0.015 {
+		t.Errorf("collective fraction = %v, want ~0.05", coll)
+	}
+	if math.Abs(cp-0.01) > 0.005 {
+		t.Errorf("change fraction = %v, want ~0.01", cp)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := Config{N: 1000, Seed: 7, SingleFrac: 0.01, ChangeFrac: 0.01}
+	a, b := Generate(cfg), Generate(cfg)
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] || a.Labels[i] != b.Labels[i] {
+			t.Fatal("same config produced different data")
+		}
+	}
+}
+
+func TestTruthExcludesErrorsIncludesEvents(t *testing.T) {
+	cfg := Config{N: 3000, Seed: 3, SingleFrac: 0.02, CollectiveFrac: 0.02, ChangeFrac: 0.01}
+	s := Generate(cfg)
+	if len(s.Truth) != s.Len() {
+		t.Fatal("truth length mismatch")
+	}
+	for i, l := range s.Labels {
+		switch {
+		case l.IsAnomaly():
+			if s.Values[i] == s.Truth[i] {
+				t.Errorf("anomaly at %d identical to truth", i)
+			}
+		case l == series.Normal:
+			if s.Values[i] != s.Truth[i] {
+				t.Errorf("normal point at %d differs from truth", i)
+			}
+		}
+	}
+	// A change point must shift the truth level persistently.
+	cps := s.ChangePointIndices()
+	if len(cps) == 0 {
+		t.Fatal("no change points generated")
+	}
+	c := cps[0]
+	if c < 10 || c > s.Len()-10 {
+		t.Skip("change point too close to boundary for the level check")
+	}
+	before := stats.Mean(s.Truth[c-8 : c])
+	after := stats.Mean(s.Truth[c+1 : c+9])
+	if math.Abs(after-before) < 1.0 {
+		t.Errorf("change point at %d shifts truth only by %v", c, after-before)
+	}
+}
+
+func TestAnomaliesAreOutliers(t *testing.T) {
+	cfg := Config{N: 4000, Seed: 5, SingleFrac: 0.01}
+	s := Generate(cfg)
+	sd := stats.Std(s.Truth)
+	for _, i := range s.AnomalyIndices() {
+		if math.Abs(s.Values[i]-s.Truth[i]) < 2*sd {
+			t.Errorf("anomaly at %d deviates only %.2f sd", i,
+				math.Abs(s.Values[i]-s.Truth[i])/sd)
+		}
+	}
+}
+
+func TestCollectiveAnomaliesAreSegments(t *testing.T) {
+	cfg := Config{N: 5000, Seed: 11, CollectiveFrac: 0.04}
+	s := Generate(cfg)
+	// Every collective anomaly run must have length >= 3.
+	run := 0
+	for i := 0; i <= s.Len(); i++ {
+		if i < s.Len() && s.Labels[i] == series.CollectiveAnomaly {
+			run++
+			continue
+		}
+		if run > 0 && run < 3 {
+			t.Errorf("collective run of length %d ending at %d", run, i)
+		}
+		run = 0
+	}
+}
+
+func TestIoTTank(t *testing.T) {
+	s := IoTTank(1, 1550)
+	if s.Len() != 1550 {
+		t.Fatalf("length = %d", s.Len())
+	}
+	an := fracOf(s, series.Label.IsAnomaly)
+	cp := fracOf(s, func(l series.Label) bool { return l == series.ChangePoint })
+	if an < 0.003 || an > 0.02 {
+		t.Errorf("IoT anomaly fraction = %v, want ~0.008", an)
+	}
+	if cp < 0.002 || cp > 0.03 {
+		t.Errorf("IoT change fraction = %v, want ~0.01", cp)
+	}
+	// Refills must rise sharply in the truth.
+	for _, c := range s.ChangePointIndices() {
+		if c == 0 {
+			continue
+		}
+		if s.Truth[c]-s.Truth[c-1] < 20 {
+			t.Errorf("refill at %d rises only %v", c, s.Truth[c]-s.Truth[c-1])
+		}
+	}
+}
+
+func TestYahooLikeProfile(t *testing.T) {
+	s := YahooLike(2, 1500)
+	if s.Len() != 1500 {
+		t.Fatalf("length = %d", s.Len())
+	}
+	if got := len(s.ChangePointIndices()); got != 0 {
+		t.Errorf("yahoo-like has %d change points, want 0", got)
+	}
+	an := fracOf(s, series.Label.IsAnomaly)
+	if an < 0.004 || an > 0.02 {
+		t.Errorf("yahoo-like anomaly fraction = %v, want ~0.01", an)
+	}
+}
+
+func TestKPILikeProfile(t *testing.T) {
+	s := KPILike(3, 5000)
+	if s.Len() != 5000 {
+		t.Fatalf("length = %d", s.Len())
+	}
+	if got := len(s.ChangePointIndices()); got != 0 {
+		t.Errorf("kpi-like has %d change points, want 0", got)
+	}
+	an := fracOf(s, series.Label.IsAnomaly)
+	if an < 0.008 || an > 0.03 {
+		t.Errorf("kpi-like anomaly fraction = %v, want ~0.018", an)
+	}
+}
+
+func TestSuite(t *testing.T) {
+	suite := Suite(800)
+	if len(suite) != 25 {
+		t.Fatalf("suite size = %d", len(suite))
+	}
+	// Abnormal fraction must ramp up across the suite.
+	first := fracOf(suite[0], func(l series.Label) bool { return l != series.Normal })
+	last := fracOf(suite[24], func(l series.Label) bool { return l != series.Normal })
+	if first > 0.05 {
+		t.Errorf("ds-1 abnormal fraction = %v, want ~0.01", first)
+	}
+	if last < 0.10 {
+		t.Errorf("ds-25 abnormal fraction = %v, want ~0.20", last)
+	}
+	if suite[0].Name != "ds-1" || suite[24].Name != "ds-25" {
+		t.Errorf("names = %q, %q", suite[0].Name, suite[24].Name)
+	}
+}

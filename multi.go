@@ -1,0 +1,40 @@
+package cabd
+
+import (
+	"cabd/internal/core"
+	"cabd/internal/multi"
+	"cabd/internal/series"
+)
+
+// MultiDetector detects anomalies and change points in multi-dimensional
+// time series — d synchronized value streams over the same clock (e.g.
+// several sensors of one machine). The INN neighborhood is computed in
+// the joint (time, value_1..value_d) space; everything else matches the
+// univariate Detector.
+type MultiDetector struct {
+	inner *multi.Detector
+}
+
+// NewMulti returns a multivariate detector with the given options.
+func NewMulti(opts Options) *MultiDetector {
+	return &MultiDetector{inner: multi.NewDetector(opts)}
+}
+
+// Detect runs the unsupervised pipeline over dims: a slice of d value
+// series, all the same length.
+func (d *MultiDetector) Detect(dims [][]float64) *Result {
+	return convert(d.inner.Detect(multi.NewSeries("series", dims)))
+}
+
+// DetectInteractive runs the active-learning pipeline; label receives the
+// time index of each queried point and returns its class.
+func (d *MultiDetector) DetectInteractive(dims [][]float64, label func(i int) Label) *Result {
+	s := multi.NewSeries("series", dims)
+	return convert(d.inner.DetectActive(s, multiLabeler(label)))
+}
+
+type multiLabeler func(i int) Label
+
+func (f multiLabeler) Label(i int) series.Label { return series.Label(f(i)) }
+
+var _ core.Labeler = multiLabeler(nil)

@@ -1,0 +1,30 @@
+package cabd
+
+import "cabd/internal/repair"
+
+// RepairOptions configures Repair.
+type RepairOptions struct {
+	// Order is the AR order of the repair model (default 3).
+	Order int
+}
+
+// Repair fixes the detected errors of a series with the Iterative Minimum
+// Repairing algorithm (Section V-G of the paper): the anomalies of res
+// become the dirty set; known maps indices the user has verified to their
+// true values (typically the points labeled during DetectInteractive —
+// the paper shows this pairing cuts repair RMS about fourfold versus
+// unguided labeling). Change points are events and stay untouched. The
+// input slice is not modified; the repaired copy is returned.
+func Repair(values []float64, res *Result, known map[int]float64, opts RepairOptions) []float64 {
+	return repair.IMR(values, known, res.AnomalyIndices(), repair.IMRConfig{
+		Order: opts.Order,
+	})
+}
+
+// RepairSpeedConstrained fixes a series under a maximum rise/fall speed
+// per step (the SCREEN algorithm): every repaired point stays within
+// [prev+minSpeed, prev+maxSpeed]. Use when physics bounds the signal
+// (tank levels, temperatures) and no detector output is available.
+func RepairSpeedConstrained(values []float64, maxSpeed, minSpeed float64) []float64 {
+	return repair.Screen(values, repair.ScreenConfig{SMax: maxSpeed, SMin: minSpeed})
+}

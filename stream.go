@@ -1,0 +1,68 @@
+package cabd
+
+import "cabd/internal/stream"
+
+// StreamConfig parameterizes a streaming detector.
+type StreamConfig struct {
+	// Window is the sliding analysis window length (default 1024).
+	Window int
+	// Hop is how many new observations trigger a re-analysis (default
+	// Window/8). Detection latency is bounded by Hop + Margin.
+	Hop int
+	// Margin is the trailing uncertainty zone: the freshest points wait
+	// one more hop before their detections are emitted (default 16).
+	Margin int
+	// Options configures the underlying detector.
+	Options Options
+}
+
+// StreamDetection is one detection emitted by a StreamDetector, carrying
+// the observation's global position in the stream.
+type StreamDetection struct {
+	Index      int
+	Subtype    Label
+	Confidence float64
+}
+
+// StreamDetector runs CABD online: push observations one at a time and
+// collect detections as they are confirmed. Not safe for concurrent use.
+type StreamDetector struct {
+	inner *stream.Detector
+}
+
+// NewStream returns a streaming detector.
+func NewStream(cfg StreamConfig) *StreamDetector {
+	return &StreamDetector{inner: stream.New(stream.Config{
+		Window:  cfg.Window,
+		Hop:     cfg.Hop,
+		Margin:  cfg.Margin,
+		Options: cfg.Options,
+	})}
+}
+
+// Push appends one observation and returns any newly confirmed
+// detections (usually none; at most a batch per hop).
+func (d *StreamDetector) Push(v float64) []StreamDetection {
+	return convertStream(d.inner.Push(v))
+}
+
+// Flush analyzes the final window with no trailing margin and returns the
+// remaining detections. Call once at end of stream.
+func (d *StreamDetector) Flush() []StreamDetection {
+	return convertStream(d.inner.Flush())
+}
+
+// Total returns the number of observations pushed so far.
+func (d *StreamDetector) Total() int { return d.inner.Total() }
+
+func convertStream(dets []stream.Detection) []StreamDetection {
+	out := make([]StreamDetection, 0, len(dets))
+	for _, det := range dets {
+		out = append(out, StreamDetection{
+			Index:      det.Index,
+			Subtype:    Label(det.Subtype),
+			Confidence: det.Confidence,
+		})
+	}
+	return out
+}
