@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race check fuzz bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the full suite, including the fault-injection
+# harness (internal/faultgen) — the robustness gate.
+race:
+	$(GO) test -race ./...
+
+check: vet build race
+
+# Short native fuzzing campaigns against the sanitizing entry points.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDetect -fuzztime 30s .
+	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime 30s .
+
+bench:
+	$(GO) test -bench=. -benchmem

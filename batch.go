@@ -1,6 +1,7 @@
 package cabd
 
 import (
+	"context"
 	"runtime"
 	"sync"
 )
@@ -9,14 +10,32 @@ import (
 // parallel (the Detector is stateless and safe to share). Results align
 // with the input order. Typical use: the 50-series Yahoo-style suites the
 // paper evaluates on.
+//
+// Each series is sanitized and panic-isolated independently: a hostile or
+// crashing series yields an empty Result at its position while the rest
+// of the batch completes. Use DetectBatchCtx for the per-series errors.
 func (d *Detector) DetectBatch(seriesSet [][]float64) []*Result {
+	out, _ := d.DetectBatchCtx(context.Background(), seriesSet)
+	return out
+}
+
+// DetectBatchCtx is DetectBatch with cancellation and per-series error
+// reporting. The two returned slices align with the input: errs[i] is
+// nil when series i succeeded, a sanitization error (ErrEmpty,
+// ErrTooShort, ...) when its input was rejected, a *PanicError when its
+// detection crashed, or ctx.Err() for series not yet finished when the
+// context was cancelled. A failing series never takes down the pool —
+// the remaining series keep draining. Results are always non-nil, empty
+// on failure.
+func (d *Detector) DetectBatchCtx(ctx context.Context, seriesSet [][]float64) (results []*Result, errs []error) {
 	out := make([]*Result, len(seriesSet))
+	errout := make([]error, len(seriesSet))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(seriesSet) {
 		workers = len(seriesSet)
 	}
 	if workers < 1 {
-		return out
+		return out, errout
 	}
 	var wg sync.WaitGroup
 	ch := make(chan int, len(seriesSet))
@@ -29,10 +48,21 @@ func (d *Detector) DetectBatch(seriesSet [][]float64) []*Result {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				out[i] = d.Detect(seriesSet[i])
+				if err := ctx.Err(); err != nil {
+					out[i], errout[i] = &Result{}, err
+					continue
+				}
+				res, err := d.DetectCtx(ctx, seriesSet[i])
+				if pe, ok := err.(*PanicError); ok {
+					pe.Series = i
+				}
+				if res == nil {
+					res = &Result{}
+				}
+				out[i], errout[i] = res, err
 			}
 		}()
 	}
 	wg.Wait()
-	return out
+	return out, errout
 }

@@ -26,6 +26,8 @@
 package cabd
 
 import (
+	"context"
+
 	"cabd/internal/core"
 	"cabd/internal/series"
 )
@@ -84,6 +86,22 @@ type Result struct {
 	// Queries is the number of labels requested from the labeler
 	// (0 for unsupervised runs).
 	Queries int
+
+	// Sanitize reports what input sanitization found and repaired
+	// (NaN/Inf counts, synthesized or dropped points, constant-series
+	// and too-short flags). Nil only for results built outside the
+	// sanitizing entry points.
+	Sanitize *SanitizeReport
+	// Strategy is the neighborhood strategy actually used; it differs
+	// from the configured one when the run degraded.
+	Strategy Strategy
+	// Degraded is set when the detector fell back to FixedKNN scoring —
+	// either the candidate count exceeded Options.DegradeCandidates or
+	// a context deadline left too little headroom for full INN
+	// computation. DegradeReason says which.
+	Degraded bool
+	// DegradeReason is a human-readable downgrade explanation.
+	DegradeReason string
 }
 
 // AnomalyIndices returns the detected anomaly positions, sorted.
@@ -118,18 +136,24 @@ func New(opts Options) *Detector {
 // Detect runs the unsupervised pipeline over values: candidate estimation
 // on the second difference, INN score computation, and hypothesis-
 // bootstrapped classification. No labels are requested.
+//
+// Input is sanitized first under Options.Sanitize (NaN/±Inf repair by
+// interpolation, by default); hostile input that cannot be detected on —
+// empty, too short, all-bad — yields an empty Result whose Sanitize
+// report says why. Use DetectCtx for the error-returning form.
 func (d *Detector) Detect(values []float64) *Result {
-	return convert(d.inner.Detect(series.New("series", values)))
+	res, _ := d.DetectCtx(context.Background(), values)
+	return res
 }
 
 // DetectInteractive runs the full active-learning pipeline: after the
 // unsupervised bootstrap, the most uncertain candidate points are passed
 // to label until every detection reaches the configured confidence or the
 // query budget is exhausted. label receives the index of the point to
-// annotate and returns its class.
+// annotate and returns its class. Input is sanitized as in Detect.
 func (d *Detector) DetectInteractive(values []float64, label func(i int) Label) *Result {
-	s := series.New("series", values)
-	return convert(d.inner.DetectActive(s, labelerFunc(label)))
+	res, _ := d.DetectInteractiveCtx(context.Background(), values, label)
+	return res
 }
 
 type labelerFunc func(i int) Label
@@ -137,7 +161,12 @@ type labelerFunc func(i int) Label
 func (f labelerFunc) Label(i int) series.Label { return series.Label(f(i)) }
 
 func convert(res *core.Result) *Result {
-	out := &Result{Queries: res.Queries}
+	out := &Result{
+		Queries:       res.Queries,
+		Strategy:      res.Strategy,
+		Degraded:      res.Degraded,
+		DegradeReason: res.DegradeReason,
+	}
 	for _, det := range res.Anomalies {
 		out.Anomalies = append(out.Anomalies, Detection{
 			Index: det.Index, Subtype: Label(det.Subtype),

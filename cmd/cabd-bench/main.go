@@ -8,7 +8,7 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi.
+// table2 fig12 fig13 fig14 multi chaos.
 package main
 
 import (
@@ -88,6 +88,9 @@ func main() {
 		}},
 		{"multi", "extension: joint multivariate vs per-dimension union", func(sc experiments.Scale) {
 			experiments.PrintMultiExtension(out, experiments.MultiExtension(sc))
+		}},
+		{"chaos", "robustness: fault injection across families and datasets", func(sc experiments.Scale) {
+			experiments.PrintChaos(out, experiments.Chaos(sc))
 		}},
 	}
 

@@ -5,6 +5,13 @@
 //	cabd-gen -kind synthetic -n 20000 -anomaly 0.05 -change 0.02
 //	cabd-gen -kind yahoo | head
 //
+// With -faults set, the clean series is corrupted by the named fault
+// families (internal/faultgen) before being written — hostile fixtures for
+// exercising the sanitization layer:
+//
+//	cabd-gen -kind iot -faults nan,extreme -fault-seed 7
+//	cabd-gen -faults all
+//
 // Output columns: index, value, label (normal / single-anomaly /
 // collective-anomaly / change-point), truth (clean value).
 package main
@@ -12,9 +19,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"strings"
 
 	"cabd/internal/dataio"
+	"cabd/internal/faultgen"
 	"cabd/internal/series"
 	"cabd/internal/synth"
 )
@@ -25,6 +35,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	anomaly := flag.Float64("anomaly", 0.04, "anomalous-point fraction (synthetic)")
 	change := flag.Float64("change", 0.01, "change-point fraction (synthetic)")
+	faults := flag.String("faults", "", "comma-separated fault families to inject: nan, flatline, extreme, dropout, or 'all'")
+	faultSeed := flag.Int64("fault-seed", 1, "RNG seed for fault injection")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
@@ -48,6 +60,15 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *faults != "" {
+		kinds, err := parseFaults(*faults)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cabd-gen: %v\n", err)
+			os.Exit(2)
+		}
+		inject(s, kinds, *faultSeed)
+	}
+
 	w := os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -61,5 +82,60 @@ func main() {
 	if err := dataio.WriteLabeled(w, s); err != nil {
 		fmt.Fprintf(os.Stderr, "cabd-gen: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// parseFaults resolves the -faults flag to fault families.
+func parseFaults(spec string) ([]faultgen.Kind, error) {
+	if spec == "all" {
+		return faultgen.Kinds(), nil
+	}
+	valid := map[faultgen.Kind]bool{}
+	for _, k := range faultgen.Kinds() {
+		valid[k] = true
+	}
+	var kinds []faultgen.Kind
+	for _, field := range strings.Split(spec, ",") {
+		k := faultgen.Kind(strings.TrimSpace(field))
+		if !valid[k] {
+			return nil, fmt.Errorf("unknown fault family %q (have nan, flatline, extreme, dropout)", k)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
+}
+
+// inject corrupts the series in place, keeping labels and clean truth
+// aligned when dropout shortens it.
+func inject(s *series.Series, kinds []faultgen.Kind, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, k := range kinds {
+		var rep faultgen.Report
+		s.Values, rep = faultgen.Inject(rng, s.Values, k)
+		if k != faultgen.KindDropout {
+			continue
+		}
+		removed := map[int]bool{}
+		for _, i := range rep.Indices {
+			removed[i] = true
+		}
+		if s.Labels != nil {
+			kept := s.Labels[:0]
+			for i, l := range s.Labels {
+				if !removed[i] {
+					kept = append(kept, l)
+				}
+			}
+			s.Labels = kept
+		}
+		if s.Truth != nil {
+			kept := s.Truth[:0]
+			for i, v := range s.Truth {
+				if !removed[i] {
+					kept = append(kept, v)
+				}
+			}
+			s.Truth = kept
+		}
 	}
 }

@@ -7,11 +7,14 @@
 //	cabd-repair -interactive -speed-max 5 -speed-min -5 readings.csv
 //
 // With speed bounds set, a SCREEN pass enforces them after IMR (useful
-// when physics bounds the signal, e.g. tank levels).
+// when physics bounds the signal, e.g. tank levels). Dirty input (NaN,
+// ±Inf, absurd magnitudes) is sanitized before detection; -sanitize picks
+// the policy and -timeout bounds the detection phase.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 
 	"cabd"
 	"cabd/internal/dataio"
+	"cabd/internal/sanitize"
 )
 
 func main() {
@@ -26,6 +30,8 @@ func main() {
 	confidence := flag.Float64("confidence", 0.8, "required detection confidence (γ)")
 	speedMax := flag.Float64("speed-max", 0, "optional maximum rise per step (SCREEN pass)")
 	speedMin := flag.Float64("speed-min", 0, "optional maximum fall per step (negative; SCREEN pass)")
+	sanitizeFlag := flag.String("sanitize", "interpolate", "bad-value policy: interpolate, drop or reject")
+	timeout := flag.Duration("timeout", 0, "detection deadline (e.g. 30s); 0 means none")
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cabd-repair [flags] series.csv\n\n")
@@ -36,31 +42,63 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	policy, err := cabd.ParseSanitizePolicy(*sanitizeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabd-repair: %v\n", err)
+		os.Exit(2)
+	}
 	values, err := dataio.ReadValuesFile(flag.Arg(0))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "cabd-repair: %v\n", err)
 		os.Exit(1)
 	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
-	det := cabd.New(cabd.Options{Confidence: *confidence})
+	det := cabd.New(cabd.Options{Confidence: *confidence, Sanitize: policy})
 	known := map[int]float64{}
 	var res *cabd.Result
 	if *interactive {
 		stdin := bufio.NewReader(os.Stdin)
-		res = det.DetectInteractive(values, func(i int) cabd.Label {
+		res, err = det.DetectInteractiveCtx(ctx, values, func(i int) cabd.Label {
 			label, trueVal, hasVal := promptWithValue(stdin, i, values[i])
 			if hasVal {
 				known[i] = trueVal
 			}
 			return label
 		})
-		fmt.Fprintf(os.Stderr, "# %d labels provided, %d with corrected values\n",
-			res.Queries, len(known))
+		if err == nil {
+			fmt.Fprintf(os.Stderr, "# %d labels provided, %d with corrected values\n",
+				res.Queries, len(known))
+		}
 	} else {
-		res = det.Detect(values)
+		res, err = det.DetectCtx(ctx, values)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabd-repair: %v\n", err)
+		os.Exit(1)
+	}
+	if rep := res.Sanitize; rep != nil && rep.Bad() > 0 {
+		fmt.Fprintf(os.Stderr, "# sanitize: %s\n", rep)
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "# degraded to %s scoring: %s\n", res.Strategy, res.DegradeReason)
 	}
 
-	repaired := cabd.Repair(values, res, known, cabd.RepairOptions{})
+	// Repair must run on a finite series: detection saw the sanitized
+	// copy, and leaving NaN/Inf in the repair base would let them leak
+	// into the cleaned output at non-anomaly positions. Interpolation
+	// keeps the original layout, so detection indices line up even when
+	// the detection policy was drop.
+	base := values
+	if clean, _, _, serr := sanitize.Series(values, sanitize.Config{}); serr == nil {
+		base = clean
+	}
+	repaired := cabd.Repair(base, res, known, cabd.RepairOptions{})
 	if *speedMax > 0 && *speedMin < 0 {
 		repaired = cabd.RepairSpeedConstrained(repaired, *speedMax, *speedMin)
 	}

@@ -12,11 +12,18 @@
 //	$ cabd -interactive readings.csv
 //	point 421 (value 63.20): [a]nomaly / [c]hange / [n]ormal?
 //
+// Dirty input (NaN, ±Inf, absurd magnitudes) is sanitized before
+// detection; -sanitize picks the policy (interpolate, drop, reject) and a
+// repair summary is reported on stderr. -timeout bounds the whole run —
+// under deadline pressure the detector degrades to its fast KNN scoring
+// strategy rather than dying.
+//
 // Output is one line per detection: index, kind, subtype, confidence.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -32,6 +39,8 @@ func main() {
 	confidence := flag.Float64("confidence", 0.8, "required detection confidence (γ)")
 	maxQueries := flag.Int("max-queries", 50, "label budget for -interactive")
 	rangeFrac := flag.Float64("range", 0.05, "INN search-range prune as a fraction of the series")
+	sanitizeFlag := flag.String("sanitize", "interpolate", "bad-value policy: interpolate, drop or reject")
+	timeout := flag.Duration("timeout", 0, "overall deadline (e.g. 30s); 0 means none")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cabd [flags] series.csv\n\n")
 		flag.PrintDefaults()
@@ -41,10 +50,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	policy, err := cabd.ParseSanitizePolicy(*sanitizeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "cabd: %v\n", err)
+		os.Exit(2)
+	}
 	opts := cabd.Options{
 		Confidence: *confidence,
 		MaxQueries: *maxQueries,
 		RangeFrac:  *rangeFrac,
+		Sanitize:   policy,
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 	var res *cabd.Result
 	if *multiCol {
@@ -62,12 +83,17 @@ func main() {
 		det := cabd.NewMulti(opts)
 		if *interactive {
 			stdin := bufio.NewReader(os.Stdin)
-			res = det.DetectInteractive(dims, func(i int) cabd.Label {
+			res, err = det.DetectInteractiveCtx(ctx, dims, func(i int) cabd.Label {
 				return prompt(stdin, i, dims[0][i])
 			})
-			fmt.Printf("# %d labels provided\n", res.Queries)
+			if err == nil {
+				fmt.Printf("# %d labels provided\n", res.Queries)
+			}
 		} else {
-			res = det.Detect(dims)
+			res, err = det.DetectCtx(ctx, dims)
+		}
+		if err != nil {
+			fail(res, err)
 		}
 	} else {
 		values, err := dataio.ReadValuesFile(flag.Arg(0))
@@ -78,20 +104,47 @@ func main() {
 		det := cabd.New(opts)
 		if *interactive {
 			stdin := bufio.NewReader(os.Stdin)
-			res = det.DetectInteractive(values, func(i int) cabd.Label {
+			res, err = det.DetectInteractiveCtx(ctx, values, func(i int) cabd.Label {
 				return prompt(stdin, i, values[i])
 			})
-			fmt.Printf("# %d labels provided\n", res.Queries)
+			if err == nil {
+				fmt.Printf("# %d labels provided\n", res.Queries)
+			}
 		} else {
-			res = det.Detect(values)
+			res, err = det.DetectCtx(ctx, values)
+		}
+		if err != nil {
+			fail(res, err)
 		}
 	}
+	report(res)
 	for _, d := range res.Anomalies {
 		fmt.Printf("%d\tanomaly\t%s\t%.2f\n", d.Index, d.Subtype, d.Confidence)
 	}
 	for _, d := range res.ChangePoints {
 		fmt.Printf("%d\tchange\t%s\t%.2f\n", d.Index, d.Subtype, d.Confidence)
 	}
+}
+
+// report surfaces sanitization repairs and degradation on stderr, so
+// piping detections to a file still shows what happened to the input.
+func report(res *cabd.Result) {
+	if rep := res.Sanitize; rep != nil && rep.Bad() > 0 {
+		fmt.Fprintf(os.Stderr, "# sanitize: %s\n", rep)
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "# degraded to %s scoring: %s\n", res.Strategy, res.DegradeReason)
+	}
+}
+
+// fail reports a detection error, including any sanitize context attached
+// to the partial result, and exits.
+func fail(res *cabd.Result, err error) {
+	if res != nil && res.Sanitize != nil {
+		fmt.Fprintf(os.Stderr, "# sanitize: %s\n", res.Sanitize)
+	}
+	fmt.Fprintf(os.Stderr, "cabd: %v\n", err)
+	os.Exit(1)
 }
 
 func prompt(r *bufio.Reader, i int, v float64) cabd.Label {

@@ -1,0 +1,103 @@
+package cabd
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// bytesToFloats reinterprets fuzz input as a float64 series: every 8-byte
+// chunk is one IEEE-754 value, bit patterns included — NaNs, infinities,
+// denormals and garbage exponents all come out of the fuzzer this way.
+// Length is capped so the fuzzer explores values, not runtime.
+func bytesToFloats(data []byte, maxLen int) []float64 {
+	n := len(data) / 8
+	if n > maxLen {
+		n = maxLen
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*8:]))
+	}
+	return out
+}
+
+// checkSorted asserts the detection-output contract on fuzz runs.
+func checkSorted(t *testing.T, who string, idx []int, n int) {
+	t.Helper()
+	if !sort.IntsAreSorted(idx) {
+		t.Fatalf("%s: indices not sorted: %v", who, idx)
+	}
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			t.Fatalf("%s: index %d out of range [0, %d)", who, i, n)
+		}
+	}
+}
+
+// FuzzDetect throws arbitrary bit patterns at the sanitizing Detect entry
+// point. The contract under fuzzing: no panic ever escapes, and any
+// detections point at valid, sorted positions of the caller's input.
+func FuzzDetect(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 64))
+	seed := make([]byte, 0, 64*8)
+	var buf [8]byte
+	for i := 0; i < 64; i++ {
+		v := math.Sin(float64(i) / 3)
+		if i == 20 {
+			v = math.NaN()
+		}
+		if i == 40 {
+			v = math.Inf(1)
+		}
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		seed = append(seed, buf[:]...)
+	}
+	f.Add(seed)
+
+	det := New(Options{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		values := bytesToFloats(data, 256)
+		res := det.Detect(values)
+		if res == nil {
+			t.Fatal("Detect returned nil result")
+		}
+		checkSorted(t, "anomalies", res.AnomalyIndices(), len(values))
+		checkSorted(t, "changepoints", res.ChangePointIndices(), len(values))
+	})
+}
+
+// FuzzStreamPush feeds arbitrary bit patterns into the streaming
+// detector one observation at a time: Push must intercept every bad
+// value, never panic, and only emit detections for positions already
+// pushed.
+func FuzzStreamPush(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 256))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		values := bytesToFloats(data, 512)
+		d := NewStream(StreamConfig{Window: 64, Hop: 16})
+		pushed := 0
+		emit := func(dets []StreamDetection) {
+			for _, det := range dets {
+				if det.Index < 0 || det.Index >= pushed {
+					t.Fatalf("stream detection index %d outside pushed range [0, %d)",
+						det.Index, pushed)
+				}
+			}
+		}
+		for _, v := range values {
+			dets := d.Push(v)
+			pushed = d.Total()
+			emit(dets)
+		}
+		emit(d.Flush())
+		if d.Total()+d.Bad() < len(values) {
+			t.Fatalf("accounting hole: %d accepted + %d bad < %d pushed",
+				d.Total(), d.Bad(), len(values))
+		}
+	})
+}

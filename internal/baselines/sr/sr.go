@@ -115,7 +115,11 @@ func estimateNext(win []float64, g int) float64 {
 // saliency computes the spectral-residual saliency map of xs.
 func saliency(xs []float64, avgW int) []float64 {
 	buf := fft.PadPow2(xs)
-	fft.FFT(buf)
+	// PadPow2 guarantees a power-of-two length; the checked transform is
+	// belt and braces so no input length can ever panic this path.
+	if err := fft.TransformChecked(buf); err != nil {
+		return make([]float64, len(xs))
+	}
 	m := len(buf)
 	logAmp := make([]float64, m)
 	phase := make([]float64, m)
@@ -127,7 +131,9 @@ func saliency(xs []float64, avgW int) []float64 {
 	for i := range buf {
 		buf[i] = cmplx.Rect(math.Exp(logAmp[i]-avg[i]), phase[i])
 	}
-	fft.IFFT(buf)
+	if err := fft.InverseChecked(buf); err != nil {
+		return make([]float64, len(xs))
+	}
 	out := make([]float64, len(xs))
 	for i := range out {
 		out[i] = cmplx.Abs(buf[i])

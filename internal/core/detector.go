@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -36,7 +38,8 @@ func (d *Detector) Options() Options { return d.opts }
 // Detect runs the unsupervised pipeline: candidate estimation, score
 // computation, GMM-bootstrapped classification. No oracle is consulted.
 func (d *Detector) Detect(s *series.Series) *Result {
-	return d.run(s, nil)
+	res, _ := d.DetectCtx(context.Background(), s)
+	return res
 }
 
 // DetectActive runs the full interactive pipeline (Algorithm 2 with the
@@ -45,14 +48,33 @@ func (d *Detector) Detect(s *series.Series) *Result {
 // confidence weight exceeds the configured γ or the query budget is
 // exhausted.
 func (d *Detector) DetectActive(s *series.Series, o Labeler) *Result {
-	return d.run(s, o)
+	res, _ := d.DetectActiveCtx(context.Background(), s, o)
+	return res
 }
 
-func (d *Detector) run(s *series.Series, o Labeler) *Result {
-	res := &Result{}
+// DetectCtx is Detect with cancellation: ctx is checked at every stage
+// boundary (candidate estimation, INN scoring, each classifier training
+// round) and a cancelled or expired context returns ctx.Err() promptly.
+// A context deadline also arms graceful degradation — see Result.Degraded.
+func (d *Detector) DetectCtx(ctx context.Context, s *series.Series) (*Result, error) {
+	return d.run(ctx, s, nil)
+}
+
+// DetectActiveCtx is DetectActive with cancellation; the context is
+// additionally checked between active-learning rounds, so a slow human
+// labeler cannot wedge a cancelled run.
+func (d *Detector) DetectActiveCtx(ctx context.Context, s *series.Series, o Labeler) (*Result, error) {
+	return d.run(ctx, s, o)
+}
+
+func (d *Detector) run(ctx context.Context, s *series.Series, o Labeler) (*Result, error) {
+	res := &Result{Strategy: d.opts.Strategy}
 	n := s.Len()
 	if n < 4 {
-		return res
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Work on the standardized series (Equation 2).
@@ -62,19 +84,46 @@ func (d *Detector) run(s *series.Series, o Labeler) *Result {
 	// Step 1: candidate estimation.
 	idx, zscores := candidateIndices(zs, d.opts.CandidateZ)
 	if len(idx) == 0 {
-		return res
+		return res, nil
 	}
 	cands := make([]Candidate, len(idx))
 	for i, ci := range idx {
 		cands[i] = Candidate{Index: ci, SecondDiffZ: zscores[i]}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	// Step 2: score computation (parallel, Algorithm 3).
+	// Graceful degradation 1: a candidate explosion (MAD collapse on
+	// hostile input) makes per-candidate INN growth the dominant cost;
+	// cap it by switching to the fixed-k neighborhood.
+	opts := d.opts
+	degradeReason := ""
+	if bound := opts.DegradeCandidates; bound > 0 && len(cands) > bound && opts.Strategy != FixedKNN {
+		opts.Strategy = FixedKNN
+		degradeReason = fmt.Sprintf("candidate count %d exceeds bound %d", len(cands), bound)
+	}
+
+	// Step 2: score computation (parallel, Algorithm 3). The scorer may
+	// degrade further when the context deadline leaves no headroom.
 	comp := inn.FromSeries(zs)
-	sc := newScorer(std, comp, d.opts)
-	sc.scoreAll(cands)
+	sc := newScorer(std, comp, opts)
+	deadlineDegraded, err := sc.scoreAll(ctx, cands)
+	if err != nil {
+		return nil, err
+	}
+	if deadlineDegraded && degradeReason == "" {
+		degradeReason = "context deadline headroom too small for INN scoring"
+	}
 
-	return d.EvaluateCandidates(cands, n, o)
+	res, err = d.EvaluateCandidatesCtx(ctx, cands, n, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = sc.opts.Strategy
+	res.Degraded = degradeReason != ""
+	res.DegradeReason = degradeReason
+	return res, nil
 }
 
 // EvaluateCandidates runs the Score Evaluation and CAL stages (Algorithm
@@ -86,9 +135,20 @@ func (d *Detector) run(s *series.Series, o Labeler) *Result {
 // Exposed so the multivariate extension can feed candidates built from
 // its own embedding through the identical evaluation machinery.
 func (d *Detector) EvaluateCandidates(cands []Candidate, n int, o Labeler) *Result {
-	res := &Result{}
+	res, _ := d.EvaluateCandidatesCtx(context.Background(), cands, n, o)
+	return res
+}
+
+// EvaluateCandidatesCtx is EvaluateCandidates with cancellation checks
+// before every random-forest training pass — the expensive inner step —
+// and between active-learning rounds.
+func (d *Detector) EvaluateCandidatesCtx(ctx context.Context, cands []Candidate, n int, o Labeler) (*Result, error) {
+	res := &Result{Strategy: d.opts.Strategy}
 	if len(cands) == 0 {
-		return res
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	rng := rand.New(rand.NewSource(d.opts.Seed))
 
@@ -120,6 +180,9 @@ func (d *Detector) EvaluateCandidates(cands []Candidate, n int, o Labeler) *Resu
 		queries := 0
 		agreeStreak := 0
 		for queries < budget {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			pos := mostUncertain(cands)
 			if pos < 0 {
 				break
@@ -151,7 +214,7 @@ func (d *Detector) EvaluateCandidates(cands []Candidate, n int, o Labeler) *Resu
 
 	res.Candidates = cands
 	d.assemble(res, n)
-	return res
+	return res, nil
 }
 
 // classify trains the random forest on the pseudo-labels overridden by

@@ -7,6 +7,8 @@
 // terminated by a user-chosen minimum confidence.
 package core
 
+import "cabd/internal/sanitize"
+
 // Strategy selects the neighborhood computation (Section IV
 // "Optimizations" and the Figure 12 ablation).
 type Strategy int
@@ -80,6 +82,19 @@ type Options struct {
 	// Default 5.
 	LabelWeight int
 
+	// Sanitize selects how the facade entry points treat NaN, ±Inf and
+	// out-of-range values before detection: repair by interpolation
+	// (default), drop the bad points, or reject the series with an
+	// error. Internal pipeline stages always receive sanitized data.
+	Sanitize sanitize.Policy
+
+	// DegradeCandidates bounds the candidate count before the detector
+	// falls back from the configured INN strategy to the cheaper
+	// FixedKNN neighborhood (graceful degradation under candidate
+	// explosion — e.g. MAD collapse on hostile input). The downgrade is
+	// recorded on the Result. Default 4096; negative disables.
+	DegradeCandidates int
+
 	// Trees is the random-forest size. Default 100.
 	Trees int
 	// Seed drives every stochastic component (forest bagging, GMM
@@ -108,6 +123,9 @@ func (o Options) defaults() Options {
 	}
 	if o.LabelWeight <= 0 {
 		o.LabelWeight = 5
+	}
+	if o.DegradeCandidates == 0 {
+		o.DegradeCandidates = 4096
 	}
 	if o.Trees <= 0 {
 		o.Trees = 100

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"time"
 
 	"cabd/internal/inn"
 	"cabd/internal/sax"
@@ -156,31 +158,67 @@ func (sc *scorer) corpusFor(w int) []string {
 }
 
 // scoreAll computes the metric for every candidate in parallel (the
-// paper's Algorithm 3 computes the scores concurrently).
-func (sc *scorer) scoreAll(cands []Candidate) {
+// paper's Algorithm 3 computes the scores concurrently), checking ctx
+// between candidates so cancellation propagates promptly.
+//
+// Graceful degradation 2: when ctx carries a deadline, a small pilot
+// batch is scored first with the configured strategy and its measured
+// per-candidate cost projected over the rest; if the projection eats
+// more than half the remaining budget, scoring downgrades to the cheap
+// FixedKNN neighborhood for the remaining candidates. The return value
+// reports whether that happened.
+func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded bool, err error) {
+	if len(cands) == 0 {
+		return false, nil
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(cands) {
 		workers = len(cands)
 	}
-	if workers < 1 {
-		return
+	start := 0
+	if deadline, ok := ctx.Deadline(); ok && sc.opts.Strategy != FixedKNN {
+		pilot := 4
+		if pilot > len(cands) {
+			pilot = len(cands)
+		}
+		t0 := time.Now()
+		for i := 0; i < pilot; i++ {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			sc.score(&cands[i])
+		}
+		per := time.Since(t0) / time.Duration(pilot)
+		rounds := (len(cands) - pilot + workers - 1) / workers
+		if projected := per * time.Duration(rounds); projected > time.Until(deadline)/2 {
+			sc.opts.Strategy = FixedKNN
+			degraded = true
+		}
+		start = pilot
 	}
 	var wg sync.WaitGroup
-	ch := make(chan int, len(cands))
-	for i := range cands {
+	ch := make(chan int, len(cands)-start)
+	for i := start; i < len(cands); i++ {
 		ch <- i
 	}
 	close(ch)
+	var cancelled sync.Once
+	var ctxErr error
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range ch {
+				if e := ctx.Err(); e != nil {
+					cancelled.Do(func() { ctxErr = e })
+					return
+				}
 				sc.score(&cands[i])
 			}
 		}()
 	}
 	wg.Wait()
+	return degraded, ctxErr
 }
 
 func absInt(x int) int {

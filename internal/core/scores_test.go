@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -20,7 +21,7 @@ func scoreSeries(vals []float64, opts Options) []Candidate {
 		cands[i] = Candidate{Index: ci, SecondDiffZ: zsc[i]}
 	}
 	sc := newScorer(std, inn.FromSeries(zs), opts)
-	sc.scoreAll(cands)
+	sc.scoreAll(context.Background(), cands)
 	return cands
 }
 

@@ -128,6 +128,16 @@ type Result struct {
 	Queries int
 	// Rounds traces each active-learning round.
 	Rounds []RoundSnapshot
+
+	// Strategy is the neighborhood strategy actually used — it differs
+	// from the configured one when the run degraded.
+	Strategy Strategy
+	// Degraded is set when the detector fell back to FixedKNN scoring
+	// because the candidate count exceeded Options.DegradeCandidates or
+	// the context deadline left too little headroom for full INN
+	// computation. DegradeReason says which.
+	Degraded      bool
+	DegradeReason string
 }
 
 // AnomalyIndices returns the detected anomaly positions, sorted.

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"cabd/internal/core"
+	"cabd/internal/faultgen"
+	"cabd/internal/sanitize"
+	"cabd/internal/series"
+)
+
+// ChaosRow is one (fault family, dataset family) cell of the robustness
+// sweep: how the hardened pipeline behaved on input corrupted by that
+// fault family.
+type ChaosRow struct {
+	Fault    string
+	Family   string
+	Bad      int           // bad values sanitization intercepted
+	Repaired int           // points synthesized by interpolation
+	Anoms    int           // anomalies detected after repair
+	CleanRef int           // anomalies detected on the clean original
+	Degraded bool          // FixedKNN downgrade triggered
+	Panicked bool          // pipeline panic (must stay false)
+	Elapsed  time.Duration // detection wall time
+}
+
+// Chaos runs the fault-injection robustness sweep: every fault family is
+// injected into one series per dataset family, the result sanitized
+// under the default (interpolate) policy, and the detection pipeline run
+// with panic isolation. It is the cmd-level face of the
+// internal/faultgen test harness.
+func Chaos(sc Scale) []ChaosRow {
+	suites := [][]Dataset{sc.SynthSuite()[:1], sc.YahooSuite()[:1], sc.IoTSuite()[:1]}
+	det := core.NewDetector(core.Options{})
+	var rows []ChaosRow
+	for _, suite := range suites {
+		ds := suite[0]
+		cleanRef := len(det.Detect(ds.S).Anomalies)
+		for _, kind := range faultgen.Kinds() {
+			rng := rand.New(rand.NewSource(int64(len(rows) + 1)))
+			dirty, _ := faultgen.Inject(rng, ds.S.Values, kind)
+			row := ChaosRow{Fault: string(kind), Family: ds.Family, CleanRef: cleanRef}
+			clean, _, rep, err := sanitize.Series(dirty, sanitize.Config{})
+			if err != nil {
+				rows = append(rows, row)
+				continue
+			}
+			row.Bad = rep.Bad()
+			row.Repaired = len(rep.Repaired)
+			t0 := time.Now()
+			func() {
+				defer func() {
+					if p := recover(); p != nil {
+						row.Panicked = true
+					}
+				}()
+				res, derr := det.DetectCtx(context.Background(), series.New("chaos", clean))
+				if derr == nil {
+					row.Anoms = len(res.Anomalies)
+					row.Degraded = res.Degraded
+				}
+			}()
+			row.Elapsed = time.Since(t0)
+			rows = append(rows, row)
+		}
+	}
+	return rows
+}
+
+// PrintChaos renders the robustness sweep.
+func PrintChaos(w io.Writer, rows []ChaosRow) {
+	fmt.Fprintln(w, "Chaos: fault-injection robustness (sanitize=interpolate)")
+	fmt.Fprintf(w, "%-10s %-10s %6s %9s %7s %7s %9s %9s %10s\n",
+		"family", "fault", "bad", "repaired", "anoms", "clean", "degraded", "panicked", "elapsed")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %-10s %6d %9d %7d %7d %9v %9v %10s\n",
+			r.Family, r.Fault, r.Bad, r.Repaired, r.Anoms, r.CleanRef,
+			r.Degraded, r.Panicked, r.Elapsed.Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,171 @@
+// Package faultgen injects the failure modes real deployments feed a
+// detector — missing values, stuck sensors, corrupted floats, dropped
+// samples — into clean series. It is the chaos half of the robustness
+// harness: internal/synth builds a series with known ground truth,
+// faultgen corrupts it, and the fault-injection tests assert that every
+// entry point survives with bounded quality deviation. All injectors are
+// driven by a caller-supplied RNG, so runs are reproducible, and they
+// never modify their input.
+package faultgen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Kind names one fault family, for reports and CLI selection.
+type Kind string
+
+// Fault families.
+const (
+	// KindNaNRun replaces runs of points with NaN (transmission loss).
+	KindNaNRun Kind = "nan"
+	// KindFlatline holds the sensor at a constant value (stuck sensor).
+	KindFlatline Kind = "flatline"
+	// KindExtreme corrupts single points with ±Inf, NaN and huge finite
+	// magnitudes (bit corruption, unit blowups).
+	KindExtreme Kind = "extreme"
+	// KindDropout removes whole chunks of samples, shortening the series
+	// (gaps in an equally spaced feed).
+	KindDropout Kind = "dropout"
+)
+
+// Kinds lists every fault family.
+func Kinds() []Kind { return []Kind{KindNaNRun, KindFlatline, KindExtreme, KindDropout} }
+
+// Report says what one injector did.
+type Report struct {
+	Kind Kind
+	// Indices are the corrupted positions in the returned slice (for
+	// KindDropout: the positions, in the original slice, of the removed
+	// samples).
+	Indices []int
+}
+
+// NaNRuns returns a copy of values with `runs` runs of NaN of length
+// 1..maxLen at random positions.
+func NaNRuns(rng *rand.Rand, values []float64, runs, maxLen int) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindNaNRun}
+	for r := 0; r < runs && len(out) > 0; r++ {
+		length := 1 + rng.Intn(maxInt(maxLen, 1))
+		start := rng.Intn(len(out))
+		for i := start; i < start+length && i < len(out); i++ {
+			if !math.IsNaN(out[i]) {
+				rep.Indices = append(rep.Indices, i)
+			}
+			out[i] = math.NaN()
+		}
+	}
+	return out, rep
+}
+
+// Flatlines returns a copy of values with `runs` stuck-sensor segments of
+// length 2..maxLen: every point in a segment repeats the value at its
+// start, as a frozen transducer would report.
+func Flatlines(rng *rand.Rand, values []float64, runs, maxLen int) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindFlatline}
+	for r := 0; r < runs && len(out) > 1; r++ {
+		length := 2 + rng.Intn(maxInt(maxLen-1, 1))
+		start := rng.Intn(len(out))
+		held := out[start]
+		for i := start + 1; i < start+length && i < len(out); i++ {
+			out[i] = held
+			rep.Indices = append(rep.Indices, i)
+		}
+	}
+	return out, rep
+}
+
+// extremes is the corruption menu of KindExtreme: the values a flipped
+// exponent bit, an uninitialized read or a unit mix-up produce.
+var extremes = []float64{
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.MaxFloat64, -math.MaxFloat64, 1e300, -1e300,
+	math.SmallestNonzeroFloat64,
+}
+
+// Extremes returns a copy of values with `count` single points replaced
+// by hostile floats.
+func Extremes(rng *rand.Rand, values []float64, count int) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindExtreme}
+	for c := 0; c < count && len(out) > 0; c++ {
+		i := rng.Intn(len(out))
+		out[i] = extremes[rng.Intn(len(extremes))]
+		rep.Indices = append(rep.Indices, i)
+	}
+	return out, rep
+}
+
+// Dropout removes `chunks` chunks of 1..maxLen consecutive samples,
+// returning the shortened series — the shape a lossy, equally spaced feed
+// degrades into. Report.Indices lists the removed original positions.
+func Dropout(rng *rand.Rand, values []float64, chunks, maxLen int) ([]float64, Report) {
+	rep := Report{Kind: KindDropout}
+	if len(values) == 0 {
+		return nil, rep
+	}
+	drop := make([]bool, len(values))
+	for c := 0; c < chunks; c++ {
+		length := 1 + rng.Intn(maxInt(maxLen, 1))
+		start := rng.Intn(len(values))
+		for i := start; i < start+length && i < len(values); i++ {
+			drop[i] = true
+		}
+	}
+	out := make([]float64, 0, len(values))
+	for i, v := range values {
+		if drop[i] {
+			rep.Indices = append(rep.Indices, i)
+			continue
+		}
+		out = append(out, v)
+	}
+	return out, rep
+}
+
+// Inject applies one fault family at a severity scaled to the series
+// length (about 2% of points per family).
+func Inject(rng *rand.Rand, values []float64, kind Kind) ([]float64, Report) {
+	n := len(values)
+	budget := maxInt(n/50, 2)
+	switch kind {
+	case KindNaNRun:
+		return NaNRuns(rng, values, maxInt(budget/4, 1), 8)
+	case KindFlatline:
+		return Flatlines(rng, values, maxInt(budget/8, 1), 16)
+	case KindExtreme:
+		return Extremes(rng, values, budget)
+	case KindDropout:
+		return Dropout(rng, values, maxInt(budget/4, 1), 8)
+	default:
+		return clone(values), Report{Kind: kind}
+	}
+}
+
+// Chaos applies every fault family in sequence (dropout last, so the
+// index bookkeeping of the earlier reports stays meaningful for the
+// pre-dropout layout) and returns the corrupted series with all reports.
+func Chaos(rng *rand.Rand, values []float64) ([]float64, []Report) {
+	var reports []Report
+	out := clone(values)
+	for _, kind := range []Kind{KindFlatline, KindExtreme, KindNaNRun, KindDropout} {
+		var rep Report
+		out, rep = Inject(rng, out, kind)
+		reports = append(reports, rep)
+	}
+	return out, reports
+}
+
+func clone(values []float64) []float64 {
+	return append([]float64(nil), values...)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

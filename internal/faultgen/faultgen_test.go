@@ -1,0 +1,257 @@
+// The fault-injection harness of the robustness layer: synthetic series
+// with known ground truth are corrupted by every fault family, pushed
+// through sanitization and then through CABD (core, multivariate and
+// streaming) and the full baseline suite. The assertions are the
+// robustness contract: nothing panics, all output indices are sorted and
+// in range, and detection quality on repaired input stays within a
+// bounded deviation of the clean run.
+package faultgen_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"cabd/internal/baselines/bocpd"
+	"cabd/internal/baselines/common"
+	"cabd/internal/baselines/contextose"
+	"cabd/internal/baselines/donut"
+	"cabd/internal/baselines/fbag"
+	"cabd/internal/baselines/hbos"
+	"cabd/internal/baselines/iforest"
+	"cabd/internal/baselines/knncad"
+	"cabd/internal/baselines/luminol"
+	"cabd/internal/baselines/mcd"
+	"cabd/internal/baselines/numenta"
+	"cabd/internal/baselines/relent"
+	"cabd/internal/baselines/spot"
+	"cabd/internal/baselines/sr"
+	"cabd/internal/baselines/twitteresd"
+	"cabd/internal/changepoint"
+	"cabd/internal/core"
+	"cabd/internal/faultgen"
+	"cabd/internal/multi"
+	"cabd/internal/sanitize"
+	"cabd/internal/series"
+	"cabd/internal/stream"
+	"cabd/internal/synth"
+)
+
+// suite returns every baseline detector under its default configuration.
+func suite() []common.Detector {
+	return []common.Detector{
+		bocpd.New(bocpd.Config{}),
+		contextose.New(contextose.Config{}),
+		donut.New(donut.Config{}),
+		fbag.New(fbag.Config{}),
+		hbos.New(hbos.Config{}),
+		iforest.New(iforest.Config{}),
+		knncad.New(knncad.Config{}),
+		luminol.New(luminol.Config{}),
+		mcd.New(mcd.Config{}),
+		numenta.New(numenta.Config{}),
+		relent.New(relent.Config{}),
+		spot.New(spot.Config{}),
+		sr.New(sr.Config{}),
+		twitteresd.New(twitteresd.Config{}),
+	}
+}
+
+func cleanSeries(seed int64, n int) *series.Series {
+	return synth.Generate(synth.Config{
+		N: n, Seed: seed,
+		SingleFrac: 0.01, CollectiveFrac: 0.02, ChangeFrac: 0.005,
+	})
+}
+
+// corrupt builds the faulted variant for one fault family.
+func corrupt(t *testing.T, vals []float64, kind faultgen.Kind, seed int64) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out, rep := faultgen.Inject(rng, vals, kind)
+	if len(rep.Indices) == 0 {
+		t.Fatalf("%s injector corrupted nothing", kind)
+	}
+	return out
+}
+
+// checkIndices asserts the detection-output contract.
+func checkIndices(t *testing.T, who string, idx []int, n int) {
+	t.Helper()
+	if !sort.IntsAreSorted(idx) {
+		t.Errorf("%s: indices not sorted", who)
+	}
+	for _, i := range idx {
+		if i < 0 || i >= n {
+			t.Errorf("%s: index %d out of range [0, %d)", who, i, n)
+			return
+		}
+	}
+}
+
+// run calls f, converting a panic into a test failure instead of a crash.
+func run(t *testing.T, who string, f func()) {
+	t.Helper()
+	defer func() {
+		if p := recover(); p != nil {
+			t.Errorf("%s panicked: %v", who, p)
+		}
+	}()
+	f()
+}
+
+// TestCABDSurvivesEveryFaultFamily pushes every fault family through
+// sanitization and the core detector.
+func TestCABDSurvivesEveryFaultFamily(t *testing.T) {
+	s := cleanSeries(11, 2000)
+	det := core.NewDetector(core.Options{})
+	for _, kind := range faultgen.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			dirty := corrupt(t, s.Values, kind, 101)
+			clean, _, rep, err := sanitize.Series(dirty, sanitize.Config{})
+			if err != nil {
+				t.Fatalf("sanitize: %v", err)
+			}
+			if kind != faultgen.KindDropout && kind != faultgen.KindFlatline && rep.Bad() == 0 {
+				t.Fatalf("sanitize found nothing to repair after %s", kind)
+			}
+			var res *core.Result
+			run(t, "core.Detect", func() {
+				res = det.Detect(series.New("chaos", clean))
+			})
+			if res == nil {
+				return
+			}
+			checkIndices(t, "anomalies", res.AnomalyIndices(), len(clean))
+			checkIndices(t, "changepoints", res.ChangePointIndices(), len(clean))
+			if got, bound := len(res.Anomalies), len(clean)/4; got > bound {
+				t.Errorf("%s: detection flood: %d anomalies > %d", kind, got, bound)
+			}
+		})
+	}
+}
+
+// TestBoundedQualityDeviation compares the clean run against the
+// chaos-corrupted, sanitized run: repair must keep the detector usable,
+// not merely alive. The bounds are deliberately loose — chaos injects
+// real signal damage — but they fail on collapse (nothing found) and on
+// explosion (candidate flood).
+func TestBoundedQualityDeviation(t *testing.T) {
+	s := cleanSeries(17, 3000)
+	det := core.NewDetector(core.Options{})
+	base := det.Detect(s)
+	if len(base.Anomalies) == 0 {
+		t.Fatal("clean run found no anomalies; fixture is broken")
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	dirty, _ := faultgen.Chaos(rng, s.Values)
+	clean, _, _, err := sanitize.Series(dirty, sanitize.Config{})
+	if err != nil {
+		t.Fatalf("sanitize after chaos: %v", err)
+	}
+	res := det.Detect(series.New("chaos", clean))
+	if len(res.Anomalies) == 0 {
+		t.Error("chaos run collapsed to zero detections")
+	}
+	if lo, hi := len(base.Anomalies)/4, 6*len(base.Anomalies)+60; len(res.Anomalies) < lo || len(res.Anomalies) > hi {
+		t.Errorf("chaos run found %d anomalies, clean found %d — outside [%d, %d]",
+			len(res.Anomalies), len(base.Anomalies), lo, hi)
+	}
+}
+
+// TestBaselinesSurviveChaos drives the full baseline suite (14 anomaly
+// detectors + the PELT and BinSeg change-point searches) over sanitized
+// chaos input.
+func TestBaselinesSurviveChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("baseline sweep is slow")
+	}
+	s := cleanSeries(29, 1200)
+	rng := rand.New(rand.NewSource(31))
+	dirty, _ := faultgen.Chaos(rng, s.Values)
+	clean, _, _, err := sanitize.Series(dirty, sanitize.Config{})
+	if err != nil {
+		t.Fatalf("sanitize: %v", err)
+	}
+	cs := series.New("chaos", clean)
+	for _, det := range suite() {
+		det := det
+		t.Run(det.Name(), func(t *testing.T) {
+			var idx []int
+			run(t, det.Name(), func() { idx = det.Detect(cs) })
+			checkIndices(t, det.Name(), idx, len(clean))
+		})
+	}
+	t.Run("PELT", func(t *testing.T) {
+		var cps []int
+		run(t, "PELT", func() { cps = changepoint.PELT(clean, 10) })
+		checkIndices(t, "PELT", cps, len(clean)+1)
+	})
+	t.Run("BinSeg", func(t *testing.T) {
+		var cps []int
+		run(t, "BinSeg", func() { cps = changepoint.BinSeg(clean, 10, 2) })
+		checkIndices(t, "BinSeg", cps, len(clean)+1)
+	})
+}
+
+// TestMultiSurvivesChaos corrupts each dimension independently.
+func TestMultiSurvivesChaos(t *testing.T) {
+	s := cleanSeries(37, 1500)
+	dims := [][]float64{s.Values, make([]float64, len(s.Values))}
+	for i, v := range s.Values {
+		dims[1][i] = -0.5 * v
+	}
+	rng := rand.New(rand.NewSource(41))
+	dims[0], _ = faultgen.Inject(rng, dims[0], faultgen.KindNaNRun)
+	dims[1], _ = faultgen.Inject(rng, dims[1], faultgen.KindExtreme)
+	clean, _, _, err := sanitize.Multi(dims, sanitize.Config{})
+	if err != nil {
+		t.Fatalf("sanitize.Multi: %v", err)
+	}
+	det := multi.NewDetector(core.Options{})
+	var res *core.Result
+	run(t, "multi.Detect", func() {
+		res = det.Detect(multi.NewSeries("chaos", clean))
+	})
+	if res != nil {
+		checkIndices(t, "multi anomalies", res.AnomalyIndices(), len(clean[0]))
+	}
+}
+
+// TestStreamSurvivesChaos pushes raw (unsanitized) chaos output through
+// the streaming detector — Push's own bad-value interception is the
+// sanitizer there.
+func TestStreamSurvivesChaos(t *testing.T) {
+	s := cleanSeries(43, 2500)
+	rng := rand.New(rand.NewSource(47))
+	dirty, _ := faultgen.Chaos(rng, s.Values)
+	d := stream.New(stream.Config{Window: 600, Hop: 100})
+	run(t, "stream.Push", func() {
+		for _, v := range dirty {
+			for _, det := range d.Push(v) {
+				if det.Index < 0 || det.Index >= len(dirty) {
+					t.Fatalf("stream index %d out of range", det.Index)
+				}
+			}
+		}
+		d.Flush()
+	})
+	if d.Bad() == 0 {
+		t.Error("stream intercepted no bad values; chaos fixture is broken")
+	}
+}
+
+// TestInjectorsAreReproducible guards the seeded determinism contract.
+func TestInjectorsAreReproducible(t *testing.T) {
+	base := cleanSeries(53, 500).Values
+	for _, kind := range faultgen.Kinds() {
+		a, ra := faultgen.Inject(rand.New(rand.NewSource(59)), base, kind)
+		b, rb := faultgen.Inject(rand.New(rand.NewSource(59)), base, kind)
+		if fmt.Sprint(ra.Indices) != fmt.Sprint(rb.Indices) || len(a) != len(b) {
+			t.Errorf("%s: same seed produced different faults", kind)
+		}
+	}
+}

@@ -4,8 +4,16 @@
 // average log-spectrum and transforms back to obtain a saliency map.
 package fft
 
-import "math/cmplx"
-import "math"
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// ErrNotPow2 reports a transform length that is not a power of two. Use
+// errors.Is against the unwrapped error of TransformChecked /
+// InverseChecked.
+var ErrNotPow2 = fmt.Errorf("fft: length is not a power of two")
 
 // NextPow2 returns the smallest power of two >= n (and >= 1).
 func NextPow2(n int) int {
@@ -30,6 +38,34 @@ func IFFT(x []complex128) {
 	for i := range x {
 		x[i] /= n
 	}
+}
+
+// TransformChecked computes the in-place FFT of x, returning ErrNotPow2
+// (instead of panicking, as FFT does) when len(x) is not a power of two.
+// Prefer it whenever the length derives from runtime input.
+func TransformChecked(x []complex128) error {
+	if err := checkLen(len(x)); err != nil {
+		return err
+	}
+	transform(x, false)
+	return nil
+}
+
+// InverseChecked computes the in-place inverse FFT of x (including the
+// 1/n scale), returning ErrNotPow2 when len(x) is not a power of two.
+func InverseChecked(x []complex128) error {
+	if err := checkLen(len(x)); err != nil {
+		return err
+	}
+	IFFT(x)
+	return nil
+}
+
+func checkLen(n int) error {
+	if n != 0 && n&(n-1) != 0 {
+		return fmt.Errorf("%w (len %d)", ErrNotPow2, n)
+	}
+	return nil
 }
 
 func transform(x []complex128, inverse bool) {

@@ -1,6 +1,7 @@
 package fft
 
 import (
+	"errors"
 	"math"
 	"math/cmplx"
 	"math/rand"
@@ -125,6 +126,47 @@ func TestParsevalProperty(t *testing.T) {
 		}
 		if math.Abs(freqE/float64(n)-timeE) > 1e-6*timeE {
 			t.Fatalf("Parseval violated: %v vs %v", freqE/float64(n), timeE)
+		}
+	}
+}
+
+func TestCheckedVariantsRejectNonPow2(t *testing.T) {
+	for _, n := range []int{3, 5, 6, 7, 9, 100, 1000} {
+		x := make([]complex128, n)
+		if err := TransformChecked(x); !errors.Is(err, ErrNotPow2) {
+			t.Errorf("TransformChecked(len %d) = %v, want ErrNotPow2", n, err)
+		}
+		if err := InverseChecked(x); !errors.Is(err, ErrNotPow2) {
+			t.Errorf("InverseChecked(len %d) = %v, want ErrNotPow2", n, err)
+		}
+	}
+}
+
+func TestCheckedVariantsMatchUnchecked(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 8, 64} {
+		a := make([]complex128, n)
+		for i := range a {
+			a[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+		b := append([]complex128(nil), a...)
+		FFT(a)
+		if err := TransformChecked(b); err != nil {
+			t.Fatalf("TransformChecked(len %d): %v", n, err)
+		}
+		for i := range a {
+			if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("len %d: checked transform diverges at %d", n, i)
+			}
+		}
+		IFFT(a)
+		if err := InverseChecked(b); err != nil {
+			t.Fatalf("InverseChecked(len %d): %v", n, err)
+		}
+		for i := range a {
+			if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+				t.Fatalf("len %d: checked inverse diverges at %d", n, i)
+			}
 		}
 	}
 }

@@ -19,6 +19,8 @@
 package multi
 
 import (
+	"context"
+	"fmt"
 	"math"
 
 	"cabd/internal/core"
@@ -85,8 +87,8 @@ func (s *Series) ChangePointIndices() []int {
 }
 
 // Detector runs multivariate CABD. Options are the univariate option set;
-// the Strategy field selects Binary (default) or Linear INN computation
-// (MutualSetINN and FixedKNN fall back to Binary in this extension).
+// the Strategy field selects Binary (default), Linear INN or FixedKNN
+// computation (MutualSetINN falls back to Binary in this extension).
 type Detector struct {
 	opts core.Options
 	core *core.Detector
@@ -98,20 +100,40 @@ func NewDetector(opts core.Options) *Detector {
 	return &Detector{opts: c.Options(), core: c}
 }
 
+// Options returns the resolved option set.
+func (d *Detector) Options() core.Options { return d.opts }
+
 // Detect runs the unsupervised multivariate pipeline.
 func (d *Detector) Detect(s *Series) *core.Result {
-	return d.run(s, nil)
+	res, _ := d.DetectCtx(context.Background(), s)
+	return res
 }
 
 // DetectActive runs the pipeline with the CAL active-learning loop.
 func (d *Detector) DetectActive(s *Series, o core.Labeler) *core.Result {
-	return d.run(s, o)
+	res, _ := d.DetectActiveCtx(context.Background(), s, o)
+	return res
 }
 
-func (d *Detector) run(s *Series, o core.Labeler) *core.Result {
+// DetectCtx is Detect with cancellation: ctx is checked at stage
+// boundaries and periodically inside the per-candidate INN growth loop,
+// and a cancelled context returns ctx.Err() promptly.
+func (d *Detector) DetectCtx(ctx context.Context, s *Series) (*core.Result, error) {
+	return d.run(ctx, s, nil)
+}
+
+// DetectActiveCtx is DetectActive with cancellation.
+func (d *Detector) DetectActiveCtx(ctx context.Context, s *Series, o core.Labeler) (*core.Result, error) {
+	return d.run(ctx, s, o)
+}
+
+func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Result, error) {
 	n := s.Len()
 	if n < 4 || s.D() == 0 {
-		return &core.Result{}
+		return &core.Result{Strategy: d.opts.Strategy}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	// Standardize every dimension (Equation 2 per dimension).
 	std := make([][]float64, s.D())
@@ -140,10 +162,22 @@ func (d *Detector) run(s *Series, o core.Labeler) *core.Result {
 		}
 	}
 	if len(cands) == 0 {
-		return &core.Result{}
+		return &core.Result{Strategy: d.opts.Strategy}, nil
 	}
 	if len(cands) > n/4 {
 		cands = topByZ(cands, n/4)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Graceful degradation: a candidate explosion switches the joint
+	// neighborhood to the fixed-k variant, mirroring the univariate path.
+	strat := d.opts.Strategy
+	degradeReason := ""
+	if bound := d.opts.DegradeCandidates; bound > 0 && len(cands) > bound && strat != core.FixedKNN {
+		strat = core.FixedKNN
+		degradeReason = fmt.Sprintf("candidate count %d exceeds bound %d", len(cands), bound)
 	}
 
 	// Joint embedding and neighborhood computation.
@@ -151,15 +185,30 @@ func (d *Detector) run(s *Series, o core.Labeler) *core.Result {
 	comp := inn.NewNComputer(pts)
 	tlim := comp.RangeLimit(d.opts.RangeFrac)
 	for ci := range cands {
+		if ci%64 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		c := &cands[ci]
-		if d.opts.Strategy == core.LinearINN {
+		switch strat {
+		case core.LinearINN:
 			c.INN = comp.Minimal(c.Index, tlim)
-		} else {
+		case core.FixedKNN:
+			c.INN = comp.KNN(c.Index, d.opts.KNNK)
+		default:
 			c.INN = comp.Binary(c.Index, tlim)
 		}
 		d.score(c, std, zdim[c.Index])
 	}
-	return d.core.EvaluateCandidates(cands, n, o)
+	res, err := d.core.EvaluateCandidatesCtx(ctx, cands, n, o)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = strat
+	res.Degraded = degradeReason != ""
+	res.DegradeReason = degradeReason
+	return res, nil
 }
 
 // topByZ keeps the k strongest candidates (guard against MAD collapse).

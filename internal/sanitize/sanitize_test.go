@@ -1,0 +1,167 @@
+package sanitize
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestCleanInputPassesThrough(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5}
+	clean, index, rep, err := Series(values, Config{})
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if &clean[0] != &values[0] {
+		t.Error("clean input should pass through without copying")
+	}
+	if index != nil {
+		t.Error("identity mapping should be nil")
+	}
+	if !rep.Clean() {
+		t.Errorf("report not clean: %v", rep)
+	}
+}
+
+func TestInterpolateRepairsRuns(t *testing.T) {
+	nan := math.NaN()
+	values := []float64{0, nan, nan, 3, math.Inf(1), 5, 1e300}
+	clean, index, rep, err := Series(values, Config{})
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	if index != nil {
+		t.Error("interpolate keeps the layout; index must be nil")
+	}
+	want := []float64{0, 1, 2, 3, 4, 5, 5}
+	for i, v := range want {
+		if math.Abs(clean[i]-v) > 1e-12 {
+			t.Errorf("clean[%d] = %v, want %v", i, clean[i], v)
+		}
+	}
+	if rep.NaNs != 2 || rep.Infs != 1 || rep.Extremes != 1 {
+		t.Errorf("counts = nan:%d inf:%d extreme:%d, want 2/1/1", rep.NaNs, rep.Infs, rep.Extremes)
+	}
+	if got := rep.Repaired; len(got) != 4 {
+		t.Errorf("Repaired = %v, want 4 entries", got)
+	}
+	if !math.IsNaN(values[1]) {
+		t.Error("input slice was modified")
+	}
+}
+
+func TestInterpolateEdgeRuns(t *testing.T) {
+	nan := math.NaN()
+	clean, _, _, err := Series([]float64{nan, nan, 7, 8, nan}, Config{})
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	want := []float64{7, 7, 7, 8, 8}
+	for i, v := range want {
+		if clean[i] != v {
+			t.Errorf("clean[%d] = %v, want %v", i, clean[i], v)
+		}
+	}
+}
+
+func TestDropCompactsAndMaps(t *testing.T) {
+	nan := math.NaN()
+	values := []float64{10, nan, 12, 13, nan, 15}
+	clean, index, rep, err := Series(values, Config{Policy: Drop})
+	if err != nil {
+		t.Fatalf("Series: %v", err)
+	}
+	wantClean := []float64{10, 12, 13, 15}
+	wantIndex := []int{0, 2, 3, 5}
+	for i := range wantClean {
+		if clean[i] != wantClean[i] || index[i] != wantIndex[i] {
+			t.Errorf("kept[%d] = (%v, %d), want (%v, %d)",
+				i, clean[i], index[i], wantClean[i], wantIndex[i])
+		}
+	}
+	if len(rep.Dropped) != 2 {
+		t.Errorf("Dropped = %v, want 2 entries", rep.Dropped)
+	}
+}
+
+func TestRejectPolicy(t *testing.T) {
+	_, _, rep, err := Series([]float64{1, math.NaN(), 3, 4}, Config{Policy: Reject})
+	if !errors.Is(err, ErrBadValues) {
+		t.Fatalf("err = %v, want ErrBadValues", err)
+	}
+	if rep == nil || rep.NaNs != 1 {
+		t.Errorf("report should still count the bad values: %v", rep)
+	}
+}
+
+func TestDegenerateSeries(t *testing.T) {
+	if _, _, _, err := Series(nil, Config{}); !errors.Is(err, ErrEmpty) {
+		t.Errorf("nil input: err = %v, want ErrEmpty", err)
+	}
+	if _, _, _, err := Series([]float64{1, 2}, Config{}); !errors.Is(err, ErrTooShort) {
+		t.Errorf("short input: err = %v, want ErrTooShort", err)
+	}
+	nan := math.NaN()
+	if _, _, _, err := Series([]float64{nan, nan, nan, nan}, Config{}); !errors.Is(err, ErrAllBad) {
+		t.Errorf("all-NaN input: err = %v, want ErrAllBad", err)
+	}
+	_, _, rep, err := Series([]float64{2, 2, 2, 2, 2}, Config{})
+	if err != nil || !rep.Constant {
+		t.Errorf("constant series: err=%v constant=%v, want nil/true", err, rep.Constant)
+	}
+}
+
+func TestMulti(t *testing.T) {
+	nan := math.NaN()
+	dims := [][]float64{
+		{1, 2, nan, 4, 5, 6},
+		{9, 8, 7, math.Inf(-1), 5, 4},
+	}
+	clean, index, rep, err := Multi(dims, Config{})
+	if err != nil {
+		t.Fatalf("Multi: %v", err)
+	}
+	if index != nil {
+		t.Error("interpolate keeps layout")
+	}
+	if clean[0][2] != 3 || clean[1][3] != 6 {
+		t.Errorf("interpolated = %v / %v", clean[0][2], clean[1][3])
+	}
+	if len(rep.Repaired) != 2 {
+		t.Errorf("Repaired = %v, want [2 3]", rep.Repaired)
+	}
+
+	clean, index, rep, err = Multi(dims, Config{Policy: Drop})
+	if err != nil {
+		t.Fatalf("Multi drop: %v", err)
+	}
+	if len(clean[0]) != 4 || len(clean[1]) != 4 {
+		t.Errorf("drop should remove whole time steps: %v", clean)
+	}
+	wantIndex := []int{0, 1, 4, 5}
+	for i, w := range wantIndex {
+		if index[i] != w {
+			t.Errorf("index = %v, want %v", index, wantIndex)
+			break
+		}
+	}
+	if len(rep.Dropped) != 2 {
+		t.Errorf("Dropped = %v", rep.Dropped)
+	}
+
+	if _, _, _, err := Multi([][]float64{{1, 2}, {1}}, Config{}); !errors.Is(err, ErrRagged) {
+		t.Errorf("ragged dims: err = %v, want ErrRagged", err)
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for s, want := range map[string]Policy{"": Interpolate, "interpolate": Interpolate, "drop": Drop, "reject": Reject} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("ParsePolicy(bogus) should fail")
+	}
+}

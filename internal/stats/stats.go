@@ -3,8 +3,9 @@
 // quantiles, histograms and normalization helpers.
 //
 // All functions operate on []float64 and never modify their input unless
-// explicitly documented. NaN handling: inputs are assumed NaN-free; the
-// synthetic generators and loaders guarantee this.
+// explicitly documented. NaN handling: inputs are assumed NaN-free — the
+// internal/sanitize layer enforces this at every public entry point, and
+// the synthetic generators produce clean series by construction.
 package stats
 
 import (

@@ -8,6 +8,7 @@ package stream
 
 import (
 	"cabd/internal/core"
+	"cabd/internal/sanitize"
 	"cabd/internal/series"
 )
 
@@ -24,6 +25,13 @@ type Config struct {
 	// fresh level shift looks like an anomaly until its segment grows;
 	// default 16). Detections inside the margin wait for the next hop.
 	Margin int
+	// BadValue selects how Push treats NaN, ±Inf and out-of-range
+	// observations: sanitize.Interpolate (default) imputes the last good
+	// value so the window is never corrupted; sanitize.Drop (and Reject,
+	// which cannot signal an error from Push) discards the observation
+	// entirely — indices then refer to the accepted substream. Bad()
+	// reports how many observations were intercepted either way.
+	BadValue sanitize.Policy
 	// Detector options.
 	Options core.Options
 }
@@ -60,6 +68,10 @@ type Detector struct {
 	total    int       // observations seen
 	sinceRun int       // observations since the last analysis
 	emitted  map[int]bool
+
+	lastGood float64 // most recent finite observation
+	hasGood  bool
+	bad      int // bad observations intercepted
 }
 
 // New returns a streaming detector.
@@ -73,8 +85,21 @@ func New(cfg Config) *Detector {
 }
 
 // Push appends one observation and returns any newly confirmed
-// detections (often none; at most once per hop).
+// detections (often none; at most once per hop). A NaN, ±Inf or
+// out-of-range observation never reaches the window: it is imputed with
+// the last good value (default) or discarded, per Config.BadValue.
 func (d *Detector) Push(v float64) []Detection {
+	if !sanitize.Finite(v, sanitize.DefaultMaxAbs) {
+		d.bad++
+		if d.cfg.BadValue != sanitize.Interpolate || !d.hasGood {
+			// Drop/Reject policy, or no good value yet to impute with:
+			// the observation is discarded entirely.
+			return nil
+		}
+		v = d.lastGood
+	} else {
+		d.lastGood, d.hasGood = v, true
+	}
 	d.buf = append(d.buf, v)
 	if len(d.buf) > d.cfg.Window {
 		drop := len(d.buf) - d.cfg.Window
@@ -102,8 +127,13 @@ func (d *Detector) Flush() []Detection {
 	return d.analyzeWithMargin(0)
 }
 
-// Total returns the number of observations pushed.
+// Total returns the number of observations accepted into the stream
+// (imputed observations count; discarded bad ones do not).
 func (d *Detector) Total() int { return d.total }
+
+// Bad returns the number of bad (NaN/Inf/out-of-range) observations
+// intercepted by Push, whether imputed or discarded.
+func (d *Detector) Bad() int { return d.bad }
 
 func (d *Detector) analyze() []Detection {
 	return d.analyzeWithMargin(d.cfg.Margin)

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cabd/internal/core"
+	"cabd/internal/sanitize"
 )
 
 func signal(seed int64, n int, spikes []int) []float64 {
@@ -120,6 +121,65 @@ func TestFlushEmitsTail(t *testing.T) {
 	}
 	if !found {
 		t.Error("Flush did not emit the tail spike")
+	}
+}
+
+func TestPushImputesBadValues(t *testing.T) {
+	// A NaN/Inf observation must not corrupt the window: with the default
+	// policy it is imputed with the last good value, so the detections
+	// must match a stream where the caller did that replacement by hand.
+	vals := signal(6, 1400, []int{400, 1000})
+	dirty := append([]float64(nil), vals...)
+	clean := append([]float64(nil), vals...)
+	for _, i := range []int{200, 201, 202, 650, 1200} {
+		dirty[i] = math.NaN()
+		clean[i] = clean[i-1]
+	}
+	dirty[700] = math.Inf(1)
+	clean[700] = clean[699]
+	dirty[701] = 1e300 // finite but hostile: squares to +Inf
+	clean[701] = clean[700]
+
+	dDirty := New(Config{Window: 500, Hop: 60})
+	dClean := New(Config{Window: 500, Hop: 60})
+	gotDirty := runStream(dDirty, dirty)
+	gotClean := runStream(dClean, clean)
+	if len(gotDirty) != len(gotClean) {
+		t.Fatalf("detections differ: dirty %d vs clean %d", len(gotDirty), len(gotClean))
+	}
+	for i := range gotDirty {
+		if gotDirty[i] != gotClean[i] {
+			t.Errorf("detection %d differs: %+v vs %+v", i, gotDirty[i], gotClean[i])
+		}
+	}
+	if dDirty.Bad() != 7 {
+		t.Errorf("Bad() = %d, want 7", dDirty.Bad())
+	}
+	if dDirty.Total() != 1400 {
+		t.Errorf("Total() = %d, want 1400 (imputed observations count)", dDirty.Total())
+	}
+}
+
+func TestPushDropPolicy(t *testing.T) {
+	d := New(Config{Window: 200, Hop: 20, BadValue: sanitize.Drop})
+	d.Push(math.NaN()) // leading bad value with nothing to impute from
+	for i := 0; i < 50; i++ {
+		d.Push(float64(i))
+		d.Push(math.Inf(-1))
+	}
+	if d.Total() != 50 {
+		t.Errorf("Total = %d, want 50 accepted", d.Total())
+	}
+	if d.Bad() != 51 {
+		t.Errorf("Bad = %d, want 51", d.Bad())
+	}
+	if len(d.buf) != 50 {
+		t.Errorf("window holds %d points, want 50", len(d.buf))
+	}
+	for _, v := range d.buf {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("bad value leaked into the window")
+		}
 	}
 }
 

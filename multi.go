@@ -1,8 +1,13 @@
 package cabd
 
 import (
+	"context"
+	"runtime"
+	"sync"
+
 	"cabd/internal/core"
 	"cabd/internal/multi"
+	"cabd/internal/sanitize"
 	"cabd/internal/series"
 )
 
@@ -21,16 +26,117 @@ func NewMulti(opts Options) *MultiDetector {
 }
 
 // Detect runs the unsupervised pipeline over dims: a slice of d value
-// series, all the same length.
+// series, all the same length. Input is sanitized first under
+// Options.Sanitize — under SanitizeDrop a bad value in any dimension
+// removes that whole time step so the dimensions stay aligned. Hostile
+// input that cannot be detected on yields an empty Result whose Sanitize
+// report says why; use DetectCtx for the error-returning form.
 func (d *MultiDetector) Detect(dims [][]float64) *Result {
-	return convert(d.inner.Detect(multi.NewSeries("series", dims)))
+	res, _ := d.DetectCtx(context.Background(), dims)
+	return res
 }
 
 // DetectInteractive runs the active-learning pipeline; label receives the
 // time index of each queried point and returns its class.
 func (d *MultiDetector) DetectInteractive(dims [][]float64, label func(i int) Label) *Result {
-	s := multi.NewSeries("series", dims)
-	return convert(d.inner.DetectActive(s, multiLabeler(label)))
+	res, _ := d.DetectInteractiveCtx(context.Background(), dims, label)
+	return res
+}
+
+// DetectCtx is Detect with sanitization surfaced and cancellation: the
+// context is checked at stage boundaries and inside the neighborhood
+// loop, and a cancelled context returns ctx.Err() promptly. Panics in
+// the pipeline surface as *PanicError instead of crashing the process.
+func (d *MultiDetector) DetectCtx(ctx context.Context, dims [][]float64) (*Result, error) {
+	return d.detectCtx(ctx, dims, nil)
+}
+
+// DetectInteractiveCtx is DetectInteractive with sanitization and
+// cancellation. Under SanitizeDrop the labeler still receives time
+// indices in the caller's original layout.
+func (d *MultiDetector) DetectInteractiveCtx(ctx context.Context, dims [][]float64, label func(i int) Label) (*Result, error) {
+	return d.detectCtx(ctx, dims, label)
+}
+
+func (d *MultiDetector) detectCtx(ctx context.Context, dims [][]float64, label func(i int) Label) (*Result, error) {
+	clean, index, rep, err := sanitize.Multi(dims, sanitizeConfig(d.inner.Options()))
+	if err != nil {
+		return &Result{Sanitize: rep}, err
+	}
+	var o core.Labeler
+	if label != nil {
+		o = multiLabeler(func(i int) Label {
+			if index != nil {
+				i = index[i]
+			}
+			return label(i)
+		})
+	}
+	s := multi.NewSeries("series", clean)
+	cres, err := safeRun(func() (*core.Result, error) {
+		if o != nil {
+			return d.inner.DetectActiveCtx(ctx, s, o)
+		}
+		return d.inner.DetectCtx(ctx, s)
+	})
+	if err != nil {
+		return &Result{Sanitize: rep}, err
+	}
+	out := convert(cres)
+	out.Sanitize = rep
+	remap(out, index)
+	return out, nil
+}
+
+// DetectBatch runs unsupervised multivariate detection over many
+// independent series in parallel, with the same per-series sanitization
+// and panic isolation as Detector.DetectBatch.
+func (d *MultiDetector) DetectBatch(sets [][][]float64) []*Result {
+	out, _ := d.DetectBatchCtx(context.Background(), sets)
+	return out
+}
+
+// DetectBatchCtx is DetectBatch with cancellation and per-series errors;
+// the slices align with the input and a failing series never takes down
+// the worker pool.
+func (d *MultiDetector) DetectBatchCtx(ctx context.Context, sets [][][]float64) (results []*Result, errs []error) {
+	out := make([]*Result, len(sets))
+	errout := make([]error, len(sets))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sets) {
+		workers = len(sets)
+	}
+	if workers < 1 {
+		return out, errout
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int, len(sets))
+	for i := range sets {
+		ch <- i
+	}
+	close(ch)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if err := ctx.Err(); err != nil {
+					out[i], errout[i] = &Result{}, err
+					continue
+				}
+				res, err := d.DetectCtx(ctx, sets[i])
+				if pe, ok := err.(*PanicError); ok {
+					pe.Series = i
+				}
+				if res == nil {
+					res = &Result{}
+				}
+				out[i], errout[i] = res, err
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errout
 }
 
 type multiLabeler func(i int) Label

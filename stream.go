@@ -12,6 +12,12 @@ type StreamConfig struct {
 	// Margin is the trailing uncertainty zone: the freshest points wait
 	// one more hop before their detections are emitted (default 16).
 	Margin int
+	// BadValue selects how Push treats NaN, ±Inf and out-of-range
+	// observations: SanitizeInterpolate (default) imputes the last good
+	// value so the analysis window is never corrupted; SanitizeDrop
+	// discards the observation — indices then refer to the accepted
+	// substream. Bad() reports how many observations were intercepted.
+	BadValue SanitizePolicy
 	// Options configures the underlying detector.
 	Options Options
 }
@@ -33,18 +39,25 @@ type StreamDetector struct {
 // NewStream returns a streaming detector.
 func NewStream(cfg StreamConfig) *StreamDetector {
 	return &StreamDetector{inner: stream.New(stream.Config{
-		Window:  cfg.Window,
-		Hop:     cfg.Hop,
-		Margin:  cfg.Margin,
-		Options: cfg.Options,
+		Window:   cfg.Window,
+		Hop:      cfg.Hop,
+		Margin:   cfg.Margin,
+		BadValue: cfg.BadValue,
+		Options:  cfg.Options,
 	})}
 }
 
 // Push appends one observation and returns any newly confirmed
-// detections (usually none; at most a batch per hop).
+// detections (usually none; at most a batch per hop). A NaN, ±Inf or
+// out-of-range observation never corrupts the window — it is imputed or
+// discarded per StreamConfig.BadValue.
 func (d *StreamDetector) Push(v float64) []StreamDetection {
 	return convertStream(d.inner.Push(v))
 }
+
+// Bad returns the number of bad (NaN/Inf/out-of-range) observations
+// intercepted by Push so far.
+func (d *StreamDetector) Bad() int { return d.inner.Bad() }
 
 // Flush analyzes the final window with no trailing margin and returns the
 // remaining detections. Call once at end of stream.
