@@ -25,5 +25,11 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDetect -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime 30s .
 
+# -run '^$$' keeps the unit-test suite out of benchmark runs (without it
+# every `make bench` pays the full test suite first).
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -run '^$$' -bench=. -benchmem
+
+# Quick old-vs-new smoke of the INN probe engine (legacy vs rank).
+bench-inn:
+	$(GO) test -run '^$$' -bench 'BenchmarkINN' -benchmem .

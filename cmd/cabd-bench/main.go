@@ -8,7 +8,11 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi chaos.
+// table2 fig12 fig13 fig14 multi chaos inn.
+//
+// The runtime experiments (fig11, inn) additionally write their rows to
+// a machine-readable snapshot (-json, default BENCH_runtime.json; empty
+// string disables).
 package main
 
 import (
@@ -31,6 +35,8 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all'")
 	full := flag.Bool("full", false, "paper-scale datasets (slow: tens of minutes)")
 	list := flag.Bool("list", false, "list experiment ids")
+	jsonPath := flag.String("json", "BENCH_runtime.json",
+		"runtime snapshot output for fig11/inn ('' disables)")
 	flag.Parse()
 
 	sc := experiments.Scale{}
@@ -38,6 +44,7 @@ func main() {
 		sc = experiments.Full()
 	}
 	out := os.Stdout
+	var snap experiments.RuntimeSnapshot
 
 	runners := []runner{
 		{"fig1", "IoT example: error detection vs event preservation", func(sc experiments.Scale) {
@@ -72,7 +79,16 @@ func main() {
 			if *full {
 				sizes = experiments.Fig11Sizes
 			}
-			experiments.PrintFig11(out, experiments.Fig11(sizes))
+			snap.Fig11 = experiments.Fig11(sizes)
+			experiments.PrintFig11(out, snap.Fig11)
+		}},
+		{"inn", "INN probe engines: legacy k-NN probes vs rank queries", func(sc experiments.Scale) {
+			sizes := []int{2000, 5000}
+			if *full {
+				sizes = experiments.Fig11Sizes
+			}
+			snap.INN = experiments.INNEngines(sizes)
+			experiments.PrintINNEngines(out, snap.INN)
 		}},
 		{"table2", "active-learning accuracy/confidence trace", func(sc experiments.Scale) {
 			experiments.PrintTable2(out, experiments.Table2(sc))
@@ -124,6 +140,13 @@ func main() {
 		start := time.Now()
 		r.run(sc)
 		fmt.Fprintf(out, "  [%s completed in %.1fs]\n\n", id, time.Since(start).Seconds())
+	}
+	if *jsonPath != "" && !snap.Empty() {
+		if err := experiments.WriteRuntimeJSON(*jsonPath, snap); err != nil {
+			fmt.Fprintf(os.Stderr, "cabd-bench: writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(out, "runtime snapshot written to %s\n", *jsonPath)
 	}
 }
 

@@ -85,16 +85,20 @@ func (d *Detector) Detect(s *series.Series) []int {
 	train := d.cfg.Training
 	calib := d.cfg.Calibration
 
+	// One selection heap serves every non-conformity computation of this
+	// run (caller-supplied scratch, reused allocation-free).
+	scratch := make([]float64, 0, d.cfg.K)
+
 	// Calibration scores over the initial segment.
 	calScores := make([]float64, 0, calib)
 	for i := train; i < train+calib; i++ {
-		calScores = append(calScores, d.ncm(wins, i, i-train, i))
+		calScores = append(calScores, d.ncm(wins, i, i-train, i, scratch))
 	}
 	sorted := append([]float64(nil), calScores...)
 	sort.Float64s(sorted)
 
 	for i := train + calib; i < len(wins); i++ {
-		ncm := d.ncm(wins, i, i-train, i)
+		ncm := d.ncm(wins, i, i-train, i, scratch)
 		// Conformal p-value: fraction of calibration scores >= ncm.
 		pos := sort.SearchFloat64s(sorted, ncm)
 		p := float64(len(sorted)-pos+1) / float64(len(sorted)+1)
@@ -125,33 +129,59 @@ func (d *Detector) Detect(s *series.Series) []int {
 }
 
 // ncm is the non-conformity measure: sum of the k smallest distances from
-// window qi to the reference windows [lo, hi).
-func (d *Detector) ncm(wins [][]float64, qi, lo, hi int) float64 {
+// window qi to the reference windows [lo, hi). The k smallest are selected
+// with a size-k max-heap over squared distances in the caller-supplied
+// scratch buffer — O(w log k) with no allocation and sqrt only on the k
+// survivors, versus the former fresh O(w)-slice full sort per call.
+func (d *Detector) ncm(wins [][]float64, qi, lo, hi int, scratch []float64) float64 {
 	q := wins[qi]
-	dists := make([]float64, 0, hi-lo)
+	k := d.cfg.K
+	h := scratch[:0]
 	for j := lo; j < hi; j++ {
 		if j == qi {
 			continue
 		}
-		dists = append(dists, euclid(q, wins[j]))
-	}
-	sort.Float64s(dists)
-	k := d.cfg.K
-	if k > len(dists) {
-		k = len(dists)
+		dd := sqDist(q, wins[j])
+		if len(h) < k {
+			h = append(h, dd)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if h[p] >= h[c] {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+		} else if dd < h[0] {
+			h[0] = dd
+			for c := 0; ; {
+				l, r, m := 2*c+1, 2*c+2, c
+				if l < k && h[l] > h[m] {
+					m = l
+				}
+				if r < k && h[r] > h[m] {
+					m = r
+				}
+				if m == c {
+					break
+				}
+				h[c], h[m] = h[m], h[c]
+				c = m
+			}
+		}
 	}
 	var sum float64
-	for i := 0; i < k; i++ {
-		sum += dists[i]
+	for _, dd := range h {
+		sum += math.Sqrt(dd)
 	}
 	return sum
 }
 
-func euclid(a, b []float64) float64 {
+func sqDist(a, b []float64) float64 {
 	var s float64
 	for i := range a {
 		d := a[i] - b[i]
 		s += d * d
 	}
-	return math.Sqrt(s)
+	return s
 }

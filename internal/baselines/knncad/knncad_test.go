@@ -68,3 +68,60 @@ func TestDegenerate(t *testing.T) {
 		t.Errorf("tiny input: %v", got)
 	}
 }
+
+// TestNCMMatchesSortReference checks the heap selection against the
+// straightforward sort-the-distances definition, including k larger than
+// the reference window and duplicate windows (exact distance ties).
+func TestNCMMatchesSortReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 40; trial++ {
+		w := 3 + rng.Intn(40)
+		lag := 2 + rng.Intn(5)
+		wins := make([][]float64, w)
+		for i := range wins {
+			row := make([]float64, lag)
+			for j := range row {
+				row[j] = float64(rng.Intn(3)) // coarse values: ties abound
+			}
+			wins[i] = row
+		}
+		k := 1 + rng.Intn(12)
+		d := New(Config{K: k})
+		qi := rng.Intn(w)
+		scratch := make([]float64, 0, k)
+		got := d.ncm(wins, qi, 0, w, scratch)
+
+		var dists []float64
+		for j := 0; j < w; j++ {
+			if j == qi {
+				continue
+			}
+			var s float64
+			for x := range wins[j] {
+				dd := wins[j][x] - wins[qi][x]
+				s += dd * dd
+			}
+			dists = append(dists, math.Sqrt(s))
+		}
+		sortFloats(dists)
+		kk := k
+		if kk > len(dists) {
+			kk = len(dists)
+		}
+		var want float64
+		for i := 0; i < kk; i++ {
+			want += dists[i]
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: ncm = %v, want %v (w=%d k=%d)", trial, got, want, w, k)
+		}
+	}
+}
+
+func sortFloats(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

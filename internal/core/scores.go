@@ -20,13 +20,21 @@ type scorer struct {
 	tlim     int              // pruned search range
 	corpus   map[int][]string // sliding SAX words keyed by window length
 	corpusMu sync.Mutex
+
+	// forceDegrade makes the deadline pilot always downgrade, regardless
+	// of the timing projection — a deterministic hook for the
+	// feature-consistency tests (never set in production paths).
+	forceDegrade bool
 }
 
 func newScorer(values []float64, comp *inn.Computer, opts Options) *scorer {
 	return &scorer{
-		opts:   opts,
+		opts: opts,
+		// Candidates in one series grow overlapping neighborhoods, and a
+		// pair's reverse probe is a later candidate's forward probe, so
+		// all scoreAll workers share one bounded rank memo.
+		comp:   comp.WithRankMemo(0),
 		values: values,
-		comp:   comp,
 		tlim:   comp.RangeLimit(opts.RangeFrac),
 		corpus: make(map[int][]string),
 	}
@@ -190,11 +198,18 @@ func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded boo
 		}
 		per := time.Since(t0) / time.Duration(pilot)
 		rounds := (len(cands) - pilot + workers - 1) / workers
-		if projected := per * time.Duration(rounds); projected > time.Until(deadline)/2 {
+		start = pilot
+		if projected := per * time.Duration(rounds); projected > time.Until(deadline)/2 || sc.forceDegrade {
 			sc.opts.Strategy = FixedKNN
 			degraded = true
+			// Re-score the pilot batch under the degraded strategy:
+			// keeping its Binary-INN features would hand the classifier a
+			// training set with mixed neighborhood semantics (the pilot's
+			// Magnitude/extents mean something different from everyone
+			// else's), skewing both the hypothesis bootstrap and the
+			// confidence weights.
+			start = 0
 		}
-		start = pilot
 	}
 	var wg sync.WaitGroup
 	ch := make(chan int, len(cands)-start)

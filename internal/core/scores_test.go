@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"cabd/internal/inn"
 	"cabd/internal/series"
@@ -141,6 +143,58 @@ func TestAblationZeroesFeatures(t *testing.T) {
 	full := c.features(Options{})
 	if full[0] != 0.3 || full[1] != 0.4 || full[2] != 0.5 || full[3] != 0.6 {
 		t.Errorf("full features = %v", full)
+	}
+}
+
+// TestDegradedPilotRescored is the regression test for the mixed-feature
+// degradation bug: when the deadline pilot triggers the FixedKNN
+// downgrade, the pilot candidates must be re-scored under the degraded
+// strategy — every candidate's neighborhood, pilot batch included, must
+// carry FixedKNN semantics so the classifier trains on one feature space.
+func TestDegradedPilotRescored(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	vals := noisyBase(rng, 900)
+	for i := 200; i < 206; i++ {
+		vals[i] = 18
+	}
+	vals[500] = -22
+	for i := 700; i < 704; i++ {
+		vals[i] = 15
+	}
+	opts := Options{}.defaults() // Strategy = BinaryINN
+	std := stats.Standardize(vals)
+	zs := &series.Series{Name: "deg", Values: std}
+	idx, zsc := candidateIndices(zs, opts.CandidateZ)
+	if len(idx) <= 4 {
+		t.Fatalf("need more than a pilot's worth of candidates, got %d", len(idx))
+	}
+	cands := make([]Candidate, len(idx))
+	for i, ci := range idx {
+		cands[i] = Candidate{Index: ci, SecondDiffZ: zsc[i]}
+	}
+	comp := inn.FromSeries(zs)
+	sc := newScorer(std, comp, opts)
+	sc.forceDegrade = true
+	ctx, cancel := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel()
+	degraded, err := sc.scoreAll(ctx, cands)
+	if err != nil {
+		t.Fatalf("scoreAll: %v", err)
+	}
+	if !degraded {
+		t.Fatal("forced pilot degradation did not report degraded")
+	}
+	if sc.opts.Strategy != FixedKNN {
+		t.Fatalf("degraded strategy = %v, want FixedKNN", sc.opts.Strategy)
+	}
+	// Every candidate — pilot positions 0..3 included — must carry the
+	// FixedKNN neighborhood, not a leftover Binary-INN one.
+	for pos := range cands {
+		want := comp.KNN(cands[pos].Index, opts.KNNK)
+		if !reflect.DeepEqual(cands[pos].INN, want) {
+			t.Errorf("candidate %d (index %d): INN = %v, want FixedKNN %v",
+				pos, cands[pos].Index, cands[pos].INN, want)
+		}
 	}
 }
 

@@ -40,7 +40,9 @@
 package inn
 
 import (
+	"os"
 	"sort"
+	"sync"
 
 	"cabd/internal/kdtree"
 	"cabd/internal/series"
@@ -50,17 +52,66 @@ import (
 // anomalous pattern should not exceed 5% of the dataset (Section IV).
 const DefaultRangeFrac = 0.05
 
+// LegacyEngineEnv selects the naive probe engine when set to "legacy":
+// every mutual-membership probe answered by materializing a full k-NN
+// list and scanning it. Kept as the differential-test oracle for the
+// rank-query engine; see Computer.WithLegacyProbes.
+const LegacyEngineEnv = "CABD_INN_ENGINE"
+
 // Computer computes neighborhoods over a fixed set of 2-D points
 // (typically series.Points() of a standardized series). It is safe for
 // concurrent use after construction.
+//
+// Membership probes ("is x_j among the k nearest neighbors of x_i?") are
+// answered by a rank query: one allocation-free KD-tree walk counting the
+// points that order ahead of x_j under the (distance, index) tie-break,
+// so InTopK(i, j, k) is rank(i, j) < k with cost O(log n + |ball|)
+// instead of a full allocating k-NN query per probe. An optional bounded
+// memo caches ranks per (i, j) pair — the rank is independent of k, so
+// one cached walk answers every radius the gallop + binary search of
+// Algorithm 5 probes for that pair.
 type Computer struct {
-	pts  [][2]float64
-	tree *kdtree.KD
+	pts    [][2]float64
+	tree   *kdtree.KD
+	legacy bool      // answer probes via full k-NN lists (test oracle)
+	memo   *rankMemo // optional shared (i,j) -> rank cache
 }
 
-// NewComputer indexes pts (built once, queried many times).
+// NewComputer indexes pts (built once, queried many times). The probe
+// engine defaults to rank queries; setting CABD_INN_ENGINE=legacy in the
+// environment selects the naive k-NN-membership oracle instead.
 func NewComputer(pts [][2]float64) *Computer {
-	return &Computer{pts: pts, tree: kdtree.New(pts)}
+	return &Computer{
+		pts:    pts,
+		tree:   kdtree.New(pts),
+		legacy: os.Getenv(LegacyEngineEnv) == "legacy",
+	}
+}
+
+// WithLegacyProbes returns a copy of c whose mutual-membership probes use
+// the naive full-k-NN-scan path (on=true) or the rank-query engine
+// (on=false). The copy shares the index; the legacy path takes no memo.
+// This is the differential-testing and old-vs-new benchmarking hook.
+func (c *Computer) WithLegacyProbes(on bool) *Computer {
+	cc := *c
+	cc.legacy = on
+	if on {
+		cc.memo = nil
+	}
+	return &cc
+}
+
+// WithRankMemo returns a copy of c that caches rank probes in a bounded
+// sharded memo. capacity <= 0 selects the default (~64k entries). The
+// memo is shared by every neighborhood call on the returned Computer, so
+// concurrent scorer workers reuse each other's probe walks; it is safe
+// for concurrent use and never exceeds its bound (full shards reset).
+func (c *Computer) WithRankMemo(capacity int) *Computer {
+	cc := *c
+	if !cc.legacy {
+		cc.memo = newRankMemo(capacity)
+	}
+	return &cc
 }
 
 // FromSeries builds a Computer over the (standardized index, standardized
@@ -95,7 +146,15 @@ func (c *Computer) RangeLimit(frac float64) int {
 // KNN returns the indices of the k nearest neighbors of point i (excluding
 // i itself), ordered by increasing distance with index tie-break.
 func (c *Computer) KNN(i, k int) []int {
-	nbs := c.tree.KNN(c.pts[i], k, i)
+	// Small queries run over a stack scratch buffer so only the returned
+	// index slice allocates.
+	var scratch [64]kdtree.Neighbor
+	var nbs []kdtree.Neighbor
+	if k <= len(scratch) {
+		nbs = c.tree.KNNInto(c.pts[i], k, i, scratch[:0])
+	} else {
+		nbs = c.tree.KNN(c.pts[i], k, i)
+	}
 	out := make([]int, len(nbs))
 	for j, nb := range nbs {
 		out[j] = nb.Index
@@ -103,9 +162,58 @@ func (c *Computer) KNN(i, k int) []int {
 	return out
 }
 
+// Rank returns the number of points that order strictly ahead of x_j in
+// the (distance, index)-sorted neighbor list of x_i — the quantity one
+// probe needs: x_j ∈ NN_k(x_i) iff Rank(i, j) < k. One allocation-free
+// tree walk, memoized when the Computer carries a rank memo.
+func (c *Computer) Rank(i, j int) int {
+	if c.memo != nil {
+		key := uint64(i)*uint64(len(c.pts)) + uint64(j)
+		if r, ok := c.memo.get(key); ok {
+			return r
+		}
+		r := c.tree.Rank(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i)
+		c.memo.put(key, r)
+		return r
+	}
+	return c.tree.Rank(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i)
+}
+
 // InTopK reports whether point j is among the k nearest neighbors of
 // point i, i.e. x_j ∈ NN_k(x_i).
 func (c *Computer) InTopK(i, j, k int) bool {
+	n := len(c.pts)
+	if i == j || i < 0 || j < 0 || i >= n || j >= n {
+		return false
+	}
+	if c.legacy {
+		return c.legacyInTopK(i, j, k)
+	}
+	if k >= n {
+		return c.Rank(i, j) < k
+	}
+	// The probe only needs rank < k, so the walk may abort once k closer
+	// points are seen — a failing probe costs O(k) visits instead of the
+	// full ball of radius d(i, j). A memo hit still answers any k; a
+	// bounded result is cached only when it completed (exact rank).
+	if c.memo != nil {
+		key := uint64(i)*uint64(n) + uint64(j)
+		if r, ok := c.memo.get(key); ok {
+			return r < k
+		}
+		r := c.tree.RankAtMost(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i, k)
+		if r < k {
+			c.memo.put(key, r)
+		}
+		return r < k
+	}
+	return c.tree.RankAtMost(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i, k) < k
+}
+
+// legacyInTopK is the pre-rank-engine probe: materialize NN_k(x_i) and
+// scan it for j. O(t log n) with a fresh neighbor list and index slice
+// per probe; retained as the differential-test oracle.
+func (c *Computer) legacyInTopK(i, j, k int) bool {
 	for _, idx := range c.KNN(i, k) {
 		if idx == j {
 			return true
@@ -271,6 +379,55 @@ func (c *Computer) binarySide(i, dir, t int) int {
 		}
 	}
 	return best
+}
+
+// rankMemo is a bounded, sharded (query, target) -> rank cache. Probes
+// for the same pair recur across the offsetBound radii of the gallop +
+// binary search and across overlapping candidate neighborhoods (the
+// reverse probe of pair (i, j) is the forward probe of pair (j, i) when
+// both ends are candidates), and the rank itself is radius-independent,
+// so hit rates are high. Sharding keeps scorer workers from serializing
+// on one lock; a shard that reaches its bound is reset rather than
+// evicted entry-by-entry, so memory stays bounded with O(1) bookkeeping.
+type rankMemo struct {
+	shardCap int
+	shards   [memoShards]rankShard
+}
+
+const memoShards = 64
+
+type rankShard struct {
+	mu sync.Mutex
+	m  map[uint64]int32
+}
+
+func newRankMemo(capacity int) *rankMemo {
+	if capacity <= 0 {
+		capacity = 1 << 16
+	}
+	sc := (capacity + memoShards - 1) / memoShards
+	if sc < 8 {
+		sc = 8
+	}
+	return &rankMemo{shardCap: sc}
+}
+
+func (rm *rankMemo) get(key uint64) (int, bool) {
+	s := &rm.shards[key&(memoShards-1)]
+	s.mu.Lock()
+	v, ok := s.m[key]
+	s.mu.Unlock()
+	return int(v), ok
+}
+
+func (rm *rankMemo) put(key uint64, r int) {
+	s := &rm.shards[key&(memoShards-1)]
+	s.mu.Lock()
+	if s.m == nil || len(s.m) >= rm.shardCap {
+		s.m = make(map[uint64]int32, rm.shardCap)
+	}
+	s.m[key] = int32(r)
+	s.mu.Unlock()
 }
 
 // collect materializes the sorted member list for extents (left, right)

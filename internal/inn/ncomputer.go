@@ -1,6 +1,7 @@
 package inn
 
 import (
+	"os"
 	"sort"
 
 	"cabd/internal/kdtree"
@@ -11,15 +12,43 @@ import (
 // (standardized index, standardized value_1, ..., standardized value_d)
 // rows; the neighborhood semantics — per-offset mutual rank bound, 5%
 // search-range prune, contiguous runs — are identical to the univariate
-// case.
+// case, and so is the probe engine: rank queries by default, the naive
+// k-NN-membership oracle behind CABD_INN_ENGINE=legacy.
 type NComputer struct {
-	pts  [][]float64
-	tree *kdtree.ND
+	pts    [][]float64
+	tree   *kdtree.ND
+	legacy bool
+	memo   *rankMemo
 }
 
 // NewNComputer indexes pts (rows are points of equal dimension).
 func NewNComputer(pts [][]float64) *NComputer {
-	return &NComputer{pts: pts, tree: kdtree.NewND(pts)}
+	return &NComputer{
+		pts:    pts,
+		tree:   kdtree.NewND(pts),
+		legacy: os.Getenv(LegacyEngineEnv) == "legacy",
+	}
+}
+
+// WithLegacyProbes returns a copy of c using the naive probe path — the
+// differential-testing hook (see Computer.WithLegacyProbes).
+func (c *NComputer) WithLegacyProbes(on bool) *NComputer {
+	cc := *c
+	cc.legacy = on
+	if on {
+		cc.memo = nil
+	}
+	return &cc
+}
+
+// WithRankMemo returns a copy of c with a bounded shared rank-probe memo
+// (see Computer.WithRankMemo).
+func (c *NComputer) WithRankMemo(capacity int) *NComputer {
+	cc := *c
+	if !cc.legacy {
+		cc.memo = newRankMemo(capacity)
+	}
+	return &cc
 }
 
 // Len returns the number of indexed points.
@@ -48,7 +77,13 @@ func (c *NComputer) RangeLimit(frac float64) int {
 // KNN returns the indices of the k nearest neighbors of point i
 // (excluding i), ordered by increasing distance.
 func (c *NComputer) KNN(i, k int) []int {
-	nbs := c.tree.KNN(c.pts[i], k, i)
+	var scratch [64]kdtree.Neighbor
+	var nbs []kdtree.Neighbor
+	if k <= len(scratch) {
+		nbs = c.tree.KNNInto(c.pts[i], k, i, scratch[:0])
+	} else {
+		nbs = c.tree.KNN(c.pts[i], k, i)
+	}
 	out := make([]int, len(nbs))
 	for j, nb := range nbs {
 		out[j] = nb.Index
@@ -56,14 +91,51 @@ func (c *NComputer) KNN(i, k int) []int {
 	return out
 }
 
+// Rank returns the number of points ordering strictly ahead of x_j in the
+// (distance, index)-sorted neighbor list of x_i (see Computer.Rank).
+func (c *NComputer) Rank(i, j int) int {
+	if c.memo != nil {
+		key := uint64(i)*uint64(len(c.pts)) + uint64(j)
+		if r, ok := c.memo.get(key); ok {
+			return r
+		}
+		r := c.tree.Rank(c.pts[i], kdtree.DistN(c.pts[i], c.pts[j]), j, i)
+		c.memo.put(key, r)
+		return r
+	}
+	return c.tree.Rank(c.pts[i], kdtree.DistN(c.pts[i], c.pts[j]), j, i)
+}
+
 // InTopK reports whether point j is among the k nearest neighbors of i.
 func (c *NComputer) InTopK(i, j, k int) bool {
-	for _, idx := range c.KNN(i, k) {
-		if idx == j {
-			return true
-		}
+	n := len(c.pts)
+	if i == j || i < 0 || j < 0 || i >= n || j >= n {
+		return false
 	}
-	return false
+	if c.legacy {
+		for _, idx := range c.KNN(i, k) {
+			if idx == j {
+				return true
+			}
+		}
+		return false
+	}
+	if k >= n {
+		return c.Rank(i, j) < k
+	}
+	// Bounded probe: abort the rank walk at k (see Computer.InTopK).
+	if c.memo != nil {
+		key := uint64(i)*uint64(n) + uint64(j)
+		if r, ok := c.memo.get(key); ok {
+			return r < k
+		}
+		r := c.tree.RankAtMost(c.pts[i], kdtree.DistN(c.pts[i], c.pts[j]), j, i, k)
+		if r < k {
+			c.memo.put(key, r)
+		}
+		return r < k
+	}
+	return c.tree.RankAtMost(c.pts[i], kdtree.DistN(c.pts[i], c.pts[j]), j, i, k) < k
 }
 
 func (c *NComputer) mutualAt(i, dir, o, t int) bool {

@@ -1,15 +1,23 @@
-// Package kdtree implements a static 2-D KD-tree with k-nearest-neighbor
-// queries. The paper's runtime evaluation (Section V-D) uses a KD-tree to
-// accelerate neighbor search for the INN computation; this package is that
-// substrate. Points are [2]float64 (standardized index, standardized value)
-// and carry their original series index as payload.
+// Package kdtree implements a static 2-D KD-tree with k-nearest-neighbor,
+// range-count and rank queries. The paper's runtime evaluation (Section
+// V-D) uses a KD-tree to accelerate neighbor search for the INN
+// computation; this package is that substrate. Points are [2]float64
+// (standardized index, standardized value) and carry their original series
+// index as payload.
+//
+// All queries order neighbors by (distance, original index): among
+// equidistant points the smaller index ranks first. That tie-break is not
+// cosmetic — flat series embed as duplicate points, and the INN mutual-rank
+// probes need one deterministic answer to the question "is j among the k
+// nearest neighbors of i".
+//
+// Traversals are iterative (explicit stack, bounded by the balanced tree's
+// height) and allocation-free when the caller supplies buffers: KNNInto /
+// WithinInto reuse caller storage, and Rank / CountWithin count in a bare
+// tree walk with no candidate list at all.
 package kdtree
 
-import (
-	"container/heap"
-	"math"
-	"sort"
-)
+import "math"
 
 type node struct {
 	point       [2]float64
@@ -19,7 +27,8 @@ type node struct {
 }
 
 // New builds a KD-tree over pts. The original position of each point in
-// pts is retained and returned by queries. Building is O(n log n).
+// pts is retained and returned by queries. Building is O(n log n) via
+// median quickselect per level (expected linear per level, no full sort).
 func New(pts [][2]float64) *KD {
 	items := make([]item, len(pts))
 	for i, p := range pts {
@@ -47,12 +56,62 @@ func build(items []item, depth int) *node {
 		return nil
 	}
 	axis := depth % 2
-	sort.Slice(items, func(a, b int) bool { return items[a].p[axis] < items[b].p[axis] })
 	mid := len(items) / 2
+	medianSelect(items, mid, axis)
 	n := &node{point: items[mid].p, index: items[mid].i, axis: axis}
 	n.left = build(items[:mid], depth+1)
 	n.right = build(items[mid+1:], depth+1)
 	return n
+}
+
+// medianSelect partially orders items so that items[k] holds the k-th
+// axis-order statistic with no larger element before it and no smaller
+// element after it — exactly the invariant the KD split needs. Hoare
+// quickselect with a median-of-three pivot: expected O(n), robust against
+// the sorted index axis and against duplicate-heavy value axes (flat
+// series), both of which are quadratic for naive pivots.
+func medianSelect(items []item, k, axis int) {
+	lo, hi := 0, len(items)-1
+	for lo < hi {
+		// Median-of-three of (lo, mid, hi), moved to lo as the pivot.
+		mid := int(uint(lo+hi) >> 1)
+		if items[mid].p[axis] < items[lo].p[axis] {
+			items[mid], items[lo] = items[lo], items[mid]
+		}
+		if items[hi].p[axis] < items[mid].p[axis] {
+			items[hi], items[mid] = items[mid], items[hi]
+			if items[mid].p[axis] < items[lo].p[axis] {
+				items[mid], items[lo] = items[lo], items[mid]
+			}
+		}
+		items[lo], items[mid] = items[mid], items[lo]
+		p := items[lo].p[axis]
+		// Hoare partition: [lo..j] <= p <= [j+1..hi] on exit.
+		i, j := lo-1, hi+1
+		for {
+			for {
+				j--
+				if items[j].p[axis] <= p {
+					break
+				}
+			}
+			for {
+				i++
+				if items[i].p[axis] >= p {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			items[i], items[j] = items[j], items[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
 }
 
 // Neighbor is one k-NN query result.
@@ -61,96 +120,265 @@ type Neighbor struct {
 	Dist  float64 // Euclidean distance to the query point
 }
 
-// maxHeap of neighbors keyed by distance (largest on top) so we can evict
-// the worst candidate while scanning.
-type nnHeap []Neighbor
-
-func (h nnHeap) Len() int            { return len(h) }
-func (h nnHeap) Less(i, j int) bool  { return h[i].Dist > h[j].Dist }
-func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(Neighbor)) }
-func (h *nnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
+// worse reports whether a ranks strictly after b in the documented
+// (distance, index) neighbor order.
+func worse(a, b Neighbor) bool {
+	if a.Dist != b.Dist {
+		return a.Dist > b.Dist
+	}
+	return a.Index > b.Index
 }
 
-// KNN returns the k nearest neighbors of q, sorted by increasing distance.
-// When skipSelf >= 0, the point with that original index is excluded —
-// queries for a point already in the tree pass its own index. If fewer
-// than k points are available the result is shorter.
+// The candidate heap is a plain slice ordered as a max-heap under worse
+// (worst candidate on top), manipulated with inlined sift operations so no
+// interface boxing or allocation happens per push.
+
+func siftUp(h []Neighbor, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !worse(h[i], h[p]) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func siftDown(h []Neighbor, i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < n && worse(h[l], h[m]) {
+			m = l
+		}
+		if r < n && worse(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+// ascendingSort heap-sorts h (a worse-ordered max-heap) into ascending
+// (distance, index) order in place.
+func ascendingSort(h []Neighbor) {
+	for end := len(h) - 1; end > 0; end-- {
+		h[0], h[end] = h[end], h[0]
+		siftDown(h[:end], 0)
+	}
+}
+
+// maxStack bounds the explicit traversal stack. The tree is built by
+// median splits, so its height is ceil(log2(n+1)); 64 covers any
+// addressable point count.
+const maxStack = 64
+
+type frame struct {
+	n         *node
+	planeDist float64 // distance from the query to the node's split plane
+}
+
+// KNN returns the k nearest neighbors of q, sorted by increasing distance
+// with index tie-break. When skipSelf >= 0, the point with that original
+// index is excluded — queries for a point already in the tree pass its own
+// index. If fewer than k points are available the result is shorter.
 func (t *KD) KNN(q [2]float64, k int, skipSelf int) []Neighbor {
+	return t.KNNInto(q, k, skipSelf, nil)
+}
+
+// KNNInto is KNN with a caller-supplied result buffer: buf's storage is
+// reused when its capacity suffices, so steady-state queries allocate
+// nothing. The returned slice aliases buf.
+func (t *KD) KNNInto(q [2]float64, k, skipSelf int, buf []Neighbor) []Neighbor {
 	if k <= 0 || t.root == nil {
 		return nil
 	}
-	h := make(nnHeap, 0, k+1)
-	var search func(n *node)
-	search = func(n *node) {
-		if n == nil {
-			return
+	want := k
+	if want > t.n {
+		want = t.n
+	}
+	h := buf[:0]
+	if cap(h) < want {
+		h = make([]Neighbor, 0, want)
+	}
+	var stack [maxStack]frame
+	top := 0
+	cur := t.root
+	for cur != nil || top > 0 {
+		if cur == nil {
+			top--
+			f := stack[top]
+			// Tie-aware pruning: descend the far side unless the split
+			// plane is strictly farther than the current worst neighbor —
+			// an equal-distance point beyond it could still win on index.
+			if len(h) == k && f.planeDist > h[0].Dist {
+				continue
+			}
+			cur = f.n
 		}
-		if n.index != skipSelf {
-			d := dist(q, n.point)
+		if cur.index != skipSelf {
+			d := dist(q, cur.point)
+			nb := Neighbor{Index: cur.index, Dist: d}
 			if len(h) < k {
-				heap.Push(&h, Neighbor{Index: n.index, Dist: d})
-			} else if d < h[0].Dist {
-				heap.Pop(&h)
-				heap.Push(&h, Neighbor{Index: n.index, Dist: d})
+				h = append(h, nb)
+				siftUp(h, len(h)-1)
+			} else if worse(h[0], nb) {
+				// Tie-aware admission: replace the worst candidate when
+				// the new point wins on (distance, index), not only on
+				// strict distance.
+				h[0] = nb
+				siftDown(h, 0)
 			}
 		}
-		diff := q[n.axis] - n.point[n.axis]
-		near, far := n.left, n.right
+		diff := q[cur.axis] - cur.point[cur.axis]
+		near, far := cur.left, cur.right
 		if diff > 0 {
-			near, far = n.right, n.left
+			near, far = cur.right, cur.left
 		}
-		search(near)
-		// Only descend the far side if the splitting plane is closer
-		// than the current worst neighbor (or we still need points).
-		if len(h) < k || math.Abs(diff) < h[0].Dist {
-			search(far)
+		if far != nil {
+			stack[top] = frame{n: far, planeDist: math.Abs(diff)}
+			top++
 		}
+		cur = near
 	}
-	search(t.root)
-	out := make([]Neighbor, len(h))
-	copy(out, h)
-	sort.Slice(out, func(a, b int) bool {
-		if out[a].Dist != out[b].Dist {
-			return out[a].Dist < out[b].Dist
+	ascendingSort(h)
+	return h
+}
+
+// Rank returns how many indexed points (excluding skipSelf and the ranked
+// point itself) order strictly ahead of a point at distance d with
+// original index tieIndex under the (distance, index) neighbor order of
+// query q. For a point j in the tree with d = dist(q_i, p_j), tieIndex =
+// j, skipSelf = i, the result r satisfies: j is among the k nearest
+// neighbors of i iff r < k. The walk counts in place — no heap, no
+// allocation.
+func (t *KD) Rank(q [2]float64, d float64, tieIndex, skipSelf int) int {
+	return t.RankAtMost(q, d, tieIndex, skipSelf, t.n)
+}
+
+// RankAtMost is Rank with an early exit: the walk stops as soon as the
+// count reaches limit, so the return value is min(rank, limit). A top-k
+// membership probe only needs to distinguish rank < k from rank >= k, and
+// aborting at k bounds the work of a failing probe by the k points it
+// finds instead of the full ball of radius d. When the returned value is
+// strictly below limit the walk ran to completion and the result is the
+// exact rank. The near child is visited before the far child so the count
+// fills from the dense side out and the exit triggers early.
+func (t *KD) RankAtMost(q [2]float64, d float64, tieIndex, skipSelf, limit int) int {
+	count := 0
+	if limit <= 0 {
+		return 0
+	}
+	var stack [maxStack]*node
+	top := 0
+	cur := t.root
+	for cur != nil || top > 0 {
+		if cur == nil {
+			top--
+			cur = stack[top]
 		}
-		return out[a].Index < out[b].Index
-	})
+		if cur.index != skipSelf && cur.index != tieIndex {
+			dd := dist(q, cur.point)
+			if dd < d || (dd == d && cur.index < tieIndex) {
+				count++
+				if count >= limit {
+					return count
+				}
+			}
+		}
+		diff := q[cur.axis] - cur.point[cur.axis]
+		near, far := cur.left, cur.right
+		if diff > 0 {
+			near, far = cur.right, cur.left
+		}
+		// A far-side point is at least |diff| away; it can only tie or
+		// beat distance d when |diff| <= d.
+		if far != nil && math.Abs(diff) <= d {
+			stack[top] = far
+			top++
+		}
+		cur = near
+	}
+	return count
+}
+
+// CountWithin returns the number of points with distance <= r from q
+// (excluding skipSelf) in one allocation-free walk.
+func (t *KD) CountWithin(q [2]float64, r float64, skipSelf int) int {
+	count := 0
+	var stack [maxStack]*node
+	top := 0
+	cur := t.root
+	for cur != nil || top > 0 {
+		if cur == nil {
+			top--
+			cur = stack[top]
+		}
+		if cur.index != skipSelf && dist(q, cur.point) <= r {
+			count++
+		}
+		diff := q[cur.axis] - cur.point[cur.axis]
+		near, far := cur.left, cur.right
+		if diff > 0 {
+			near, far = cur.right, cur.left
+		}
+		if far != nil && math.Abs(diff) <= r {
+			stack[top] = far
+			top++
+		}
+		cur = near
+	}
+	return count
+}
+
+// Within returns all points with distance <= r from q (excluding
+// skipSelf), unsorted.
+func (t *KD) Within(q [2]float64, r float64, skipSelf int) []Neighbor {
+	return t.WithinInto(q, r, skipSelf, nil)
+}
+
+// WithinInto is Within with a caller-supplied result buffer; the returned
+// slice aliases buf when its capacity suffices.
+func (t *KD) WithinInto(q [2]float64, r float64, skipSelf int, buf []Neighbor) []Neighbor {
+	out := buf[:0]
+	var stack [maxStack]*node
+	top := 0
+	cur := t.root
+	for cur != nil || top > 0 {
+		if cur == nil {
+			top--
+			cur = stack[top]
+		}
+		if cur.index != skipSelf {
+			if d := dist(q, cur.point); d <= r {
+				out = append(out, Neighbor{Index: cur.index, Dist: d})
+			}
+		}
+		diff := q[cur.axis] - cur.point[cur.axis]
+		near, far := cur.left, cur.right
+		if diff > 0 {
+			near, far = cur.right, cur.left
+		}
+		if far != nil && math.Abs(diff) <= r {
+			stack[top] = far
+			top++
+		}
+		cur = near
+	}
+	if len(out) == 0 {
+		return nil
+	}
 	return out
 }
 
-// Within returns all points with distance <= r from q (excluding skipSelf),
-// unsorted.
-func (t *KD) Within(q [2]float64, r float64, skipSelf int) []Neighbor {
-	var out []Neighbor
-	var search func(n *node)
-	search = func(n *node) {
-		if n == nil {
-			return
-		}
-		if n.index != skipSelf {
-			if d := dist(q, n.point); d <= r {
-				out = append(out, Neighbor{Index: n.index, Dist: d})
-			}
-		}
-		diff := q[n.axis] - n.point[n.axis]
-		near, far := n.left, n.right
-		if diff > 0 {
-			near, far = n.right, n.left
-		}
-		search(near)
-		if math.Abs(diff) <= r {
-			search(far)
-		}
-	}
-	search(t.root)
-	return out
-}
+// Dist returns the Euclidean distance between two embedded points — the
+// exact metric every query in this package uses, exported so rank callers
+// compute bit-identical thresholds.
+func Dist(p, q [2]float64) float64 { return dist(p, q) }
 
 func dist(p, q [2]float64) float64 {
 	dx := p[0] - q[0]

@@ -36,6 +36,34 @@ func randomPoints(rng *rand.Rand, n int) [][2]float64 {
 	return pts
 }
 
+// gridPoints draws coordinates from a tiny integer grid so that duplicate
+// points and exact distance ties are the norm, not the exception — the
+// embedding of a flat series produces exactly this.
+func gridPoints(rng *rand.Rand, n int) [][2]float64 {
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{float64(rng.Intn(4)), float64(rng.Intn(4))}
+	}
+	return pts
+}
+
+// bruteRank counts the points ordering strictly ahead of index j under
+// the (distance, index) neighbor order of query q.
+func bruteRank(pts [][2]float64, q [2]float64, j, skip int) int {
+	dj := dist(q, pts[j])
+	count := 0
+	for m, p := range pts {
+		if m == skip || m == j {
+			continue
+		}
+		d := dist(q, p)
+		if d < dj || (d == dj && m < j) {
+			count++
+		}
+	}
+	return count
+}
+
 func TestKNNSimple(t *testing.T) {
 	pts := [][2]float64{{0, 0}, {1, 0}, {2, 0}, {10, 0}}
 	tr := New(pts)
@@ -79,32 +107,175 @@ func TestEmptyTree(t *testing.T) {
 	}
 }
 
-// Differential test: KD-tree KNN must exactly match brute force for many
-// random configurations (distances equal; indices equal up to distance
-// ties, which the deterministic tie-break makes exact).
+// Differential test: KD-tree KNN must exactly match brute force —
+// including indices, which the deterministic (distance, index) tie-break
+// makes exact — over both generic random points and duplicate-heavy grid
+// points where every query is riddled with distance ties.
 func TestKNNMatchesBruteForce(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	for trial := 0; trial < 60; trial++ {
+	for trial := 0; trial < 120; trial++ {
 		n := 1 + rng.Intn(200)
-		pts := randomPoints(rng, n)
+		var pts [][2]float64
+		if trial%2 == 0 {
+			pts = randomPoints(rng, n)
+		} else {
+			pts = gridPoints(rng, n)
+		}
 		tr := New(pts)
+		var buf []Neighbor
 		for qi := 0; qi < 10; qi++ {
 			q := [2]float64{rng.NormFloat64() * 10, rng.NormFloat64() * 10}
+			if rng.Intn(2) == 0 {
+				q = pts[rng.Intn(n)] // query on an indexed point: max ties
+			}
 			k := 1 + rng.Intn(12)
 			skip := -1
 			if rng.Intn(2) == 0 && n > 1 {
 				skip = rng.Intn(n)
 			}
-			got := tr.KNN(q, k, skip)
+			got := tr.KNNInto(q, k, skip, buf)
+			buf = got
 			want := bruteKNN(pts, q, k, skip)
 			if len(got) != len(want) {
 				t.Fatalf("trial %d: len %d vs %d", trial, len(got), len(want))
 			}
 			for i := range got {
-				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
-					t.Fatalf("trial %d: dist[%d] %v vs %v", trial, i, got[i].Dist, want[i].Dist)
+				if got[i].Index != want[i].Index || math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+					t.Fatalf("trial %d: result[%d] = %+v, want %+v (pts=%v q=%v k=%d skip=%d)",
+						trial, i, got[i], want[i], pts, q, k, skip)
 				}
 			}
+		}
+	}
+}
+
+// Regression for the arrival-order tie bug: with duplicate points, strict
+// `d < worst` admission could exclude an equal-distance neighbor with a
+// smaller index depending on tree traversal order. The documented
+// tie-break says the smaller index wins, always.
+func TestKNNTieBreakDuplicates(t *testing.T) {
+	// Several duplicates of the query point plus equidistant mirrors
+	// across the splitting plane, in every insertion order.
+	base := [][2]float64{{1, 1}, {1, 1}, {1, 1}, {0, 1}, {2, 1}, {1, 0}, {1, 2}, {5, 5}}
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		perm := rng.Perm(len(base))
+		pts := make([][2]float64, len(base))
+		for i, p := range perm {
+			pts[i] = base[p]
+		}
+		tr := New(pts)
+		for k := 1; k <= len(pts); k++ {
+			got := tr.KNN([2]float64{1, 1}, k, -1)
+			want := bruteKNN(pts, [2]float64{1, 1}, k, -1)
+			for i := range got {
+				if got[i].Index != want[i].Index {
+					t.Fatalf("trial %d k=%d: index[%d] = %d, want %d (pts=%v)",
+						trial, k, i, got[i].Index, want[i].Index, pts)
+				}
+			}
+		}
+	}
+}
+
+// Flat-series regression: all points identical — any k must select the k
+// smallest indices.
+func TestKNNAllDuplicates(t *testing.T) {
+	pts := make([][2]float64, 40)
+	for i := range pts {
+		pts[i] = [2]float64{3, 3}
+	}
+	tr := New(pts)
+	for _, k := range []int{1, 5, 17, 40} {
+		nn := tr.KNN([2]float64{3, 3}, k, 7)
+		if len(nn) != min(k, 39) {
+			t.Fatalf("k=%d: got %d results", k, len(nn))
+		}
+		wantIdx := 0
+		for i, nb := range nn {
+			if wantIdx == 7 {
+				wantIdx++ // skipSelf
+			}
+			if nb.Index != wantIdx || nb.Dist != 0 {
+				t.Fatalf("k=%d: result[%d] = %+v, want index %d dist 0", k, i, nb, wantIdx)
+			}
+			wantIdx++
+		}
+	}
+}
+
+// Rank must agree with the brute-force (distance, index) rank for every
+// indexed point, so that rank < k is exactly KNN membership.
+func TestRankMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 80; trial++ {
+		n := 2 + rng.Intn(120)
+		var pts [][2]float64
+		if trial%2 == 0 {
+			pts = randomPoints(rng, n)
+		} else {
+			pts = gridPoints(rng, n)
+		}
+		tr := New(pts)
+		for probe := 0; probe < 20; probe++ {
+			i := rng.Intn(n)
+			j := rng.Intn(n)
+			if i == j {
+				continue
+			}
+			got := tr.Rank(pts[i], dist(pts[i], pts[j]), j, i)
+			want := bruteRank(pts, pts[i], j, i)
+			if got != want {
+				t.Fatalf("trial %d: Rank(%d,%d) = %d, want %d (pts=%v)",
+					trial, i, j, got, want, pts)
+			}
+			// rank < k  <=>  j in KNN(i, k), for k around the rank.
+			for _, k := range []int{got, got + 1} {
+				if k == 0 {
+					continue
+				}
+				inKNN := false
+				for _, nb := range tr.KNN(pts[i], k, i) {
+					if nb.Index == j {
+						inKNN = true
+					}
+				}
+				if inKNN != (got < k) {
+					t.Fatalf("trial %d: rank %d vs KNN membership at k=%d disagree", trial, got, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCountWithinMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 60; trial++ {
+		n := 1 + rng.Intn(150)
+		var pts [][2]float64
+		if trial%2 == 0 {
+			pts = randomPoints(rng, n)
+		} else {
+			pts = gridPoints(rng, n)
+		}
+		tr := New(pts)
+		q := pts[rng.Intn(n)]
+		r := rng.Float64() * 6
+		skip := -1
+		if rng.Intn(2) == 0 {
+			skip = rng.Intn(n)
+		}
+		want := 0
+		for i, p := range pts {
+			if i != skip && dist(q, p) <= r {
+				want++
+			}
+		}
+		if got := tr.CountWithin(q, r, skip); got != want {
+			t.Fatalf("trial %d: CountWithin = %d, want %d", trial, got, want)
+		}
+		if got := len(tr.Within(q, r, skip)); got != want {
+			t.Fatalf("trial %d: Within len = %d, want %d", trial, got, want)
 		}
 	}
 }

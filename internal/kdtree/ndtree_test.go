@@ -56,10 +56,66 @@ func TestNDMatchesBruteForce(t *testing.T) {
 				t.Fatalf("dim %d: len %d vs %d", dim, len(got), len(want))
 			}
 			for i := range got {
-				if math.Abs(got[i].Dist-want[i].Dist) > 1e-9 {
-					t.Fatalf("dim %d: dist[%d] %v vs %v", dim, i, got[i].Dist, want[i].Dist)
+				if got[i].Index != want[i].Index || math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+					t.Fatalf("dim %d: result[%d] = %+v, want %+v", dim, i, got[i], want[i])
 				}
 			}
+		}
+	}
+}
+
+// TestNDTiesAndRank exercises duplicate-heavy grids: exact index order
+// under ties, and Rank/CountWithin agreement with brute force.
+func TestNDTiesAndRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + rng.Intn(80)
+		dim := 1 + rng.Intn(3)
+		pts := make([][]float64, n)
+		for i := range pts {
+			row := make([]float64, dim)
+			for j := range row {
+				row[j] = float64(rng.Intn(3))
+			}
+			pts[i] = row
+		}
+		tree := NewND(pts)
+		i := rng.Intn(n)
+		k := 1 + rng.Intn(8)
+		got := tree.KNN(pts[i], k, i)
+		want := bruteKNNND(pts, pts[i], k, i)
+		for x := range got {
+			if got[x].Index != want[x].Index {
+				t.Fatalf("trial %d: tie order index[%d] = %d, want %d",
+					trial, x, got[x].Index, want[x].Index)
+			}
+		}
+		j := rng.Intn(n)
+		if j == i {
+			continue
+		}
+		dj := distN(pts[i], pts[j])
+		wantRank := 0
+		for m, p := range pts {
+			if m == i || m == j {
+				continue
+			}
+			if d := distN(pts[i], p); d < dj || (d == dj && m < j) {
+				wantRank++
+			}
+		}
+		if gotRank := tree.Rank(pts[i], dj, j, i); gotRank != wantRank {
+			t.Fatalf("trial %d: ND Rank = %d, want %d", trial, gotRank, wantRank)
+		}
+		r := rng.Float64() * 3
+		wantCount := 0
+		for m, p := range pts {
+			if m != i && distN(pts[i], p) <= r {
+				wantCount++
+			}
+		}
+		if gotCount := tree.CountWithin(pts[i], r, i); gotCount != wantCount {
+			t.Fatalf("trial %d: ND CountWithin = %d, want %d", trial, gotCount, wantCount)
 		}
 	}
 }
