@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check fuzz bench
+.PHONY: all build vet test race check cover fuzz bench
 
 all: check
 
@@ -19,6 +19,18 @@ race:
 	$(GO) test -race ./...
 
 check: vet build race
+
+# Coverage floor for the observability layer: pure bookkeeping code with a
+# deterministic fake clock has no excuse for untested branches.
+OBS_COVER_FLOOR := 90
+cover:
+	$(GO) test -coverprofile=cover.out ./internal/obs
+	@$(GO) tool cover -func=cover.out | awk '/^total:/ { \
+		sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(OBS_COVER_FLOOR)) { \
+			printf "internal/obs coverage %s%% is below the $(OBS_COVER_FLOOR)%% floor\n", $$3; exit 1 \
+		} \
+		printf "internal/obs coverage %s%% (floor $(OBS_COVER_FLOOR)%%)\n", $$3 }'
 
 # Short native fuzzing campaigns against the sanitizing entry points.
 fuzz:

@@ -3,7 +3,10 @@ package cabd
 import (
 	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"cabd/internal/obs"
 )
 
 // DetectBatch runs unsupervised detection over many independent series in
@@ -25,21 +28,38 @@ func (d *Detector) DetectBatch(seriesSet [][]float64) []*Result {
 // ErrTooShort, ...) when its input was rejected, a *PanicError when its
 // detection crashed, or ctx.Err() for series not yet finished when the
 // context was cancelled. A failing series never takes down the pool —
-// the remaining series keep draining. Results are always non-nil, empty
-// on failure.
+// the remaining series keep draining — and every position is filled:
+// results[i] is always non-nil (empty on failure) and a crashed series
+// always carries its *PanicError rather than a nil hole.
 func (d *Detector) DetectBatchCtx(ctx context.Context, seriesSet [][]float64) (results []*Result, errs []error) {
-	out := make([]*Result, len(seriesSet))
-	errout := make([]error, len(seriesSet))
+	return batchDetect(ctx, d.inner.Options().Obs, len(seriesSet),
+		func(ctx context.Context, i int) (*Result, error) {
+			return d.DetectCtx(ctx, seriesSet[i])
+		})
+}
+
+// batchDetect is the shared worker pool behind Detector.DetectBatchCtx
+// and MultiDetector.DetectBatchCtx: one(i) detects series i, and every
+// item is wrapped in its own recover so a panic that escapes the
+// per-series pipeline (e.g. inside sanitization, outside safeRun's reach)
+// fails only that item instead of killing the worker and leaving nil
+// holes in both slices. The recorder — nil-safe — gets a batch_series
+// span per item (closed on success, error and panic alike), in-flight
+// gauge movement, and series/failure counters.
+func batchDetect(ctx context.Context, rec *obs.Recorder, n int,
+	one func(ctx context.Context, i int) (*Result, error)) ([]*Result, []error) {
+	out := make([]*Result, n)
+	errout := make([]error, n)
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(seriesSet) {
-		workers = len(seriesSet)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		return out, errout
 	}
 	var wg sync.WaitGroup
-	ch := make(chan int, len(seriesSet))
-	for i := range seriesSet {
+	ch := make(chan int, n)
+	for i := 0; i < n; i++ {
 		ch <- i
 	}
 	close(ch)
@@ -48,21 +68,53 @@ func (d *Detector) DetectBatchCtx(ctx context.Context, seriesSet [][]float64) (r
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				if err := ctx.Err(); err != nil {
-					out[i], errout[i] = &Result{}, err
-					continue
-				}
-				res, err := d.DetectCtx(ctx, seriesSet[i])
-				if pe, ok := err.(*PanicError); ok {
-					pe.Series = i
-				}
-				if res == nil {
-					res = &Result{}
-				}
-				out[i], errout[i] = res, err
+				batchOne(ctx, rec, i, out, errout, one)
 			}
 		}()
 	}
 	wg.Wait()
+	// Defense in depth: no current path leaves a hole (batchOne fills its
+	// slot even on panic), but an empty Result beats a nil dereference if
+	// one ever slips through.
+	for i := range out {
+		if out[i] == nil {
+			out[i] = &Result{}
+		}
+	}
 	return out, errout
+}
+
+// batchOne runs a single batch item with panic isolation and span
+// bookkeeping. The deferred block runs on every exit path — success,
+// context cancellation, or panic — so the per-series wall time and the
+// failure counters are recorded unconditionally.
+func batchOne(ctx context.Context, rec *obs.Recorder, i int,
+	out []*Result, errout []error, one func(ctx context.Context, i int) (*Result, error)) {
+	rec.AddGauge(obs.GaugeBatchInFlight, 1)
+	sp := rec.StartStage(obs.StageBatchSeries)
+	defer func() {
+		if p := recover(); p != nil {
+			out[i] = &Result{}
+			errout[i] = &PanicError{Series: i, Value: p, Stack: debug.Stack()}
+			rec.Add(obs.CounterPanicsContained, 1)
+		}
+		sp.End()
+		rec.AddGauge(obs.GaugeBatchInFlight, -1)
+		rec.Add(obs.CounterBatchSeries, 1)
+		if errout[i] != nil {
+			rec.Add(obs.CounterBatchFailures, 1)
+		}
+	}()
+	if err := ctx.Err(); err != nil {
+		out[i], errout[i] = &Result{}, err
+		return
+	}
+	res, err := one(ctx, i)
+	if pe, ok := err.(*PanicError); ok {
+		pe.Series = i
+	}
+	if res == nil {
+		res = &Result{}
+	}
+	out[i], errout[i] = res, err
 }

@@ -1,0 +1,198 @@
+package cabd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"cabd/internal/obs"
+)
+
+// seq forces the batch pool down to a single worker so a step-advancing
+// FakeClock sees strictly sequential spans (concurrent spans would steal
+// each other's auto-advance steps and make durations nondeterministic).
+func seq(t *testing.T) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(1)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// TestBatchDetectPanicIsolation pins the per-item recover contract of the
+// batch pool: a panicking item fills its own slot with an empty Result and
+// a *PanicError carrying its index, neighbors stay untouched, and — via
+// the deferred span bookkeeping — the recorder still sees the item's wall
+// time and failure counters.
+func TestBatchDetectPanicIsolation(t *testing.T) {
+	seq(t)
+	clk := obs.NewFakeClock(time.Time{})
+	clk.SetStep(time.Millisecond)
+	rec := obs.NewWithClock(clk)
+
+	out, errs := batchDetect(context.Background(), rec, 5,
+		func(ctx context.Context, i int) (*Result, error) {
+			if i == 2 {
+				panic("boom")
+			}
+			return &Result{Queries: i}, nil
+		})
+
+	if len(out) != 5 || len(errs) != 5 {
+		t.Fatalf("lengths = %d/%d, want 5/5", len(out), len(errs))
+	}
+	for i := range out {
+		if out[i] == nil {
+			t.Fatalf("nil hole at results[%d]", i)
+		}
+		if i == 2 {
+			continue
+		}
+		if errs[i] != nil {
+			t.Errorf("errs[%d] = %v, want nil", i, errs[i])
+		}
+		if out[i].Queries != i {
+			t.Errorf("results[%d] clobbered: %+v", i, out[i])
+		}
+	}
+	var pe *PanicError
+	if !errors.As(errs[2], &pe) {
+		t.Fatalf("errs[2] = %v (%T), want *PanicError", errs[2], errs[2])
+	}
+	if pe.Series != 2 || fmt.Sprint(pe.Value) != "boom" {
+		t.Errorf("PanicError = series %d value %v, want series 2 value boom", pe.Series, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError carries no stack")
+	}
+
+	// Span bookkeeping ran on every exit path: one 1ms span per item,
+	// including the panicked one.
+	if got := rec.StageCount(obs.StageBatchSeries); got != 5 {
+		t.Errorf("batch_series span count = %d, want 5", got)
+	}
+	if got := rec.StageTotal(obs.StageBatchSeries); got != 5*time.Millisecond {
+		t.Errorf("batch_series total = %v, want 5ms", got)
+	}
+	if got := rec.GaugeValue(obs.GaugeBatchInFlight); got != 0 {
+		t.Errorf("in-flight gauge = %d after drain, want 0", got)
+	}
+	if got := rec.Count(obs.CounterBatchSeries); got != 5 {
+		t.Errorf("batch_series_total = %d, want 5", got)
+	}
+	if got := rec.Count(obs.CounterBatchFailures); got != 1 {
+		t.Errorf("batch_failures_total = %d, want 1", got)
+	}
+	if got := rec.Count(obs.CounterPanicsContained); got != 1 {
+		t.Errorf("panics_contained_total = %d, want 1", got)
+	}
+}
+
+// TestBatchDetectCancelledContext verifies the regression fixed alongside
+// the observability work: a context cancelled before (or during) the batch
+// leaves no nil holes in either slice — every unfinished series carries
+// ctx.Err() and an empty Result, and its span is still recorded.
+func TestBatchDetectCancelledContext(t *testing.T) {
+	seq(t)
+	clk := obs.NewFakeClock(time.Time{})
+	clk.SetStep(time.Millisecond)
+	rec := obs.NewWithClock(clk)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, errs := batchDetect(ctx, rec, 4,
+		func(ctx context.Context, i int) (*Result, error) {
+			t.Errorf("item %d ran despite cancelled context", i)
+			return nil, nil
+		})
+	for i := range out {
+		if out[i] == nil {
+			t.Fatalf("nil hole at results[%d]", i)
+		}
+		if !errors.Is(errs[i], context.Canceled) {
+			t.Errorf("errs[%d] = %v, want context.Canceled", i, errs[i])
+		}
+	}
+	if got := rec.StageCount(obs.StageBatchSeries); got != 4 {
+		t.Errorf("span count = %d, want 4 (cancelled items still timed)", got)
+	}
+	if got := rec.Count(obs.CounterBatchFailures); got != 4 {
+		t.Errorf("batch_failures_total = %d, want 4", got)
+	}
+	if got := rec.Count(obs.CounterPanicsContained); got != 0 {
+		t.Errorf("panics_contained_total = %d, want 0", got)
+	}
+}
+
+// TestBatchDetectErrorNoHoles drives an error-returning (non-panicking)
+// item and a nil-Result success through the pool: errors surface in place,
+// a nil Result from the callback is replaced by an empty one, and failure
+// counters see exactly the failing items.
+func TestBatchDetectErrorNoHoles(t *testing.T) {
+	seq(t)
+	rec := obs.New()
+	sentinel := errors.New("rejected")
+	out, errs := batchDetect(context.Background(), rec, 3,
+		func(ctx context.Context, i int) (*Result, error) {
+			switch i {
+			case 0:
+				return nil, sentinel
+			case 1:
+				return nil, nil // nil Result on success must not become a hole
+			default:
+				return &Result{Queries: 7}, nil
+			}
+		})
+	if !errors.Is(errs[0], sentinel) || errs[1] != nil || errs[2] != nil {
+		t.Errorf("errs = %v, want [sentinel nil nil]", errs)
+	}
+	for i := range out {
+		if out[i] == nil {
+			t.Fatalf("nil hole at results[%d]", i)
+		}
+	}
+	if out[2].Queries != 7 {
+		t.Errorf("successful result clobbered: %+v", out[2])
+	}
+	if got := rec.Count(obs.CounterBatchFailures); got != 1 {
+		t.Errorf("batch_failures_total = %d, want 1", got)
+	}
+}
+
+// TestDetectBatchCtxPanicSeriesIndex runs the exported API end to end with
+// one hostile series (sanitize-rejected) among healthy ones and checks the
+// alignment contract on the public surface.
+func TestDetectBatchCtxPanicSeriesIndex(t *testing.T) {
+	healthy := make([]float64, 400)
+	for i := range healthy {
+		healthy[i] = float64(i % 17)
+	}
+	rec := NewRecorder()
+	det := New(Options{Seed: 1, Obs: rec})
+	out, errs := det.DetectBatchCtx(context.Background(), [][]float64{
+		healthy,
+		nil, // rejected by sanitization
+		healthy,
+	})
+	if len(out) != 3 || len(errs) != 3 {
+		t.Fatalf("lengths = %d/%d", len(out), len(errs))
+	}
+	for i, r := range out {
+		if r == nil {
+			t.Fatalf("nil hole at results[%d]", i)
+		}
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy series failed: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil {
+		t.Error("empty series produced no error")
+	}
+	if got := rec.Count(obs.CounterBatchSeries); got != 3 {
+		t.Errorf("batch_series_total = %d, want 3", got)
+	}
+	if got := rec.Count(obs.CounterBatchFailures); got != 1 {
+		t.Errorf("batch_failures_total = %d, want 1", got)
+	}
+}

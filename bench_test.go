@@ -276,6 +276,33 @@ func BenchmarkDetectUnsupervised2k(b *testing.B) {
 
 func newBenchDetector() *Detector { return New(Options{}) }
 
+// BenchmarkDetect2kObs compares the 2k-point pipeline with no recorder
+// against one with a shared Recorder attached. The nil case must stay
+// within noise of BenchmarkDetectUnsupervised2k (the recorder hooks are
+// nil-checked no-ops, zero extra allocations); the enabled case bounds the
+// real instrumentation cost (<5% is the acceptance budget).
+func BenchmarkDetect2kObs(b *testing.B) {
+	sc := experiments.Scale{SynthN: 2000, SynthCount: 1, YahooN: 2000,
+		YahooCount: 1, KPIN: 2000, KPICount: 1, IoTN: 800}
+	ds := sc.YahooSuite()[0]
+	b.Run("nil", func(b *testing.B) {
+		det := New(Options{})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			det.Detect(ds.S.Values)
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		det := New(Options{Obs: NewRecorder()})
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			det.Detect(ds.S.Values)
+		}
+	})
+}
+
 func BenchmarkMultiExtension(b *testing.B) {
 	sc := experiments.Scale{SynthN: 1200, SynthCount: 1, YahooN: 400,
 		YahooCount: 1, KPIN: 800, KPICount: 1, IoTN: 400}

@@ -92,6 +92,9 @@ type Result struct {
 	// and too-short flags). Nil only for results built outside the
 	// sanitizing entry points.
 	Sanitize *SanitizeReport
+	// Stages is the per-stage wall time of this run, populated only when
+	// Options.Obs carries a recorder.
+	Stages StageTimings
 	// Strategy is the neighborhood strategy actually used; it differs
 	// from the configured one when the run degraded.
 	Strategy Strategy
@@ -163,6 +166,7 @@ func (f labelerFunc) Label(i int) series.Label { return series.Label(f(i)) }
 func convert(res *core.Result) *Result {
 	out := &Result{
 		Queries:       res.Queries,
+		Stages:        res.Stages,
 		Strategy:      res.Strategy,
 		Degraded:      res.Degraded,
 		DegradeReason: res.DegradeReason,

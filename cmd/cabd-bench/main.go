@@ -8,11 +8,13 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi chaos inn.
+// table2 fig12 fig13 fig14 multi chaos inn obs.
 //
-// The runtime experiments (fig11, inn) additionally write their rows to
-// a machine-readable snapshot (-json, default BENCH_runtime.json; empty
-// string disables).
+// The runtime experiments (fig11, inn, obs) additionally write their rows
+// to a machine-readable snapshot (-json, default BENCH_runtime.json; empty
+// string disables). With -metrics the obs experiment also merges its
+// recorder snapshot — counters, degrade reasons, stage histograms — into
+// the JSON.
 package main
 
 import (
@@ -36,7 +38,9 @@ func main() {
 	full := flag.Bool("full", false, "paper-scale datasets (slow: tens of minutes)")
 	list := flag.Bool("list", false, "list experiment ids")
 	jsonPath := flag.String("json", "BENCH_runtime.json",
-		"runtime snapshot output for fig11/inn ('' disables)")
+		"runtime snapshot output for fig11/inn/obs ('' disables)")
+	metrics := flag.Bool("metrics", false,
+		"merge the obs recorder snapshot (counters, histograms) of the obs experiment into the runtime JSON")
 	flag.Parse()
 
 	sc := experiments.Scale{}
@@ -89,6 +93,18 @@ func main() {
 			}
 			snap.INN = experiments.INNEngines(sizes)
 			experiments.PrintINNEngines(out, snap.INN)
+		}},
+		{"obs", "pipeline stage profile from the observability recorder", func(sc experiments.Scale) {
+			sizes := []int{2000, 5000}
+			if *full {
+				sizes = experiments.Fig11Sizes
+			}
+			rows, osnap := experiments.StageProfile(sizes)
+			snap.Stages = rows
+			if *metrics {
+				snap.Obs = osnap
+			}
+			experiments.PrintStageProfile(out, rows)
 		}},
 		{"table2", "active-learning accuracy/confidence trace", func(sc experiments.Scale) {
 			experiments.PrintTable2(out, experiments.Table2(sc))

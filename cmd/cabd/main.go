@@ -41,6 +41,7 @@ func main() {
 	rangeFrac := flag.Float64("range", 0.05, "INN search-range prune as a fraction of the series")
 	sanitizeFlag := flag.String("sanitize", "interpolate", "bad-value policy: interpolate, drop or reject")
 	timeout := flag.Duration("timeout", 0, "overall deadline (e.g. 30s); 0 means none")
+	metrics := flag.Bool("metrics", false, "print pipeline metrics (stage timings + Prometheus text) on stderr")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: cabd [flags] series.csv\n\n")
 		flag.PrintDefaults()
@@ -60,6 +61,11 @@ func main() {
 		MaxQueries: *maxQueries,
 		RangeFrac:  *rangeFrac,
 		Sanitize:   policy,
+	}
+	var rec *cabd.Recorder
+	if *metrics {
+		rec = cabd.NewRecorder()
+		opts.Obs = rec
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -123,6 +129,12 @@ func main() {
 	}
 	for _, d := range res.ChangePoints {
 		fmt.Printf("%d\tchange\t%s\t%.2f\n", d.Index, d.Subtype, d.Confidence)
+	}
+	if rec != nil {
+		for stage, secs := range res.Stages.Seconds() {
+			fmt.Fprintf(os.Stderr, "# stage %s: %.6fs\n", stage, secs)
+		}
+		rec.WritePrometheus(os.Stderr)
 	}
 }
 

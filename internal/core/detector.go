@@ -9,6 +9,7 @@ import (
 
 	"cabd/internal/inn"
 	"cabd/internal/ml/forest"
+	"cabd/internal/obs"
 	"cabd/internal/series"
 	"cabd/internal/stats"
 )
@@ -68,6 +69,7 @@ func (d *Detector) DetectActiveCtx(ctx context.Context, s *series.Series, o Labe
 }
 
 func (d *Detector) run(ctx context.Context, s *series.Series, o Labeler) (*Result, error) {
+	t := d.opts.Obs.NewTrace()
 	res := &Result{Strategy: d.opts.Strategy}
 	n := s.Len()
 	if n < 4 {
@@ -82,14 +84,20 @@ func (d *Detector) run(ctx context.Context, s *series.Series, o Labeler) (*Resul
 	zs := &series.Series{Name: s.Name, Values: std}
 
 	// Step 1: candidate estimation.
-	idx, zscores := candidateIndices(zs, d.opts.CandidateZ)
+	var idx []int
+	var zscores []float64
+	t.Do(obs.StageCandidates, func() {
+		idx, zscores = candidateIndices(zs, d.opts.CandidateZ)
+	})
 	if len(idx) == 0 {
+		res.Stages = t.Timings()
 		return res, nil
 	}
 	cands := make([]Candidate, len(idx))
 	for i, ci := range idx {
 		cands[i] = Candidate{Index: ci, SecondDiffZ: zscores[i]}
 	}
+	t.Add(obs.CounterCandidates, int64(len(cands)))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -108,21 +116,33 @@ func (d *Detector) run(ctx context.Context, s *series.Series, o Labeler) (*Resul
 	// degrade further when the context deadline leaves no headroom.
 	comp := inn.FromSeries(zs)
 	sc := newScorer(std, comp, opts)
-	deadlineDegraded, err := sc.scoreAll(ctx, cands)
-	if err != nil {
-		return nil, err
+	var deadlineDegraded bool
+	var scoreErr error
+	t.Do(obs.StageINNScore, func() {
+		deadlineDegraded, scoreErr = sc.scoreAll(ctx, cands)
+	})
+	if hits, misses := sc.memoStats(); hits+misses > 0 {
+		t.Add(obs.CounterRankMemoHits, hits)
+		t.Add(obs.CounterRankMemoMisses, misses)
+	}
+	if scoreErr != nil {
+		return nil, scoreErr
 	}
 	if deadlineDegraded && degradeReason == "" {
 		degradeReason = "context deadline headroom too small for INN scoring"
 	}
 
-	res, err = d.EvaluateCandidatesCtx(ctx, cands, n, o)
+	res, err := d.evaluateCtx(ctx, cands, n, o, t)
 	if err != nil {
 		return nil, err
 	}
 	res.Strategy = sc.opts.Strategy
 	res.Degraded = degradeReason != ""
 	res.DegradeReason = degradeReason
+	if degradeReason != "" {
+		d.opts.Obs.Degraded(degradeReason)
+	}
+	res.Stages = t.Timings()
 	return res, nil
 }
 
@@ -143,6 +163,19 @@ func (d *Detector) EvaluateCandidates(cands []Candidate, n int, o Labeler) *Resu
 // before every random-forest training pass — the expensive inner step —
 // and between active-learning rounds.
 func (d *Detector) EvaluateCandidatesCtx(ctx context.Context, cands []Candidate, n int, o Labeler) (*Result, error) {
+	t := d.opts.Obs.NewTrace()
+	res, err := d.evaluateCtx(ctx, cands, n, o, t)
+	if err != nil {
+		return nil, err
+	}
+	res.Stages = t.Timings()
+	return res, nil
+}
+
+// evaluateCtx is the trace-carrying core of EvaluateCandidatesCtx; run()
+// passes its own trace so the per-run StageTimings cover the whole
+// pipeline, while the exported entry point opens a fresh one.
+func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o Labeler, t *obs.Trace) (*Result, error) {
 	res := &Result{Strategy: d.opts.Strategy}
 	if len(cands) == 0 {
 		return res, nil
@@ -153,9 +186,14 @@ func (d *Detector) EvaluateCandidatesCtx(ctx context.Context, cands []Candidate,
 	rng := rand.New(rand.NewSource(d.opts.Seed))
 
 	// Step 3: score evaluation — bootstrap pseudo-labels, then classify.
-	pseudo := bootstrapLabels(cands, d.opts, rng)
+	var pseudo []Class
+	t.Do(obs.StageBootstrap, func() {
+		pseudo = bootstrapLabels(cands, d.opts, rng)
+	})
 	trueLabels := make(map[int]Class) // candidate position -> oracle class
-	d.classify(cands, pseudo, trueLabels, rng)
+	t.Do(obs.StageClassify, func() {
+		d.classify(cands, pseudo, trueLabels, rng)
+	})
 	res.Rounds = append(res.Rounds, snapshot(0, 0, cands))
 
 	// Step 4: CAL active learning (Algorithm 4).
@@ -195,25 +233,30 @@ func (d *Detector) EvaluateCandidatesCtx(ctx context.Context, cands []Candidate,
 				queries >= minExplore && agreeStreak >= 3 {
 				break
 			}
-			predicted := cands[pos].Class
-			lbl := o.Label(cands[pos].Index)
-			queries++
-			cands[pos].Queried = true
-			truth := classOfLabel(lbl)
-			if truth == predicted {
-				agreeStreak++
-			} else {
-				agreeStreak = 0
-			}
-			trueLabels[pos] = truth
-			d.classify(cands, pseudo, trueLabels, rng)
+			t.Do(obs.StageALRound, func() {
+				predicted := cands[pos].Class
+				lbl := o.Label(cands[pos].Index)
+				queries++
+				t.Add(obs.CounterOracleQueries, 1)
+				cands[pos].Queried = true
+				truth := classOfLabel(lbl)
+				if truth == predicted {
+					agreeStreak++
+				} else {
+					agreeStreak = 0
+				}
+				trueLabels[pos] = truth
+				d.classify(cands, pseudo, trueLabels, rng)
+			})
 			res.Rounds = append(res.Rounds, snapshot(queries, queries, cands))
 		}
 		res.Queries = queries
 	}
 
 	res.Candidates = cands
-	d.assemble(res, n)
+	t.Do(obs.StageAssemble, func() {
+		d.assemble(res, n)
+	})
 	return res, nil
 }
 

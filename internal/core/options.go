@@ -7,7 +7,10 @@
 // terminated by a user-chosen minimum confidence.
 package core
 
-import "cabd/internal/sanitize"
+import (
+	"cabd/internal/obs"
+	"cabd/internal/sanitize"
+)
 
 // Strategy selects the neighborhood computation (Section IV
 // "Optimizations" and the Figure 12 ablation).
@@ -94,6 +97,13 @@ type Options struct {
 	// explosion — e.g. MAD collapse on hostile input). The downgrade is
 	// recorded on the Result. Default 4096; negative disables.
 	DegradeCandidates int
+
+	// Obs receives pipeline metrics: stage spans, candidate/query/
+	// degradation counters, rank-memo statistics. One recorder may be
+	// shared across detectors, batch workers and streaming pushes. Nil
+	// (the default) disables instrumentation entirely — the nil path
+	// reads no clock and allocates nothing.
+	Obs *obs.Recorder
 
 	// Trees is the random-forest size. Default 100.
 	Trees int

@@ -40,6 +40,12 @@ func newScorer(values []float64, comp *inn.Computer, opts Options) *scorer {
 	}
 }
 
+// memoStats reports the shared rank memo's cumulative hit/miss counts
+// for the observability layer.
+func (sc *scorer) memoStats() (hits, misses int64) {
+	return sc.comp.MemoStats()
+}
+
 // neighborhood returns the INN (or KNN) members of index i under the
 // configured strategy.
 func (sc *scorer) neighborhood(i int) []int {

@@ -1,6 +1,9 @@
 package core
 
-import "cabd/internal/series"
+import (
+	"cabd/internal/obs"
+	"cabd/internal/series"
+)
 
 // Class is the 3-way classification space of the Score Evaluation step:
 // {abnormal point, normal point, change point}.
@@ -128,6 +131,11 @@ type Result struct {
 	Queries int
 	// Rounds traces each active-learning round.
 	Rounds []RoundSnapshot
+
+	// Stages is the per-stage wall time of this run, populated only when
+	// Options.Obs carries a recorder (the nil-recorder path skips all
+	// clock reads).
+	Stages obs.StageTimings
 
 	// Strategy is the neighborhood strategy actually used — it differs
 	// from the configured one when the run degraded.

@@ -14,6 +14,7 @@ import (
 	"cabd/internal/baselines/twitteresd"
 	"cabd/internal/core"
 	"cabd/internal/inn"
+	"cabd/internal/obs"
 	"cabd/internal/synth"
 )
 
@@ -157,15 +158,71 @@ func PrintINNEngines(w io.Writer, rows []INNEngineRow) {
 	}
 }
 
+// StageRow is one per-stage runtime share of an instrumented CABD run
+// (the where-does-the-time-go breakdown Figure 11 cannot show, since its
+// baseline rows have no recorder).
+type StageRow struct {
+	N       int     `json:"n"`
+	Stage   string  `json:"stage"`
+	Seconds float64 `json:"seconds"`
+	Frac    float64 `json:"frac"` // share of the run's stage-sum total
+}
+
+// StageProfile runs the optimized detector with an obs recorder attached
+// on the Fig. 11 synthetic workload and reports per-stage wall time and
+// share, per data size. The second return is the recorder's cumulative
+// state across the whole sweep (counters, degrade reasons, histograms)
+// for merging into the runtime snapshot.
+func StageProfile(sizes []int) ([]StageRow, *obs.Snapshot) {
+	if len(sizes) == 0 {
+		sizes = []int{2000}
+	}
+	rec := obs.New()
+	var out []StageRow
+	for _, n := range sizes {
+		s := synth.YahooLike(42, n)
+		res := core.NewDetector(core.Options{Obs: rec}).Detect(s)
+		total := res.Stages.Total().Seconds()
+		for st := obs.Stage(0); st < obs.NumStages; st++ {
+			d := res.Stages.Get(st)
+			if d <= 0 {
+				continue
+			}
+			row := StageRow{N: n, Stage: st.String(), Seconds: d.Seconds()}
+			if total > 0 {
+				row.Frac = d.Seconds() / total
+			}
+			out = append(out, row)
+		}
+	}
+	snap := rec.Snapshot()
+	return out, &snap
+}
+
+// PrintStageProfile renders the stage breakdown.
+func PrintStageProfile(w io.Writer, rows []StageRow) {
+	fprintf(w, "Pipeline stage profile: per-stage wall time (obs recorder)\n")
+	fprintf(w, "%8s %-12s %10s %7s\n", "n", "stage", "seconds", "share")
+	for _, r := range rows {
+		fprintf(w, "%8d %-12s %10.4f %6.1f%%\n", r.N, r.Stage, r.Seconds, 100*r.Frac)
+	}
+}
+
 // RuntimeSnapshot aggregates the machine-readable runtime results that
 // cmd/cabd-bench emits as BENCH_runtime.json.
 type RuntimeSnapshot struct {
-	Fig11 []Fig11Point   `json:"fig11,omitempty"`
-	INN   []INNEngineRow `json:"inn_engines,omitempty"`
+	Fig11  []Fig11Point   `json:"fig11,omitempty"`
+	INN    []INNEngineRow `json:"inn_engines,omitempty"`
+	Stages []StageRow     `json:"stage_profile,omitempty"`
+	// Obs is the metrics-recorder snapshot of the stage-profile sweep,
+	// merged in under -metrics.
+	Obs *obs.Snapshot `json:"obs,omitempty"`
 }
 
 // Empty reports whether the snapshot holds no measurements.
-func (s RuntimeSnapshot) Empty() bool { return len(s.Fig11) == 0 && len(s.INN) == 0 }
+func (s RuntimeSnapshot) Empty() bool {
+	return len(s.Fig11) == 0 && len(s.INN) == 0 && len(s.Stages) == 0 && s.Obs == nil
+}
 
 // WriteRuntimeJSON writes the snapshot to path as indented JSON.
 func WriteRuntimeJSON(path string, snap RuntimeSnapshot) error {

@@ -114,6 +114,16 @@ func (c *Computer) WithRankMemo(capacity int) *Computer {
 	return &cc
 }
 
+// MemoStats returns the rank memo's cumulative probe hit/miss counts
+// (zeros when no memo is attached) — the observability feed for the
+// rank_memo_hits/misses counters.
+func (c *Computer) MemoStats() (hits, misses int64) {
+	if c.memo == nil {
+		return 0, 0
+	}
+	return c.memo.stats()
+}
+
 // FromSeries builds a Computer over the (standardized index, standardized
 // value) embedding of s.
 func FromSeries(s *series.Series) *Computer {
@@ -399,6 +409,10 @@ const memoShards = 64
 type rankShard struct {
 	mu sync.Mutex
 	m  map[uint64]int32
+	// hits / misses are observability counters, mutated under mu so the
+	// hot path pays no extra atomics; Stats sums across shards.
+	hits   int64
+	misses int64
 }
 
 func newRankMemo(capacity int) *rankMemo {
@@ -416,8 +430,25 @@ func (rm *rankMemo) get(key uint64) (int, bool) {
 	s := &rm.shards[key&(memoShards-1)]
 	s.mu.Lock()
 	v, ok := s.m[key]
+	if ok {
+		s.hits++
+	} else {
+		s.misses++
+	}
 	s.mu.Unlock()
 	return int(v), ok
+}
+
+// stats returns the cumulative probe hit/miss counts across shards.
+func (rm *rankMemo) stats() (hits, misses int64) {
+	for i := range rm.shards {
+		s := &rm.shards[i]
+		s.mu.Lock()
+		hits += s.hits
+		misses += s.misses
+		s.mu.Unlock()
+	}
+	return hits, misses
 }
 
 func (rm *rankMemo) put(key uint64, r int) {

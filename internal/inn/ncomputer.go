@@ -51,6 +51,15 @@ func (c *NComputer) WithRankMemo(capacity int) *NComputer {
 	return &cc
 }
 
+// MemoStats returns the rank memo's cumulative probe hit/miss counts
+// (zeros when no memo is attached).
+func (c *NComputer) MemoStats() (hits, misses int64) {
+	if c.memo == nil {
+		return 0, 0
+	}
+	return c.memo.stats()
+}
+
 // Len returns the number of indexed points.
 func (c *NComputer) Len() int { return len(c.pts) }
 

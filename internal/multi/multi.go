@@ -25,6 +25,7 @@ import (
 
 	"cabd/internal/core"
 	"cabd/internal/inn"
+	"cabd/internal/obs"
 	"cabd/internal/sax"
 	"cabd/internal/series"
 	"cabd/internal/stats"
@@ -128,6 +129,7 @@ func (d *Detector) DetectActiveCtx(ctx context.Context, s *Series, o core.Labele
 }
 
 func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Result, error) {
+	t := d.opts.Obs.NewTrace()
 	n := s.Len()
 	if n < 4 || s.D() == 0 {
 		return &core.Result{Strategy: d.opts.Strategy}, nil
@@ -143,30 +145,35 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 
 	// Candidate estimation: the strongest per-dimension second
 	// difference z-score.
-	zmax := make([]float64, n)
+	var cands []core.Candidate
 	zdim := make([]int, n)
-	for k, dim := range std {
-		d2 := series.SecondDiff(dim)
-		rz := stats.RobustZ(d2)
-		for i, z := range rz {
-			if z > zmax[i] {
-				zmax[i] = z
-				zdim[i] = k
+	t.Do(obs.StageCandidates, func() {
+		zmax := make([]float64, n)
+		for k, dim := range std {
+			d2 := series.SecondDiff(dim)
+			rz := stats.RobustZ(d2)
+			for i, z := range rz {
+				if z > zmax[i] {
+					zmax[i] = z
+					zdim[i] = k
+				}
 			}
 		}
-	}
-	var cands []core.Candidate
-	for i, z := range zmax {
-		if z > d.opts.CandidateZ {
-			cands = append(cands, core.Candidate{Index: i, SecondDiffZ: z})
+		for i, z := range zmax {
+			if z > d.opts.CandidateZ {
+				cands = append(cands, core.Candidate{Index: i, SecondDiffZ: z})
+			}
 		}
-	}
+		if len(cands) > n/4 {
+			cands = topByZ(cands, n/4)
+		}
+	})
 	if len(cands) == 0 {
-		return &core.Result{Strategy: d.opts.Strategy}, nil
+		res := &core.Result{Strategy: d.opts.Strategy}
+		res.Stages = t.Timings()
+		return res, nil
 	}
-	if len(cands) > n/4 {
-		cands = topByZ(cands, n/4)
-	}
+	t.Add(obs.CounterCandidates, int64(len(cands)))
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -184,22 +191,33 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 	pts := embed(std)
 	comp := inn.NewNComputer(pts)
 	tlim := comp.RangeLimit(d.opts.RangeFrac)
-	for ci := range cands {
-		if ci%64 == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+	var scoreErr error
+	t.Do(obs.StageINNScore, func() {
+		for ci := range cands {
+			if ci%64 == 0 {
+				if err := ctx.Err(); err != nil {
+					scoreErr = err
+					return
+				}
 			}
+			c := &cands[ci]
+			switch strat {
+			case core.LinearINN:
+				c.INN = comp.Minimal(c.Index, tlim)
+			case core.FixedKNN:
+				c.INN = comp.KNN(c.Index, d.opts.KNNK)
+			default:
+				c.INN = comp.Binary(c.Index, tlim)
+			}
+			d.score(c, std, zdim[c.Index])
 		}
-		c := &cands[ci]
-		switch strat {
-		case core.LinearINN:
-			c.INN = comp.Minimal(c.Index, tlim)
-		case core.FixedKNN:
-			c.INN = comp.KNN(c.Index, d.opts.KNNK)
-		default:
-			c.INN = comp.Binary(c.Index, tlim)
-		}
-		d.score(c, std, zdim[c.Index])
+	})
+	if hits, misses := comp.MemoStats(); hits+misses > 0 {
+		t.Add(obs.CounterRankMemoHits, hits)
+		t.Add(obs.CounterRankMemoMisses, misses)
+	}
+	if scoreErr != nil {
+		return nil, scoreErr
 	}
 	res, err := d.core.EvaluateCandidatesCtx(ctx, cands, n, o)
 	if err != nil {
@@ -208,6 +226,13 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 	res.Strategy = strat
 	res.Degraded = degradeReason != ""
 	res.DegradeReason = degradeReason
+	if degradeReason != "" {
+		d.opts.Obs.Degraded(degradeReason)
+	}
+	// EvaluateCandidatesCtx recorded its own stages; fold in this run's
+	// candidate-estimation and scoring spans so Stages covers the whole
+	// pipeline.
+	res.Stages.Merge(t.Timings())
 	return res, nil
 }
 

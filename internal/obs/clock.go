@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for span measurement so tests can assert exact
+// stage timings instead of sleeping. Production recorders use Wall.
+type Clock interface {
+	Now() time.Time
+}
+
+type wallClock struct{}
+
+func (wallClock) Now() time.Time { return time.Now() }
+
+// Wall is the real-time clock.
+var Wall Clock = wallClock{}
+
+// FakeClock is a deterministic Clock for tests: time moves only when the
+// test says so. With a non-zero step, every Now call auto-advances the
+// clock afterwards, so a span measured by two Now calls has a duration of
+// exactly one step — no sleeps, no flakiness. Safe for concurrent use.
+type FakeClock struct {
+	mu   sync.Mutex
+	t    time.Time
+	step time.Duration
+}
+
+// NewFakeClock returns a FakeClock starting at start (the Unix epoch when
+// start is the zero time).
+func NewFakeClock(start time.Time) *FakeClock {
+	if start.IsZero() {
+		start = time.Unix(0, 0).UTC()
+	}
+	return &FakeClock{t: start}
+}
+
+// Now returns the current fake time, then auto-advances by the configured
+// step (if any).
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := c.t
+	c.t = c.t.Add(c.step)
+	return now
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// SetStep makes every subsequent Now call auto-advance the clock by d
+// after returning (0 disables auto-advance).
+func (c *FakeClock) SetStep(d time.Duration) {
+	c.mu.Lock()
+	c.step = d
+	c.mu.Unlock()
+}

@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// BucketCount is one cumulative histogram bucket of a stage snapshot.
+type BucketCount struct {
+	// LESeconds is the bucket's inclusive upper bound in seconds
+	// (math.Inf(1) serialized as the string "+Inf" in the exposition;
+	// the snapshot keeps the last bucket's bound at 0 with Inf=true).
+	LESeconds float64 `json:"le_seconds"`
+	Inf       bool    `json:"inf,omitempty"`
+	Count     int64   `json:"count"`
+}
+
+// StageSnapshot is one stage's histogram at snapshot time.
+type StageSnapshot struct {
+	Stage        string        `json:"stage"`
+	Count        int64         `json:"count"`
+	TotalSeconds float64       `json:"total_seconds"`
+	MaxSeconds   float64       `json:"max_seconds"`
+	Buckets      []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time JSON-able view of a Recorder — the shape
+// merged into BENCH_runtime.json and served through expvar.
+type Snapshot struct {
+	Counters       map[string]int64 `json:"counters"`
+	Gauges         map[string]int64 `json:"gauges,omitempty"`
+	DegradeReasons map[string]int64 `json:"degrade_reasons,omitempty"`
+	Stages         []StageSnapshot  `json:"stages,omitempty"`
+}
+
+// Snapshot captures the recorder's current state. A nil recorder yields
+// the zero Snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	snap.Counters = make(map[string]int64, NumCounters)
+	for c := Counter(0); c < NumCounters; c++ {
+		snap.Counters[c.String()] = r.counters[c].Load()
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		if v := r.gauges[g].Load(); v != 0 {
+			if snap.Gauges == nil {
+				snap.Gauges = make(map[string]int64)
+			}
+			snap.Gauges[g.String()] = v
+		}
+	}
+	snap.DegradeReasons = r.DegradeReasons()
+	for s := Stage(0); s < NumStages; s++ {
+		st := &r.stages[s]
+		n := st.count.Load()
+		if n == 0 {
+			continue
+		}
+		ss := StageSnapshot{
+			Stage:        s.String(),
+			Count:        n,
+			TotalSeconds: time.Duration(st.sumNS.Load()).Seconds(),
+			MaxSeconds:   time.Duration(st.maxNS.Load()).Seconds(),
+		}
+		cum := int64(0)
+		for b := 0; b < numBuckets; b++ {
+			cum += st.buckets[b].Load()
+			bc := BucketCount{Count: cum}
+			if b < len(bucketBoundsNS) {
+				bc.LESeconds = time.Duration(bucketBoundsNS[b]).Seconds()
+			} else {
+				bc.Inf = true
+			}
+			ss.Buckets = append(ss.Buckets, bc)
+		}
+		snap.Stages = append(snap.Stages, ss)
+	}
+	return snap
+}
+
+// WritePrometheus writes the recorder's state in the Prometheus text
+// exposition format (version 0.0.4), metric names prefixed cabd_. Stage
+// histograms appear as cabd_stage_duration_seconds{stage=...}; only
+// stages with observations are emitted. A nil recorder writes nothing.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	for c := Counter(0); c < NumCounters; c++ {
+		if _, err := fmt.Fprintf(w, "# TYPE cabd_%s counter\ncabd_%s %d\n",
+			c, c, r.counters[c].Load()); err != nil {
+			return err
+		}
+	}
+	if reasons := r.DegradeReasons(); len(reasons) > 0 {
+		if _, err := fmt.Fprintf(w, "# TYPE cabd_degrade_reason_total counter\n"); err != nil {
+			return err
+		}
+		keys := make([]string, 0, len(reasons))
+		for k := range reasons {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if _, err := fmt.Fprintf(w, "cabd_degrade_reason_total{reason=%q} %d\n",
+				k, reasons[k]); err != nil {
+				return err
+			}
+		}
+	}
+	for g := Gauge(0); g < NumGauges; g++ {
+		if _, err := fmt.Fprintf(w, "# TYPE cabd_%s gauge\ncabd_%s %d\n",
+			g, g, r.gauges[g].Load()); err != nil {
+			return err
+		}
+	}
+	wroteType := false
+	for s := Stage(0); s < NumStages; s++ {
+		st := &r.stages[s]
+		n := st.count.Load()
+		if n == 0 {
+			continue
+		}
+		if !wroteType {
+			if _, err := fmt.Fprintf(w, "# TYPE cabd_stage_duration_seconds histogram\n"); err != nil {
+				return err
+			}
+			wroteType = true
+		}
+		cum := int64(0)
+		for b := 0; b < numBuckets; b++ {
+			cum += st.buckets[b].Load()
+			le := "+Inf"
+			if b < len(bucketBoundsNS) {
+				le = formatSeconds(bucketBoundsNS[b])
+			}
+			if _, err := fmt.Fprintf(w,
+				"cabd_stage_duration_seconds_bucket{stage=%q,le=%q} %d\n",
+				s, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w,
+			"cabd_stage_duration_seconds_sum{stage=%q} %s\ncabd_stage_duration_seconds_count{stage=%q} %d\n",
+			s, strconv.FormatFloat(time.Duration(st.sumNS.Load()).Seconds(), 'g', -1, 64),
+			s, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatSeconds renders a nanosecond bound as a minimal decimal-seconds
+// string ("1e-05" style is avoided for readability: 10µs -> "0.00001").
+func formatSeconds(ns int64) string {
+	return strconv.FormatFloat(time.Duration(ns).Seconds(), 'f', -1, 64)
+}
+
+var (
+	expvarMu        sync.Mutex
+	expvarPublished = map[string]bool{}
+)
+
+// PublishExpvar registers the recorder under name in the process-wide
+// expvar registry (served at /debug/vars when expvar's HTTP handler is
+// installed); the published value is the live Snapshot. Publishing the
+// same name twice — which expvar.Publish turns into a panic — returns an
+// error instead.
+func (r *Recorder) PublishExpvar(name string) error {
+	if r == nil {
+		return fmt.Errorf("obs: cannot publish a nil recorder")
+	}
+	expvarMu.Lock()
+	defer expvarMu.Unlock()
+	if expvarPublished[name] || expvar.Get(name) != nil {
+		return fmt.Errorf("obs: expvar name %q already published", name)
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+	expvarPublished[name] = true
+	return nil
+}

@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixtureRecorder builds a deterministic recorder on a fake clock.
+func fixtureRecorder() *Recorder {
+	clock := NewFakeClock(time.Time{})
+	r := NewWithClock(clock)
+	r.Add(CounterCandidates, 12)
+	r.Add(CounterOracleQueries, 4)
+	r.Degraded("candidate count 9000 exceeds bound 4096")
+	r.SetGauge(GaugeStreamWindow, 256)
+	sp := r.StartStage(StageINNScore)
+	clock.Advance(5 * time.Millisecond)
+	sp.End()
+	sp = r.StartStage(StageINNScore)
+	clock.Advance(20 * time.Millisecond)
+	sp.End()
+	sp = r.StartStage(StageSanitize)
+	clock.Advance(3 * time.Microsecond)
+	sp.End()
+	return r
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	var b strings.Builder
+	if err := fixtureRecorder().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE cabd_candidates_total counter",
+		"cabd_candidates_total 12",
+		"cabd_oracle_queries_total 4",
+		"cabd_degradations_total 1",
+		`cabd_degrade_reason_total{reason="candidate count 9000 exceeds bound 4096"} 1`,
+		"# TYPE cabd_stream_window gauge",
+		"cabd_stream_window 256",
+		"# TYPE cabd_stage_duration_seconds histogram",
+		// 5ms and 20ms: cumulative bucket at le=0.01 holds only the 5ms span.
+		`cabd_stage_duration_seconds_bucket{stage="inn_score",le="0.01"} 1`,
+		`cabd_stage_duration_seconds_bucket{stage="inn_score",le="+Inf"} 2`,
+		`cabd_stage_duration_seconds_sum{stage="inn_score"} 0.025`,
+		`cabd_stage_duration_seconds_count{stage="inn_score"} 2`,
+		// 3µs lands in the first (10µs) bucket.
+		`cabd_stage_duration_seconds_bucket{stage="sanitize",le="0.00001"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// Stages without observations must not appear.
+	if strings.Contains(out, `stage="assemble"`) {
+		t.Error("unobserved stage emitted")
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	snap := fixtureRecorder().Snapshot()
+	data, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(snap, back) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", snap, back)
+	}
+	if back.Counters["candidates_total"] != 12 {
+		t.Fatalf("counters = %v", back.Counters)
+	}
+	if len(back.Stages) != 2 {
+		t.Fatalf("stages = %+v", back.Stages)
+	}
+	// Stages appear in enum order: sanitize before inn_score.
+	if back.Stages[0].Stage != "sanitize" || back.Stages[1].Stage != "inn_score" {
+		t.Fatalf("stage order = %s, %s", back.Stages[0].Stage, back.Stages[1].Stage)
+	}
+	if back.Stages[1].TotalSeconds != 0.025 || back.Stages[1].Count != 2 {
+		t.Fatalf("inn_score snapshot = %+v", back.Stages[1])
+	}
+}
+
+func TestPublishExpvar(t *testing.T) {
+	r := fixtureRecorder()
+	const name = "cabd_test_recorder"
+	if err := r.PublishExpvar(name); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.PublishExpvar(name); err == nil {
+		t.Fatal("duplicate publish did not error")
+	}
+	v := expvar.Get(name)
+	if v == nil {
+		t.Fatal("expvar not registered")
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(v.String()), &snap); err != nil {
+		t.Fatalf("expvar value is not snapshot JSON: %v", err)
+	}
+	if snap.Counters["oracle_queries_total"] != 4 {
+		t.Fatalf("expvar snapshot = %+v", snap)
+	}
+	var nilRec *Recorder
+	if err := nilRec.PublishExpvar("cabd_nil"); err == nil {
+		t.Fatal("nil publish did not error")
+	}
+}

@@ -8,6 +8,7 @@ package stream
 
 import (
 	"cabd/internal/core"
+	"cabd/internal/obs"
 	"cabd/internal/sanitize"
 	"cabd/internal/series"
 )
@@ -91,6 +92,7 @@ func New(cfg Config) *Detector {
 func (d *Detector) Push(v float64) []Detection {
 	if !sanitize.Finite(v, sanitize.DefaultMaxAbs) {
 		d.bad++
+		d.cfg.Options.Obs.Add(obs.CounterBadStreamValues, 1)
 		if d.cfg.BadValue != sanitize.Interpolate || !d.hasGood {
 			// Drop/Reject policy, or no good value yet to impute with:
 			// the observation is discarded entirely.
@@ -114,6 +116,7 @@ func (d *Detector) Push(v float64) []Detection {
 	}
 	d.total++
 	d.sinceRun++
+	d.cfg.Options.Obs.SetGauge(obs.GaugeStreamWindow, int64(len(d.buf)))
 	if d.sinceRun < d.cfg.Hop || len(d.buf) < d.cfg.Window/2 {
 		return nil
 	}

@@ -2,11 +2,10 @@ package cabd
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
 	"cabd/internal/core"
 	"cabd/internal/multi"
+	"cabd/internal/obs"
 	"cabd/internal/sanitize"
 	"cabd/internal/series"
 )
@@ -59,9 +58,17 @@ func (d *MultiDetector) DetectInteractiveCtx(ctx context.Context, dims [][]float
 }
 
 func (d *MultiDetector) detectCtx(ctx context.Context, dims [][]float64, label func(i int) Label) (*Result, error) {
-	clean, index, rep, err := sanitize.Multi(dims, sanitizeConfig(d.inner.Options()))
-	if err != nil {
-		return &Result{Sanitize: rep}, err
+	opts := d.inner.Options()
+	t := opts.Obs.NewTrace()
+	var clean [][]float64
+	var index []int
+	var rep *SanitizeReport
+	var sanErr error
+	t.Do(obs.StageSanitize, func() {
+		clean, index, rep, sanErr = sanitize.Multi(dims, sanitizeConfig(opts))
+	})
+	if sanErr != nil {
+		return &Result{Sanitize: rep, Stages: t.Timings()}, sanErr
 	}
 	var o core.Labeler
 	if label != nil {
@@ -80,9 +87,13 @@ func (d *MultiDetector) detectCtx(ctx context.Context, dims [][]float64, label f
 		return d.inner.DetectCtx(ctx, s)
 	})
 	if err != nil {
-		return &Result{Sanitize: rep}, err
+		if _, ok := err.(*PanicError); ok {
+			opts.Obs.Add(obs.CounterPanicsContained, 1)
+		}
+		return &Result{Sanitize: rep, Stages: t.Timings()}, err
 	}
 	out := convert(cres)
+	out.Stages.Merge(t.Timings())
 	out.Sanitize = rep
 	remap(out, index)
 	return out, nil
@@ -98,45 +109,13 @@ func (d *MultiDetector) DetectBatch(sets [][][]float64) []*Result {
 
 // DetectBatchCtx is DetectBatch with cancellation and per-series errors;
 // the slices align with the input and a failing series never takes down
-// the worker pool.
+// the worker pool. Every position is filled — results[i] is always
+// non-nil and a crashed series carries its *PanicError.
 func (d *MultiDetector) DetectBatchCtx(ctx context.Context, sets [][][]float64) (results []*Result, errs []error) {
-	out := make([]*Result, len(sets))
-	errout := make([]error, len(sets))
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(sets) {
-		workers = len(sets)
-	}
-	if workers < 1 {
-		return out, errout
-	}
-	var wg sync.WaitGroup
-	ch := make(chan int, len(sets))
-	for i := range sets {
-		ch <- i
-	}
-	close(ch)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				if err := ctx.Err(); err != nil {
-					out[i], errout[i] = &Result{}, err
-					continue
-				}
-				res, err := d.DetectCtx(ctx, sets[i])
-				if pe, ok := err.(*PanicError); ok {
-					pe.Series = i
-				}
-				if res == nil {
-					res = &Result{}
-				}
-				out[i], errout[i] = res, err
-			}
-		}()
-	}
-	wg.Wait()
-	return out, errout
+	return batchDetect(ctx, d.inner.Options().Obs, len(sets),
+		func(ctx context.Context, i int) (*Result, error) {
+			return d.DetectCtx(ctx, sets[i])
+		})
 }
 
 type multiLabeler func(i int) Label

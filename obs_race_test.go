@@ -1,0 +1,122 @@
+package cabd
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+
+	"cabd/internal/obs"
+)
+
+// TestRecorderSharedAcrossPipelines hammers one Recorder from three sides
+// at once — batch detection workers, a streaming detector's pushes, and
+// exporters snapshotting mid-flight — and then checks the aggregate
+// counters. Run under `go test -race` (CI does) this doubles as the data
+// race proof for the whole observability layer.
+func TestRecorderSharedAcrossPipelines(t *testing.T) {
+	rec := NewRecorder()
+	opts := Options{Seed: 1, Obs: rec}
+
+	series := make([]float64, 400)
+	for i := range series {
+		series[i] = float64(i%23) + 0.1*float64(i%7)
+	}
+	batch := make([][]float64, 8)
+	for i := range batch {
+		batch[i] = series
+	}
+
+	done := make(chan struct{})
+	var producers, exporter sync.WaitGroup
+
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		out, errs := New(opts).DetectBatchCtx(context.Background(), batch)
+		for i := range out {
+			if out[i] == nil {
+				t.Errorf("nil hole at batch result %d", i)
+			}
+			if errs[i] != nil {
+				t.Errorf("batch series %d failed: %v", i, errs[i])
+			}
+		}
+	}()
+
+	producers.Add(1)
+	go func() {
+		defer producers.Done()
+		sd := NewStream(StreamConfig{Window: 128, Options: opts})
+		for i := 0; i < 1000; i++ {
+			v := series[i%len(series)]
+			if i%97 == 96 {
+				v = math.NaN()
+			}
+			sd.Push(v)
+		}
+		sd.Flush()
+		if sd.Bad() == 0 {
+			t.Error("stream intercepted no bad values")
+		}
+	}()
+
+	// Exporters race with the writers until both pipelines finish.
+	exporter.Add(1)
+	go func() {
+		defer exporter.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			snap := rec.Snapshot()
+			if len(snap.Counters) == 0 {
+				t.Error("snapshot lost its counter map")
+				return
+			}
+			var buf bytes.Buffer
+			if err := rec.WritePrometheus(&buf); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+		}
+	}()
+
+	producers.Wait()
+	close(done)
+	exporter.Wait()
+
+	if got := rec.Count(obs.CounterBatchSeries); got != 8 {
+		t.Errorf("batch_series_total = %d, want 8", got)
+	}
+	if got := rec.Count(obs.CounterBatchFailures); got != 0 {
+		t.Errorf("batch_failures_total = %d, want 0", got)
+	}
+	if got := rec.Count(obs.CounterBadStreamValues); got == 0 {
+		t.Error("bad_stream_values_total = 0, want > 0")
+	}
+	if got := rec.GaugeValue(obs.GaugeBatchInFlight); got != 0 {
+		t.Errorf("batch_in_flight = %d after drain, want 0", got)
+	}
+	if got := rec.GaugeValue(obs.GaugeStreamWindow); got == 0 {
+		t.Error("stream_window gauge never set")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	for _, metric := range []string{
+		"cabd_batch_series_total 8",
+		"cabd_bad_stream_values_total",
+		"cabd_stage_duration_seconds",
+	} {
+		if !strings.Contains(buf.String(), metric) {
+			t.Errorf("Prometheus exposition missing %q:\n%s", metric, buf.String())
+		}
+	}
+}

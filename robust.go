@@ -6,6 +6,7 @@ import (
 	"runtime/debug"
 
 	"cabd/internal/core"
+	"cabd/internal/obs"
 	"cabd/internal/sanitize"
 	"cabd/internal/series"
 )
@@ -123,9 +124,17 @@ func (d *Detector) DetectInteractiveCtx(ctx context.Context, values []float64, l
 }
 
 func (d *Detector) detectCtx(ctx context.Context, values []float64, label func(i int) Label) (*Result, error) {
-	clean, index, rep, err := sanitize.Series(values, sanitizeConfig(d.inner.Options()))
-	if err != nil {
-		return &Result{Sanitize: rep}, err
+	opts := d.inner.Options()
+	t := opts.Obs.NewTrace()
+	var clean []float64
+	var index []int
+	var rep *SanitizeReport
+	var sanErr error
+	t.Do(obs.StageSanitize, func() {
+		clean, index, rep, sanErr = sanitize.Series(values, sanitizeConfig(opts))
+	})
+	if sanErr != nil {
+		return &Result{Sanitize: rep, Stages: t.Timings()}, sanErr
 	}
 	var o core.Labeler
 	if label != nil {
@@ -144,9 +153,13 @@ func (d *Detector) detectCtx(ctx context.Context, values []float64, label func(i
 		return d.inner.DetectCtx(ctx, s)
 	})
 	if err != nil {
-		return &Result{Sanitize: rep}, err
+		if _, ok := err.(*PanicError); ok {
+			opts.Obs.Add(obs.CounterPanicsContained, 1)
+		}
+		return &Result{Sanitize: rep, Stages: t.Timings()}, err
 	}
 	out := convert(cres)
+	out.Stages.Merge(t.Timings())
 	out.Sanitize = rep
 	remap(out, index)
 	return out, nil
