@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check cover fuzz bench
+.PHONY: all build vet lint test race check cover fuzz bench
 
 all: check
 
@@ -13,16 +13,25 @@ vet:
 test:
 	$(GO) test ./...
 
+# The repo's own static analysis: cabd-lint enforces the determinism,
+# panic-isolation, and clock-injection invariants (see DESIGN.md). A
+# reintroduced time.Now() in library code fails this target.
+lint:
+	$(GO) run ./cmd/cabd-lint ./...
+
 # Race-enabled run of the full suite, including the fault-injection
 # harness (internal/faultgen) — the robustness gate.
 race:
 	$(GO) test -race ./...
 
-check: vet build race
+check: vet build lint race
 
 # Coverage floor for the observability layer: pure bookkeeping code with a
 # deterministic fake clock has no excuse for untested branches.
 OBS_COVER_FLOOR := 90
+# Coverage floor for the lint engine: an analyzer whose branches go
+# untested silently stops enforcing its invariant.
+LINT_COVER_FLOOR := 85
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/obs
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { \
@@ -31,6 +40,13 @@ cover:
 			printf "internal/obs coverage %s%% is below the $(OBS_COVER_FLOOR)%% floor\n", $$3; exit 1 \
 		} \
 		printf "internal/obs coverage %s%% (floor $(OBS_COVER_FLOOR)%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover-lint.out ./internal/lint
+	@$(GO) tool cover -func=cover-lint.out | awk '/^total:/ { \
+		sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(LINT_COVER_FLOOR)) { \
+			printf "internal/lint coverage %s%% is below the $(LINT_COVER_FLOOR)%% floor\n", $$3; exit 1 \
+		} \
+		printf "internal/lint coverage %s%% (floor $(LINT_COVER_FLOOR)%%)\n", $$3 }'
 
 # Short native fuzzing campaigns against the sanitizing entry points.
 fuzz:

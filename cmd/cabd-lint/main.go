@@ -1,0 +1,14 @@
+// Command cabd-lint runs the repo's invariant analyzers (wallclock,
+// maporder, seededrand, floateq, recoverwrap, ctxdiscipline) over the
+// module and exits non-zero on any finding. See internal/lint.
+package main
+
+import (
+	"os"
+
+	"cabd/internal/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

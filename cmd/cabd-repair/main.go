@@ -116,6 +116,7 @@ func main() {
 	fmt.Fprintln(w, "index,original,repaired,changed")
 	for i, v := range values {
 		changed := 0
+		//cabd:lint-ignore floateq repair passes untouched points through bit-identically; changed means not-bit-equal
 		if repaired[i] != v {
 			changed = 1
 		}
@@ -160,6 +161,7 @@ func promptWithValue(r *bufio.Reader, i int, v float64) (cabd.Label, float64, bo
 func countChanged(a, b []float64) int {
 	n := 0
 	for i := range a {
+		//cabd:lint-ignore floateq repair passes untouched points through bit-identically; changed means not-bit-equal
 		if a[i] != b[i] {
 			n++
 		}

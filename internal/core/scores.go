@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cabd/internal/inn"
+	"cabd/internal/obs"
 	"cabd/internal/sax"
 	"cabd/internal/stats"
 )
@@ -20,6 +21,11 @@ type scorer struct {
 	tlim     int              // pruned search range
 	corpus   map[int][]string // sliding SAX words keyed by window length
 	corpusMu sync.Mutex
+
+	// clk times the deadline pilot. It comes from the run's obs recorder
+	// (obs.Wall when none is installed), so a FakeClock recorder makes
+	// the degradation trigger fully deterministic in tests.
+	clk obs.Clock
 
 	// forceDegrade makes the deadline pilot always downgrade, regardless
 	// of the timing projection — a deterministic hook for the
@@ -37,6 +43,7 @@ func newScorer(values []float64, comp *inn.Computer, opts Options) *scorer {
 		values: values,
 		tlim:   comp.RangeLimit(opts.RangeFrac),
 		corpus: make(map[int][]string),
+		clk:    opts.Obs.Clock(),
 	}
 }
 
@@ -195,17 +202,17 @@ func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded boo
 		if pilot > len(cands) {
 			pilot = len(cands)
 		}
-		t0 := time.Now()
+		t0 := sc.clk.Now()
 		for i := 0; i < pilot; i++ {
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
 			sc.score(&cands[i])
 		}
-		per := time.Since(t0) / time.Duration(pilot)
+		per := sc.clk.Now().Sub(t0) / time.Duration(pilot)
 		rounds := (len(cands) - pilot + workers - 1) / workers
 		start = pilot
-		if projected := per * time.Duration(rounds); projected > time.Until(deadline)/2 || sc.forceDegrade {
+		if projected := per * time.Duration(rounds); projected > deadline.Sub(sc.clk.Now())/2 || sc.forceDegrade {
 			sc.opts.Strategy = FixedKNN
 			degraded = true
 			// Re-score the pilot batch under the degraded strategy:

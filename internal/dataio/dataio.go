@@ -190,6 +190,7 @@ func ReadMulti(r io.Reader) ([][]float64, error) {
 	if len(rows[0]) > 1 {
 		isIndex := true
 		for i, row := range rows {
+			//cabd:lint-ignore floateq an index column holds exact small integers; any rounding means it is data
 			if row[0] != float64(i) && row[0] != float64(i+1) {
 				isIndex = false
 				break

@@ -51,9 +51,10 @@ func Chaos(sc Scale) []ChaosRow {
 			}
 			row.Bad = rep.Bad()
 			row.Repaired = len(rep.Repaired)
-			t0 := time.Now()
+			t0 := clk.Now()
 			func() {
 				defer func() {
+					//cabd:lint-ignore recoverwrap the chaos harness only records that a panic escaped; the pipeline's own *PanicError isolation is the thing under test
 					if p := recover(); p != nil {
 						row.Panicked = true
 					}
@@ -64,7 +65,7 @@ func Chaos(sc Scale) []ChaosRow {
 					row.Degraded = res.Degraded
 				}
 			}()
-			row.Elapsed = time.Since(t0)
+			row.Elapsed = clk.Now().Sub(t0)
 			rows = append(rows, row)
 		}
 	}

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"io"
 	"os"
-	"time"
 
 	"cabd/internal/baselines/common"
 	"cabd/internal/baselines/donut"
@@ -17,6 +16,12 @@ import (
 	"cabd/internal/obs"
 	"cabd/internal/synth"
 )
+
+// clk is the package's time source for every runtime measurement.
+// Production keeps the wall clock (these sweeps measure real hardware);
+// tests swap in an obs.FakeClock so measured durations are exact and the
+// printers/tables can be asserted deterministically.
+var clk obs.Clock = obs.Wall
 
 // Fig11Point is one (algorithm, size) runtime measurement of Figure 11.
 type Fig11Point struct {
@@ -41,9 +46,9 @@ func Fig11(sizes []int) []Fig11Point {
 	for _, n := range sizes {
 		s := synth.YahooLike(42, n)
 		timeIt := func(name string, f func()) {
-			start := time.Now()
+			start := clk.Now()
 			f()
-			out = append(out, Fig11Point{name, n, time.Since(start).Seconds()})
+			out = append(out, Fig11Point{name, n, clk.Now().Sub(start).Seconds()})
 		}
 		timeIt("CABD (optimized)", func() {
 			core.NewDetector(core.Options{Strategy: core.BinaryINN}).Detect(s)
@@ -127,11 +132,11 @@ func INNEngines(sizes []int) []INNEngineRow {
 				{"legacy", base.WithLegacyProbes(true)},
 				{"rank", base.WithLegacyProbes(false)},
 			} {
-				start := time.Now()
+				start := clk.Now()
 				for p := 0; p < probes; p++ {
 					st.call(eng.c, p*stride, tlim)
 				}
-				ns := float64(time.Since(start).Nanoseconds()) / float64(probes)
+				ns := float64(clk.Now().Sub(start).Nanoseconds()) / float64(probes)
 				row := INNEngineRow{Strategy: st.name, Engine: eng.name, N: n, NsPerOp: ns}
 				if eng.name == "legacy" {
 					legacyNs = ns

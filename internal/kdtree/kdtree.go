@@ -123,6 +123,7 @@ type Neighbor struct {
 // worse reports whether a ranks strictly after b in the documented
 // (distance, index) neighbor order.
 func worse(a, b Neighbor) bool {
+	//cabd:lint-ignore floateq the documented (distance, index) order needs exact distance ties to break on index deterministically
 	if a.Dist != b.Dist {
 		return a.Dist > b.Dist
 	}
@@ -283,6 +284,7 @@ func (t *KD) RankAtMost(q [2]float64, d float64, tieIndex, skipSelf, limit int) 
 		}
 		if cur.index != skipSelf && cur.index != tieIndex {
 			dd := dist(q, cur.point)
+			//cabd:lint-ignore floateq rank counting must mirror the exact (distance, index) tie order of the k-NN engine
 			if dd < d || (dd == d && cur.index < tieIndex) {
 				count++
 				if count >= limit {

@@ -191,6 +191,7 @@ func (t *ND) RankAtMost(q []float64, d float64, tieIndex, skipSelf, limit int) i
 		}
 		if cur.index != skipSelf && cur.index != tieIndex {
 			dd := distN(q, cur.point)
+			//cabd:lint-ignore floateq rank counting must mirror the exact (distance, index) tie order of the k-NN engine
 			if dd < d || (dd == d && cur.index < tieIndex) {
 				count++
 				if count >= limit {

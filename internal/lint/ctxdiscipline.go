@@ -1,0 +1,65 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+var analyzerCtxdiscipline = &Analyzer{
+	Name: "ctxdiscipline",
+	Doc: "a function named ...Ctx promises cancellation: it must take a " +
+		"context.Context as its first parameter and actually consult it " +
+		"(read it or pass it on) somewhere in its body",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fn, ok := decl.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				name := fn.Name.Name
+				if !strings.HasSuffix(name, "Ctx") || name == "Ctx" {
+					continue
+				}
+				params := fn.Type.Params
+				if params == nil || len(params.List) == 0 {
+					p.Reportf(fn.Name.Pos(), "%s is named ...Ctx but takes no context.Context", name)
+					continue
+				}
+				first := params.List[0]
+				t := p.Info.TypeOf(first.Type)
+				if t == nil || !isContextType(t) {
+					p.Reportf(first.Pos(), "%s must take context.Context as its first parameter", name)
+					continue
+				}
+				if len(first.Names) == 0 || first.Names[0].Name == "_" {
+					p.Reportf(first.Pos(), "%s discards its context parameter; name it and consult it", name)
+					continue
+				}
+				ctxObj := p.Info.Defs[first.Names[0]]
+				used := false
+				ast.Inspect(fn.Body, func(n ast.Node) bool {
+					if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == ctxObj {
+						used = true
+						return false
+					}
+					return !used
+				})
+				if !used {
+					p.Reportf(first.Names[0].Pos(), "%s never consults its context; check ctx.Err() at loop/stage boundaries or pass it on", name)
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// Exit codes of the cabd-lint driver.
+const (
+	ExitClean = 0 // no diagnostics
+	ExitDiags = 1 // at least one diagnostic
+	ExitError = 2 // usage, load or type-check failure
+)
+
+// Main is the cabd-lint entry point, factored out of cmd/cabd-lint so
+// tests can drive the whole binary in-process. args are the command-line
+// arguments after the program name; the return value is the process exit
+// code.
+//
+// Usage: cabd-lint [-C dir] [-rules r1,r2] [-json] [packages]
+// Packages default to ./... relative to the module root.
+func Main(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cabd-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("C", ".", "module root directory to lint")
+	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
+	list := fs.Bool("list", false, "list registered rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return ExitError
+	}
+	if *list {
+		for _, a := range All() {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
+		}
+		return ExitClean
+	}
+	analyzers, err := Select(*rules)
+	if err != nil {
+		fmt.Fprintf(stderr, "cabd-lint: %v\n", err)
+		return ExitError
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := NewLoader(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "cabd-lint: %v\n", err)
+		return ExitError
+	}
+	paths, err := loader.Expand(patterns)
+	if err != nil {
+		fmt.Fprintf(stderr, "cabd-lint: %v\n", err)
+		return ExitError
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(stderr, "cabd-lint: no packages match %v\n", patterns)
+		return ExitError
+	}
+
+	var diags []Diagnostic
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "cabd-lint: %v\n", err)
+			return ExitError
+		}
+		if len(pkg.TypeErrors) > 0 {
+			for _, terr := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "cabd-lint: %s: %v\n", path, terr)
+			}
+			return ExitError
+		}
+		diags = append(diags, RunPackage(pkg, analyzers)...)
+	}
+
+	// Report paths relative to the linted module so output is stable
+	// across checkouts.
+	if absRoot, aerr := filepath.Abs(*dir); aerr == nil {
+		for i := range diags {
+			if rel, rerr := filepath.Rel(absRoot, diags[i].Path); rerr == nil && !strings.HasPrefix(rel, "..") {
+				diags[i].Path = filepath.ToSlash(rel)
+			}
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "cabd-lint: %v\n", err)
+			return ExitError
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*asJSON {
+			fmt.Fprintf(stderr, "cabd-lint: %d finding(s) across %d package(s)\n", len(diags), len(paths))
+		}
+		return ExitDiags
+	}
+	return ExitClean
+}

@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runMain drives the whole cabd-lint binary in-process.
+func runMain(args ...string) (code int, stdout, stderr string) {
+	var out, errb bytes.Buffer
+	code = Main(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+var badmodWant = []string{
+	"bad.go:12: [wallclock] direct time.Since call reads the wall clock; thread obs.Clock (obs.Wall in production, FakeClock in tests)",
+	"bad.go:17: [seededrand] rand.Float64 uses the package-global source; draw from a rand.Rand seeded via Options.Seed",
+	"bad.go:22: [floateq] == on float operands is rounding-sensitive; use stats.ApproxEq (or an explicit tolerance), or annotate why exact equality is the contract",
+}
+
+// TestDriverBadModule: exact diagnostics and exit code over the
+// synthetic bad package.
+func TestDriverBadModule(t *testing.T) {
+	code, stdout, stderr := runMain("-C", filepath.Join("testdata", "badmod"))
+	if code != ExitDiags {
+		t.Fatalf("exit = %d, want %d (stderr: %s)", code, ExitDiags, stderr)
+	}
+	got := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(got) != len(badmodWant) {
+		t.Fatalf("got %d diagnostics, want %d:\n%s", len(got), len(badmodWant), stdout)
+	}
+	for i := range badmodWant {
+		if got[i] != badmodWant[i] {
+			t.Errorf("line %d:\n got %q\nwant %q", i, got[i], badmodWant[i])
+		}
+	}
+	if !strings.Contains(stderr, "3 finding(s)") {
+		t.Errorf("stderr summary missing: %q", stderr)
+	}
+}
+
+func TestDriverCleanModule(t *testing.T) {
+	code, stdout, stderr := runMain("-C", filepath.Join("testdata", "cleanmod"))
+	if code != ExitClean || stdout != "" {
+		t.Fatalf("exit = %d, stdout %q, stderr %q; want clean exit and no output", code, stdout, stderr)
+	}
+}
+
+func TestDriverJSON(t *testing.T) {
+	code, stdout, _ := runMain("-C", filepath.Join("testdata", "badmod"), "-json")
+	if code != ExitDiags {
+		t.Fatalf("exit = %d, want %d", code, ExitDiags)
+	}
+	var diags []Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, stdout)
+	}
+	if len(diags) != 3 {
+		t.Fatalf("JSON diagnostics = %d, want 3", len(diags))
+	}
+	first := diags[0]
+	if first.Path != "bad.go" || first.Line != 12 || first.Rule != "wallclock" || first.Col == 0 {
+		t.Fatalf("first JSON diagnostic = %+v", first)
+	}
+	// A clean run still emits a valid (empty) JSON array.
+	code, stdout, _ = runMain("-C", filepath.Join("testdata", "cleanmod"), "-json")
+	if code != ExitClean {
+		t.Fatalf("clean JSON exit = %d", code)
+	}
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil || len(diags) != 0 {
+		t.Fatalf("clean JSON = %q (err %v)", stdout, err)
+	}
+}
+
+func TestDriverRulesFilter(t *testing.T) {
+	code, stdout, _ := runMain("-C", filepath.Join("testdata", "badmod"), "-rules", "wallclock")
+	if code != ExitDiags {
+		t.Fatalf("exit = %d, want %d", code, ExitDiags)
+	}
+	lines := strings.Split(strings.TrimSpace(stdout), "\n")
+	if len(lines) != 1 || lines[0] != badmodWant[0] {
+		t.Fatalf("-rules wallclock output:\n%s", stdout)
+	}
+	code, stdout, _ = runMain("-C", filepath.Join("testdata", "badmod"), "-rules", "seededrand,floateq")
+	lines = strings.Split(strings.TrimSpace(stdout), "\n")
+	if code != ExitDiags || len(lines) != 2 {
+		t.Fatalf("-rules seededrand,floateq: exit %d, output:\n%s", code, stdout)
+	}
+}
+
+func TestDriverErrors(t *testing.T) {
+	if code, _, stderr := runMain("-C", filepath.Join("testdata", "badmod"), "-rules", "nope"); code != ExitError || !strings.Contains(stderr, "unknown rule") {
+		t.Errorf("unknown rule: exit %d, stderr %q", code, stderr)
+	}
+	if code, _, _ := runMain("-C", "/nonexistent-module-root"); code != ExitError {
+		t.Errorf("bad -C dir: exit %d, want %d", code, ExitError)
+	}
+	if code, _, _ := runMain("-C", filepath.Join("testdata", "badmod"), "./nosuchdir"); code != ExitError {
+		t.Errorf("bad pattern: exit %d, want %d", code, ExitError)
+	}
+	if code, _, _ := runMain("-badflag"); code != ExitError {
+		t.Errorf("bad flag: exit %d, want %d", code, ExitError)
+	}
+}
+
+func TestDriverList(t *testing.T) {
+	code, stdout, _ := runMain("-list")
+	if code != ExitClean {
+		t.Fatalf("-list exit = %d", code)
+	}
+	for _, name := range Names() {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+// TestDriverSelfClean is the gate the Makefile relies on: the repo's own
+// tree must stay lint-clean.
+func TestDriverSelfClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module; skipped with -short")
+	}
+	code, stdout, stderr := runMain("-C", filepath.Join("..", ".."))
+	if code != ExitClean {
+		t.Fatalf("cabd-lint over the repo: exit %d\n%s%s", code, stdout, stderr)
+	}
+}

@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// isFloat reports whether t's core type is a floating-point type.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isExactZero reports whether e is a compile-time constant equal to zero.
+// Exact-zero guards (`sd == 0` before a division) are well-defined float
+// comparisons and stay legal.
+func isExactZero(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := constant.ToFloat(tv.Value)
+	return v.Kind() == constant.Float && constant.Sign(v) == 0
+}
+
+var analyzerFloateq = &Analyzer{
+	Name: "floateq",
+	Doc: "no == / != between floating-point operands in library code " +
+		"(rounding makes them order- and optimization-sensitive); compare " +
+		"through the stats tolerance helpers (stats.ApproxEq) instead. " +
+		"Comparisons against an exact constant zero are allowed as " +
+		"degenerate-value guards",
+	Run: func(p *Pass) {
+		p.Inspect(func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			xt, yt := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+			if xt == nil || yt == nil || !isFloat(xt) || !isFloat(yt) {
+				return true
+			}
+			if isExactZero(p, be.X) || isExactZero(p, be.Y) {
+				return true
+			}
+			p.Reportf(be.OpPos, "%s on float operands is rounding-sensitive; use stats.ApproxEq (or an explicit tolerance), or annotate why exact equality is the contract", be.Op)
+			return true
+		})
+	},
+}

@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one rule violation at a source position.
+type Diagnostic struct {
+	Path    string `json:"file"` // file path as recorded in the FileSet
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the driver's text form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Path, d.Line, d.Rule, d.Message)
+}
+
+// Analyzer is one named rule over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// SkipMain exempts package main: binaries own their process (wall
+	// clock, global rand), the library must not.
+	SkipMain bool
+	Run      func(*Pass)
+}
+
+// Pass carries one (analyzer, package) run and collects its reports.
+type Pass struct {
+	Fset  *token.FileSet
+	Pkg   *Package
+	Info  *types.Info
+	rule  string
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Path:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.rule,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Inspect walks every file of the package in source order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// useOf resolves id to its object (nil when the checker recorded none).
+func (p *Pass) useOf(id *ast.Ident) types.Object { return p.Info.Uses[id] }
+
+// ignoreDirective is the escape hatch: `//cabd:lint-ignore rule reason`.
+const ignorePrefix = "cabd:lint-ignore"
+
+// directiveRule is the pseudo-rule malformed ignore comments are reported
+// under; it cannot itself be ignored.
+const directiveRule = "directive"
+
+// ignoreKey identifies the suppression scope of one directive.
+type ignoreKey struct {
+	file string
+	rule string
+	line int
+}
+
+// collectIgnores parses the package's ignore directives. A well-formed
+// directive suppresses its rule on the directive's own line and the line
+// below (covering both `stmt // ignore` and a comment line above the
+// statement). Malformed directives — missing rule, unknown rule, or no
+// reason — are reported as `directive` diagnostics.
+func collectIgnores(pkg *Package, known map[string]bool, diags *[]Diagnostic) map[ignoreKey]bool {
+	ignores := map[ignoreKey]bool{}
+	report := func(pos token.Pos, format string, args ...any) {
+		position := pkg.Fset.Position(pos)
+		*diags = append(*diags, Diagnostic{
+			Path: position.Filename, Line: position.Line, Col: position.Column,
+			Rule: directiveRule, Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					report(c.Pos(), "ignore directive is missing a rule name")
+					continue
+				}
+				rule := fields[1]
+				if !known[rule] {
+					report(c.Pos(), "ignore directive names unknown rule %q", rule)
+					continue
+				}
+				if len(fields) < 3 {
+					report(c.Pos(), "ignore directive for %q has no reason; state why the rule does not apply", rule)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				ignores[ignoreKey{pos.Filename, rule, pos.Line}] = true
+				ignores[ignoreKey{pos.Filename, rule, pos.Line + 1}] = true
+			}
+		}
+	}
+	return ignores
+}
+
+// RunPackage applies analyzers to one loaded package and returns its
+// diagnostics sorted by (file, line, column, rule). Ignore directives are
+// honored; their own defects are reported under the `directive` rule.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	ignores := collectIgnores(pkg, known, &diags)
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		if a.SkipMain && pkg.Name == "main" {
+			continue
+		}
+		pass := &Pass{Fset: pkg.Fset, Pkg: pkg, Info: pkg.Info, rule: a.Name, diags: &raw}
+		a.Run(pass)
+	}
+	for _, d := range raw {
+		if ignores[ignoreKey{d.Path, d.Rule, d.Line}] {
+			continue
+		}
+		diags = append(diags, d)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return diags
+}
+
+// Select returns the analyzers named in the comma-separated rules list
+// (all of them for an empty list), or an error naming the first unknown
+// rule.
+func Select(rules string) ([]*Analyzer, error) {
+	all := All()
+	if strings.TrimSpace(rules) == "" {
+		return all, nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// All returns every registered analyzer in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		analyzerWallclock,
+		analyzerMaporder,
+		analyzerSeededrand,
+		analyzerFloateq,
+		analyzerRecoverwrap,
+		analyzerCtxdiscipline,
+	}
+}
+
+// Names returns the registered rule names in stable order.
+func Names() []string {
+	all := All()
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return names
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// fixtureLoader loads packages from the testdata/src tree under the
+// synthetic module path "fixture".
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	return NewLoaderAt(filepath.Join("testdata", "src"), "fixture")
+}
+
+func loadFixture(t *testing.T, rel string) *Package {
+	t.Helper()
+	l := fixtureLoader(t)
+	pkg, err := l.Load("fixture/" + rel)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", rel, err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("fixture %s has type errors: %v", rel, pkg.TypeErrors)
+	}
+	return pkg
+}
+
+// want is one expected diagnostic, parsed from a fixture comment of the
+// form `// want <rule> "<message substring>"`.
+type want struct {
+	file string
+	line int
+	rule string
+	sub  string
+}
+
+var wantRE = regexp.MustCompile(`want ([a-z]+) "([^"]*)"`)
+
+// collectWants scans a fixture package's comments for want annotations.
+func collectWants(t *testing.T, pkg *Package) []want {
+	t.Helper()
+	var out []want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					pos := pkg.Fset.Position(c.Pos())
+					out = append(out, want{pos.Filename, pos.Line, m[1], m[2]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture checks one analyzer against one fixture package: every want
+// comment must be hit, and no diagnostic may lack a want.
+func runFixture(t *testing.T, rel string, ruleNames ...string) {
+	t.Helper()
+	pkg := loadFixture(t, rel)
+	analyzers, err := Select(strings.Join(ruleNames, ","))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, analyzers)
+	wants := collectWants(t, pkg)
+
+	matched := make([]bool, len(diags))
+	for _, w := range wants {
+		found := false
+		for i, d := range diags {
+			if matched[i] || d.Path != w.file || d.Line != w.line || d.Rule != w.rule {
+				continue
+			}
+			if !strings.Contains(d.Message, w.sub) {
+				continue
+			}
+			matched[i] = true
+			found = true
+			break
+		}
+		if !found {
+			t.Errorf("%s:%d: expected %s diagnostic containing %q, got none", w.file, w.line, w.rule, w.sub)
+		}
+	}
+	for i, d := range diags {
+		if !matched[i] {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+}
+
+func TestWallclockFixture(t *testing.T)     { runFixture(t, "wallclock", "wallclock") }
+func TestMaporderFixture(t *testing.T)      { runFixture(t, "maporder", "maporder") }
+func TestSeededrandFixture(t *testing.T)    { runFixture(t, "seededrand", "seededrand") }
+func TestFloateqFixture(t *testing.T)       { runFixture(t, "floateq", "floateq") }
+func TestRecoverwrapFixture(t *testing.T)   { runFixture(t, "recoverwrap", "recoverwrap") }
+func TestCtxdisciplineFixture(t *testing.T) { runFixture(t, "ctxdiscipline", "ctxdiscipline") }
+
+// TestObsPackageExempt: the Clock's home package may read time.Now.
+func TestObsPackageExempt(t *testing.T) { runFixture(t, "internal/obs", "wallclock") }
+
+// TestMainPackageExempt: binaries own their wall clock and global rand.
+func TestMainPackageExempt(t *testing.T) {
+	runFixture(t, "mainpkg", "wallclock", "seededrand")
+}
+
+// TestDirectives: malformed ignore directives are reported and suppress
+// nothing.
+func TestDirectives(t *testing.T) {
+	pkg := loadFixture(t, "directives")
+	diags := RunPackage(pkg, All())
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d:%s", d.Line, d.Rule))
+	}
+	// Three malformed directives, each followed by an unsuppressed
+	// wallclock violation on the next line.
+	wantSeq := []string{
+		"8:directive", "9:wallclock",
+		"13:directive", "14:wallclock",
+		"18:directive", "19:wallclock",
+	}
+	if strings.Join(got, " ") != strings.Join(wantSeq, " ") {
+		t.Fatalf("directives diagnostics = %v, want %v", got, wantSeq)
+	}
+	for _, d := range diags {
+		if d.Rule != directiveRule {
+			continue
+		}
+		switch d.Line {
+		case 8:
+			if !strings.Contains(d.Message, "missing a rule name") {
+				t.Errorf("line 8: %s", d.Message)
+			}
+		case 13:
+			if !strings.Contains(d.Message, "unknown rule") {
+				t.Errorf("line 13: %s", d.Message)
+			}
+		case 18:
+			if !strings.Contains(d.Message, "no reason") {
+				t.Errorf("line 18: %s", d.Message)
+			}
+		}
+	}
+}
+
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != len(All()) {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v", len(all), err)
+	}
+	two, err := Select("wallclock, floateq")
+	if err != nil || len(two) != 2 || two[0].Name != "wallclock" || two[1].Name != "floateq" {
+		t.Fatalf("Select subset = %v, err %v", two, err)
+	}
+	if _, err := Select("nosuchrule"); err == nil {
+		t.Fatal("Select of unknown rule succeeded")
+	}
+}
+
+func TestNamesStable(t *testing.T) {
+	names := Names()
+	wantNames := []string{"wallclock", "maporder", "seededrand", "floateq", "recoverwrap", "ctxdiscipline"}
+	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
+		t.Fatalf("Names() = %v, want %v", names, wantNames)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{Path: "a/b.go", Line: 7, Col: 3, Rule: "wallclock", Message: "m"}
+	if got := d.String(); got != "a/b.go:7: [wallclock] m" {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+// TestLoaderExpand exercises the pattern forms against the fixture tree.
+func TestLoaderExpand(t *testing.T) {
+	l := fixtureLoader(t)
+	all, err := l.Expand([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := map[string]bool{}
+	for _, p := range all {
+		set[p] = true
+	}
+	for _, p := range []string{"fixture/wallclock", "fixture/maporder", "fixture/internal/obs", "fixture/mainpkg"} {
+		if !set[p] {
+			t.Errorf("Expand ./... missing %s (got %v)", p, all)
+		}
+	}
+	if !sortedStrings(all) {
+		t.Errorf("Expand output not sorted: %v", all)
+	}
+	single, err := l.Expand([]string{"./maporder"})
+	if err != nil || len(single) != 1 || single[0] != "fixture/maporder" {
+		t.Fatalf("Expand ./maporder = %v, err %v", single, err)
+	}
+	sub, err := l.Expand([]string{"./internal/..."})
+	if err != nil || len(sub) != 1 || sub[0] != "fixture/internal/obs" {
+		t.Fatalf("Expand ./internal/... = %v, err %v", sub, err)
+	}
+	byPath, err := l.Expand([]string{"fixture/floateq"})
+	if err != nil || len(byPath) != 1 || byPath[0] != "fixture/floateq" {
+		t.Fatalf("Expand fixture/floateq = %v, err %v", byPath, err)
+	}
+}
+
+func sortedStrings(xs []string) bool {
+	for i := 1; i < len(xs); i++ {
+		if xs[i] < xs[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLoaderErrors(t *testing.T) {
+	l := fixtureLoader(t)
+	if _, err := l.Load("fixture/nosuchpkg"); err == nil {
+		t.Error("loading a missing package succeeded")
+	}
+	if _, err := l.Load("outside/module"); err == nil {
+		t.Error("loading a path outside the module succeeded")
+	}
+	if _, err := NewLoader(t.TempDir()); err == nil {
+		t.Error("NewLoader without go.mod succeeded")
+	}
+	empty := filepath.Join(t.TempDir(), "m")
+	if err := os.MkdirAll(empty, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(empty, "go.mod"), []byte("// no module line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLoader(empty); err == nil {
+		t.Error("NewLoader with module-less go.mod succeeded")
+	}
+}
+
+// TestLoaderRealModule type-checks a real package of this repo through
+// the production loader path (go.mod discovery plus the stdlib source
+// importer).
+func TestLoaderRealModule(t *testing.T) {
+	l, err := NewLoader(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.ModulePath() != "cabd" {
+		t.Fatalf("module path = %q, want cabd", l.ModulePath())
+	}
+	pkg, err := l.Load("cabd/internal/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg.Name != "stats" || len(pkg.TypeErrors) > 0 {
+		t.Fatalf("stats load: name %q, type errors %v", pkg.Name, pkg.TypeErrors)
+	}
+	// Loads are cached: the same pointer comes back.
+	again, err := l.Load("cabd/internal/stats")
+	if err != nil || again != pkg {
+		t.Fatalf("second load: %p vs %p, err %v", again, pkg, err)
+	}
+}

@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+var analyzerMaporder = &Analyzer{
+	Name: "maporder",
+	Doc: "a `for range` over a map that appends to a slice visible outside " +
+		"the loop must be followed by a sort of that slice (or a " +
+		"sorting/deduplicating helper call on it) — Go randomizes map " +
+		"iteration order, so an unsorted accumulation leaks nondeterminism " +
+		"into Results",
+	Run: func(p *Pass) {
+		p.Inspect(func(n ast.Node) bool {
+			fnBody := functionBody(n)
+			if fnBody == nil {
+				return true
+			}
+			ast.Inspect(fnBody, func(m ast.Node) bool {
+				// Nested function literals are visited as their own
+				// functionBody root; skip them here so each loop is
+				// checked against the body it can actually sort in.
+				if _, ok := m.(*ast.FuncLit); ok && m != n {
+					return false
+				}
+				rng, ok := m.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rng.X)
+				if t == nil {
+					return true
+				}
+				if _, isMap := t.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				for _, target := range appendTargets(rng.Body) {
+					if !sortedAfter(p, fnBody, rng, target) {
+						p.Reportf(rng.For, "map iteration appends to %s in nondeterministic order; sort it after the loop (or collect sorted keys first)", target)
+					}
+				}
+				return true
+			})
+			return true
+		})
+	},
+}
+
+// functionBody returns n's body when n declares a function, else nil.
+func functionBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// appendTargets collects the printed form of every expression the loop
+// body grows via `x = append(x, ...)`.
+func appendTargets(body *ast.BlockStmt) []string {
+	seen := map[string]bool{}
+	var out []string
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+			return true
+		}
+		if len(call.Args) == 0 {
+			return true
+		}
+		lhs := exprString(as.Lhs[0])
+		if lhs == "" || lhs != exprString(call.Args[0]) {
+			return true // not the grow-in-place pattern
+		}
+		if !seen[lhs] {
+			seen[lhs] = true
+			out = append(out, lhs)
+		}
+		return true
+	})
+	return out
+}
+
+// sortedAfter reports whether, somewhere after the range loop in the same
+// function body, target is passed to a sort.* / slices.Sort* call or to a
+// helper whose name mentions sorting or deduplication.
+func sortedAfter(p *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, target string) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !sortingCallee(p, call.Fun) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprString(arg) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// sortingCallee reports whether fun names a sorting operation: anything
+// in package sort or slices, or any function/method whose name contains
+// "sort" or "dedup" (covering repo helpers like dedupInts and sortInts).
+func sortingCallee(p *Pass, fun ast.Expr) bool {
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if id, ok := f.X.(*ast.Ident); ok {
+			if pn, ok := p.useOf(id).(*types.PkgName); ok {
+				path := pn.Imported().Path()
+				if path == "sort" || path == "slices" {
+					return true
+				}
+			}
+		}
+		return nameMentionsSort(f.Sel.Name)
+	case *ast.Ident:
+		return nameMentionsSort(f.Name)
+	}
+	return false
+}
+
+func nameMentionsSort(name string) bool {
+	lower := strings.ToLower(name)
+	return strings.Contains(lower, "sort") || strings.Contains(lower, "dedup")
+}
+
+// exprString renders simple expressions (identifiers and selector chains)
+// for target matching; anything more complex yields "".
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		base := exprString(x.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + x.Sel.Name
+	}
+	return ""
+}

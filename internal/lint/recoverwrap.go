@@ -1,0 +1,108 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// panicWrapperType is the type every recovered panic must flow into
+// before it crosses an API boundary (see robust.go).
+const panicWrapperType = "PanicError"
+
+// typeName returns the bare name of a composite literal's type
+// expression ("PanicError" for both PanicError{...} and cabd.PanicError{...},
+// including pointer literals like &PanicError{...}).
+func typeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return t.Sel.Name
+	case *ast.StarExpr:
+		return typeName(t.X)
+	}
+	return ""
+}
+
+var analyzerRecoverwrap = &Analyzer{
+	Name: "recoverwrap",
+	Doc: "every recover() in library code must wrap the recovered value " +
+		"in a *PanicError (series index, value, stack) so panic isolation " +
+		"stays observable — a recover that swallows the value silently " +
+		"hides pipeline crashes",
+	SkipMain: true,
+	Run: func(p *Pass) {
+		// Collect the function literals / declarations that build a
+		// PanicError anywhere inside, then require every recover() call to
+		// sit within one of them.
+		p.Inspect(func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "recover" {
+				return true
+			}
+			if b, ok := p.useOf(id).(*types.Builtin); !ok || b.Name() != "recover" {
+				return true
+			}
+			if !p.recoverWrapped(call) {
+				p.Reportf(call.Pos(), "recover() must flow the recovered value into a *%s; a panic swallowed here never reaches the containment counters", panicWrapperType)
+			}
+			return true
+		})
+	},
+}
+
+// recoverWrapped reports whether the innermost function enclosing the
+// recover call constructs a PanicError composite literal.
+func (p *Pass) recoverWrapped(call *ast.CallExpr) bool {
+	var enclosing ast.Node
+	for _, f := range p.Pkg.Files {
+		path := nodePath(f, call.Pos())
+		for i := len(path) - 1; i >= 0; i-- {
+			switch fn := path[i].(type) {
+			case *ast.FuncLit:
+				enclosing = fn
+			case *ast.FuncDecl:
+				enclosing = fn
+			}
+			if enclosing != nil {
+				break
+			}
+		}
+		if enclosing != nil {
+			break
+		}
+	}
+	if enclosing == nil {
+		return false
+	}
+	wrapped := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if cl, ok := n.(*ast.CompositeLit); ok && typeName(cl.Type) == panicWrapperType {
+			wrapped = true
+		}
+		return !wrapped
+	})
+	return wrapped
+}
+
+// nodePath returns the chain of nodes from root down to the node
+// containing target (innermost last).
+func nodePath(root ast.Node, target token.Pos) []ast.Node {
+	var path []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() <= target && target < n.End() {
+			path = append(path, n)
+			return true
+		}
+		return false
+	})
+	return path
+}

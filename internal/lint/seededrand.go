@@ -1,0 +1,52 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// seededrandBanned are the math/rand top-level functions backed by the
+// package-global source. Results must come from a rand.Rand seeded by
+// Options.Seed, or the fixed-seed determinism suite cannot hold.
+var seededrandBanned = map[string]bool{
+	"Int": true, "Intn": true, "Int31": true, "Int31n": true,
+	"Int63": true, "Int63n": true, "Uint32": true, "Uint64": true,
+	"Float32": true, "Float64": true, "ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Seed": true, "Read": true,
+	// math/rand/v2 spellings of the same global-source calls.
+	"N": true, "IntN": true, "Int32": true, "Int32N": true, "Int64": true,
+	"Int64N": true, "UintN": true, "Uint32N": true, "Uint64N": true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+var analyzerSeededrand = &Analyzer{
+	Name: "seededrand",
+	Doc: "library code must draw randomness from an explicitly seeded " +
+		"rand.Rand (Options.Seed), never the math/rand global source — " +
+		"unseeded draws break fixed-seed reproducibility of Results",
+	SkipMain: true,
+	Run: func(p *Pass) {
+		p.Inspect(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := p.useOf(sel.Sel).(*types.Func)
+			if !ok || fn.Pkg() == nil || !isRandPkg(fn.Pkg().Path()) {
+				return true
+			}
+			// Methods on *rand.Rand carry their own source; only the
+			// package-level (receiver-less) functions hit the global one.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true
+			}
+			if seededrandBanned[fn.Name()] {
+				p.Reportf(sel.Pos(), "rand.%s uses the package-global source; draw from a rand.Rand seeded via Options.Seed", fn.Name())
+			}
+			return true
+		})
+	},
+}

@@ -1,0 +1,23 @@
+// Package badmod is the cabd-lint driver's end-to-end fixture: one
+// violation per determinism rule, at stable line numbers.
+package badmod
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Elapsed reads the wall clock directly.
+func Elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0)
+}
+
+// Jitter draws from the global source.
+func Jitter() float64 {
+	return rand.Float64()
+}
+
+// Same compares floats exactly.
+func Same(a, b float64) bool {
+	return a == b
+}

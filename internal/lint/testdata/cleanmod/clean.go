@@ -1,0 +1,14 @@
+// Package cleanmod is the cabd-lint driver's all-clear fixture.
+package cleanmod
+
+import "sort"
+
+// Keys returns m's keys in deterministic order.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,39 @@
+// Package ctxdiscipline is a lint fixture: ...Ctx naming promises a
+// consulted context.Context first parameter.
+package ctxdiscipline
+
+import "context"
+
+func GoodCtx(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func GoodPassCtx(ctx context.Context) error {
+	return helperCtx(ctx)
+}
+
+func helperCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+type runner struct{}
+
+func (r *runner) RunCtx(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func BadNoParamCtx() {} // want ctxdiscipline "takes no context.Context"
+
+func BadOrderCtx(n int, ctx context.Context) {} // want ctxdiscipline "must take context.Context as its first parameter"
+
+func BadUnusedCtx(ctx context.Context) {} // want ctxdiscipline "never consults its context"
+
+func BadBlankCtx(_ context.Context) {} // want ctxdiscipline "discards its context parameter"
+
+// Not a Ctx-suffixed name: out of the rule's scope.
+func PlainDetect(n int) int { return n }

@@ -1,0 +1,20 @@
+// Package directives is a lint fixture: malformed ignore directives are
+// themselves diagnostics, and they suppress nothing.
+package directives
+
+import "time"
+
+func malformedNoRule(t0 time.Time) time.Duration {
+	//cabd:lint-ignore
+	return time.Since(t0)
+}
+
+func unknownRule(t0 time.Time) time.Duration {
+	//cabd:lint-ignore nosuchrule because reasons
+	return time.Since(t0)
+}
+
+func missingReason(t0 time.Time) time.Duration {
+	//cabd:lint-ignore wallclock
+	return time.Since(t0)
+}

@@ -1,0 +1,41 @@
+// Package floateq is a lint fixture: exact floating-point comparisons.
+package floateq
+
+import "math"
+
+func bad(a, b float64) bool {
+	return a == b // want floateq "== on float operands is rounding-sensitive"
+}
+
+func badNeq(a, b float32) bool {
+	return a != b // want floateq "!= on float operands is rounding-sensitive"
+}
+
+func badConst(a float64) bool {
+	return a == 1.5 // want floateq "== on float operands is rounding-sensitive"
+}
+
+func badExpr(a, b, c float64) bool {
+	return a+b == c // want floateq "== on float operands is rounding-sensitive"
+}
+
+// Exact-zero guards are well-defined and stay legal.
+func okZeroGuard(sd float64) bool {
+	return sd == 0
+}
+
+func okZeroLeft(sd float64) bool {
+	return 0.0 != sd
+}
+
+func okInts(a, b int) bool {
+	return a == b
+}
+
+func okTolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}
+
+func okIgnored(a, b float64) bool {
+	return a == b //cabd:lint-ignore floateq fixture: bit-identity is the contract here
+}

@@ -1,0 +1,8 @@
+// Package obs is a lint fixture standing in for the real internal/obs:
+// the Clock's home package is exempt from the wallclock rule.
+package obs
+
+import "time"
+
+// Wall reads the process clock — legal only here.
+func Wall() time.Time { return time.Now() }

@@ -1,0 +1,13 @@
+// Command mainpkg is a lint fixture: binaries own their process, so the
+// wallclock and seededrand rules exempt package main.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now(), rand.Float64())
+}

@@ -1,0 +1,92 @@
+// Package maporder is a lint fixture: nondeterministic accumulation from
+// map iteration.
+package maporder
+
+import "sort"
+
+func badKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder "appends to keys in nondeterministic order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func goodSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+type result struct{ Anomalies []int }
+
+func badField(m map[int]bool) result {
+	var res result
+	for k := range m { // want maporder "appends to res.Anomalies in nondeterministic order"
+		res.Anomalies = append(res.Anomalies, k)
+	}
+	return res
+}
+
+func goodFieldSorted(m map[int]bool) result {
+	var res result
+	for k := range m {
+		res.Anomalies = append(res.Anomalies, k)
+	}
+	sort.Ints(res.Anomalies)
+	return res
+}
+
+// A helper whose name announces sorting/deduplication counts as the fix.
+func goodHelper(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return dedupInts(out)
+}
+
+func dedupInts(xs []int) []int {
+	sort.Ints(xs)
+	return xs
+}
+
+func badNested(m map[int]int) func() []int {
+	return func() []int {
+		var out []int
+		for k := range m { // want maporder "appends to out in nondeterministic order"
+			out = append(out, k)
+		}
+		return out
+	}
+}
+
+// Aggregation without appends is order-insensitive.
+func okSum(m map[int]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Ranging over a slice is deterministic; no sort required.
+func okSliceRange(xs []int) []int {
+	var out []int
+	for _, v := range xs {
+		out = append(out, v)
+	}
+	return out
+}
+
+func okIgnored(m map[string]int) []string {
+	var keys []string
+	//cabd:lint-ignore maporder fixture: caller treats the result as a set
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}

@@ -1,0 +1,48 @@
+// Package recoverwrap is a lint fixture: recovered panics must flow into
+// a *PanicError.
+package recoverwrap
+
+// PanicError mirrors the repo's panic wrapper.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string { return "panic" }
+
+func good() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = &PanicError{Value: p}
+		}
+	}()
+	return nil
+}
+
+func goodValueLit() (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			e := PanicError{Value: p}
+			err = &e
+		}
+	}()
+	return nil
+}
+
+func bad() {
+	defer func() {
+		if p := recover(); p != nil { // want recoverwrap "must flow the recovered value"
+			_ = p
+		}
+	}()
+}
+
+func badDirect() bool {
+	return recover() != nil // want recoverwrap "must flow the recovered value"
+}
+
+func okIgnored() {
+	defer func() {
+		//cabd:lint-ignore recoverwrap fixture: the harness only records that a panic happened
+		recover()
+	}()
+}

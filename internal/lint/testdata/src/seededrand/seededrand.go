@@ -1,0 +1,31 @@
+// Package seededrand is a lint fixture: draws from the math/rand global
+// source versus explicitly seeded generators.
+package seededrand
+
+import "math/rand"
+
+func bad() int {
+	return rand.Intn(10) // want seededrand "rand.Intn uses the package-global source"
+}
+
+func badFloat() float64 {
+	return rand.Float64() // want seededrand "rand.Float64 uses the package-global source"
+}
+
+func badShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want seededrand "rand.Shuffle uses the package-global source"
+}
+
+func goodSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func goodMethod(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+func okIgnored() float64 {
+	//cabd:lint-ignore seededrand fixture exercises the escape hatch
+	return rand.NormFloat64()
+}

@@ -1,0 +1,38 @@
+// Package wallclock is a lint fixture: direct wall-clock reads in
+// library code.
+package wallclock
+
+import (
+	tm "time"
+	"time"
+)
+
+func bad() time.Time {
+	return time.Now() // want wallclock "direct time.Now call"
+}
+
+func badSince(t0 time.Time) time.Duration {
+	return time.Since(t0) // want wallclock "direct time.Since call"
+}
+
+func badUntil(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want wallclock "direct time.Until call"
+}
+
+func badAliased() tm.Time {
+	return tm.Now() // want wallclock "direct time.Now call"
+}
+
+// Duration arithmetic never reads the clock and stays legal.
+func okDurations(d time.Duration) time.Duration {
+	return 2*d + time.Second
+}
+
+func okIgnoredSameLine(t0 time.Time) time.Duration {
+	return time.Since(t0) //cabd:lint-ignore wallclock fixture proves same-line suppression
+}
+
+func okIgnoredLineAbove(t0 time.Time) time.Duration {
+	//cabd:lint-ignore wallclock fixture proves line-above suppression
+	return time.Since(t0)
+}

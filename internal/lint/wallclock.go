@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// wallclockBanned are the time-package functions that read the process
+// wall clock. time.Duration arithmetic stays legal — only *reading* time
+// outside the injectable obs.Clock breaks the FakeClock test harness.
+var wallclockBanned = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+var analyzerWallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "library code must measure time through the injectable obs.Clock, " +
+		"never time.Now/Since/Until directly; internal/obs (the Clock's home) " +
+		"and package main are exempt",
+	SkipMain: true,
+	Run: func(p *Pass) {
+		// internal/obs implements the Wall clock; it is the one library
+		// package allowed to touch time.Now.
+		if strings.HasSuffix(p.Pkg.ImportPath, "internal/obs") {
+			return
+		}
+		p.Inspect(func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := p.useOf(sel.Sel)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			if wallclockBanned[fn.Name()] {
+				p.Reportf(sel.Pos(), "direct time.%s call reads the wall clock; thread obs.Clock (obs.Wall in production, FakeClock in tests)", fn.Name())
+			}
+			return true
+		})
+	},
+}

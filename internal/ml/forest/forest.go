@@ -198,6 +198,7 @@ func bestSplit(X [][]float64, y []int, idx []int, cfg Config, rng *rand.Rand) (i
 		}
 		sort.Float64s(vals)
 		for v := 1; v < len(vals); v++ {
+			//cabd:lint-ignore floateq adjacent sorted feature values: only bit-identical ones admit no threshold between them
 			if vals[v] == vals[v-1] {
 				continue
 			}

@@ -20,6 +20,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"cabd/internal/stats"
 )
 
 // Policy selects how bad values (NaN, ±Inf, out-of-range magnitudes) are
@@ -349,7 +351,9 @@ func isConstant(xs []float64) bool {
 		return true
 	}
 	for _, v := range xs[1:] {
-		if v != xs[0] {
+		// Tolerance 0: a flatlined sensor repeats the identical float, so
+		// the spread check is exact by contract.
+		if !stats.ApproxEq(v, xs[0], 0) {
 			return false
 		}
 	}

@@ -165,3 +165,26 @@ func TestParsePolicy(t *testing.T) {
 		t.Error("ParsePolicy(bogus) should fail")
 	}
 }
+
+// Regression for the ApproxEq migration: the flatline check stays exact
+// (tolerance 0), including for repeated infinities where a naive
+// Abs(a-b) comparison would see NaN.
+func TestIsConstantExact(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		name string
+		xs   []float64
+		want bool
+	}{
+		{"empty", nil, true},
+		{"flat", []float64{3.5, 3.5, 3.5}, true},
+		{"one ulp apart", []float64{1, math.Nextafter(1, 2)}, false},
+		{"repeated +Inf", []float64{inf, inf}, true},
+		{"NaN is never constant", []float64{math.NaN(), math.NaN()}, false},
+	}
+	for _, c := range cases {
+		if got := isConstant(c.xs); got != c.want {
+			t.Errorf("%s: isConstant = %v, want %v", c.name, got, c.want)
+		}
+	}
+}

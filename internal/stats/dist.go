@@ -88,7 +88,7 @@ func ChiSquareQuantile(p, k float64) float64 {
 // standard deviation. A zero sd returns +Inf at the mean and 0 elsewhere.
 func GaussianPDF(x, mean, sd float64) float64 {
 	if sd <= 0 {
-		if x == mean {
+		if ApproxEq(x, mean, 0) {
 			return math.Inf(1)
 		}
 		return 0

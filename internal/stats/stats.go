@@ -188,6 +188,19 @@ func Quantile(xs []float64, q float64) float64 {
 	return cp[lo]*(1-frac) + cp[hi]*frac
 }
 
+// ApproxEq reports whether a and b agree to within tol. It is the
+// sanctioned float comparison of the codebase (the floateq lint rule bans
+// raw == / != between floats): tol 0 demands exact agreement — use it
+// only where bit-level identity is the contract (flatline detection,
+// degenerate distributions) — and NaN never equals anything, matching
+// IEEE semantics.
+func ApproxEq(a, b, tol float64) bool {
+	if a == b { //cabd:lint-ignore floateq the one sanctioned exact comparison; every tolerance check funnels through here
+		return true // covers equal infinities, which Abs(a-b) would turn into NaN
+	}
+	return math.Abs(a-b) <= tol
+}
+
 // Standardize rescales xs in place-free fashion to zero mean and unit
 // standard deviation (Equation 2). A constant series maps to all zeros.
 func Standardize(xs []float64) []float64 {

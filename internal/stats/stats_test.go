@@ -329,3 +329,47 @@ func TestQuantileMatchesSortedExtremes(t *testing.T) {
 		t.Errorf("median quantile = %v, want %v", got, sorted[50])
 	}
 }
+
+// TestApproxEq pins the sanctioned float comparison: tolerance semantics,
+// the exact-equality fast path for infinities (where Abs(a-b) is NaN),
+// and NaN never comparing equal.
+func TestApproxEq(t *testing.T) {
+	inf := math.Inf(1)
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, math.Nextafter(1, 2), 0, false},
+		{1.0, 1.1, 0.2, true},
+		{1.0, 1.3, 0.2, false},
+		{inf, inf, 0, true},
+		{-inf, -inf, 0, true},
+		{inf, -inf, math.MaxFloat64, false},
+		{math.NaN(), math.NaN(), inf, false},
+		{math.NaN(), 1, 1, false},
+	}
+	for _, c := range cases {
+		if got := ApproxEq(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("ApproxEq(%v, %v, %v) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+		if got := ApproxEq(c.b, c.a, c.tol); got != c.want {
+			t.Errorf("ApproxEq(%v, %v, %v) = %v, want symmetric %v", c.b, c.a, c.tol, got, c.want)
+		}
+	}
+}
+
+// Regression for the ApproxEq migration: the degenerate sd=0 spike must
+// still be exact — at the mean (even an infinite one) the density is a
+// point mass, one ulp away it is zero.
+func TestGaussianPDFDegenerateExact(t *testing.T) {
+	if got := GaussianPDF(2, 2, 0); !math.IsInf(got, 1) {
+		t.Errorf("degenerate pdf at mean = %v, want +Inf", got)
+	}
+	if got := GaussianPDF(math.Inf(1), math.Inf(1), 0); !math.IsInf(got, 1) {
+		t.Errorf("degenerate pdf at infinite mean = %v, want +Inf", got)
+	}
+	if got := GaussianPDF(math.Nextafter(2, 3), 2, 0); got != 0 {
+		t.Errorf("degenerate pdf one ulp off mean = %v, want 0", got)
+	}
+}
