@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check cover fuzz bench
+.PHONY: all build vet lint test race check cover fuzz bench serve-smoke
 
 all: check
 
@@ -24,7 +24,13 @@ lint:
 race:
 	$(GO) test -race ./...
 
-check: vet build lint race
+# End-to-end smoke of the serving binary: boot cabd-serve on an
+# ephemeral port, run a detect request, scrape /metrics, and verify the
+# SIGTERM drain exits cleanly.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+check: vet build lint race serve-smoke
 
 # Coverage floor for the observability layer: pure bookkeeping code with a
 # deterministic fake clock has no excuse for untested branches.

@@ -1,0 +1,262 @@
+// Package client is the public Go client of the cabd serving layer
+// (cmd/cabd-serve). It speaks the cabd/httpapi wire contract over plain
+// net/http: one-shot and batch detection, NDJSON streaming ingest, and
+// the interactive labeling-session lifecycle, including a RunSession
+// driver that loops pending-candidate → label until the session
+// converges.
+//
+// Every non-2xx reply surfaces as a *httpapi.StatusError; a 429
+// backpressure shed carries the server's Retry-After hint in
+// RetryAfterSeconds.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"cabd/httpapi"
+)
+
+// Client talks to one cabd-serve instance.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient swaps the underlying *http.Client (e.g. for custom
+// transports or timeouts).
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// New returns a client for the server at baseURL (e.g.
+// "http://127.0.0.1:8080").
+func New(baseURL string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(baseURL, "/"),
+		http: &http.Client{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// do issues one JSON round trip. A nil in decodes into nothing-sent
+// (GET/DELETE); a nil out discards the body.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("cabd client: encode %s %s: %w", method, path, err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("cabd client: build %s %s: %w", method, path, err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("cabd client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return decodeError(resp)
+	}
+	if out == nil {
+		_, _ = io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("cabd client: decode %s %s reply: %w", method, path, err)
+	}
+	return nil
+}
+
+// decodeError turns a non-2xx reply into a *httpapi.StatusError,
+// preferring the JSON error body and falling back to the Retry-After
+// header for the backoff hint.
+func decodeError(resp *http.Response) error {
+	serr := &httpapi.StatusError{Status: resp.StatusCode}
+	var body httpapi.ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err == nil && body.Error != "" {
+		serr.Message = body.Error
+		serr.RetryAfterSeconds = body.RetryAfterSeconds
+	} else {
+		serr.Message = http.StatusText(resp.StatusCode)
+	}
+	if serr.RetryAfterSeconds == 0 {
+		if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+			serr.RetryAfterSeconds = ra
+		}
+	}
+	return serr
+}
+
+// Detect runs one unsupervised detection.
+func (c *Client) Detect(ctx context.Context, series []float64, opts *httpapi.DetectOptions) (*httpapi.DetectResponse, error) {
+	var out httpapi.DetectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/detect", httpapi.DetectRequest{Series: series, Options: opts}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DetectBatch runs a whole series set in one request.
+func (c *Client) DetectBatch(ctx context.Context, seriesSet [][]float64, opts *httpapi.DetectOptions) (*httpapi.BatchDetectResponse, error) {
+	var out httpapi.BatchDetectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/detect/batch", httpapi.BatchDetectRequest{SeriesSet: seriesSet, Options: opts}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// StreamPush appends observations to the stream named id (created on
+// first use) and returns the detections confirmed so far.
+func (c *Client) StreamPush(ctx context.Context, id string, values []float64) (*httpapi.StreamIngestResponse, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf) // one observation per line: NDJSON
+	for _, v := range values {
+		if err := enc.Encode(v); err != nil {
+			return nil, fmt.Errorf("cabd client: encode stream value: %w", err)
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream/"+id, &buf)
+	if err != nil {
+		return nil, fmt.Errorf("cabd client: build stream push: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cabd client: push stream %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return nil, decodeError(resp)
+	}
+	var out httpapi.StreamIngestResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("cabd client: decode stream reply: %w", err)
+	}
+	return &out, nil
+}
+
+// StreamClose flushes the stream (final analysis with no trailing
+// margin) and evicts it, returning the remaining detections.
+func (c *Client) StreamClose(ctx context.Context, id string) (*httpapi.StreamIngestResponse, error) {
+	var out httpapi.StreamIngestResponse
+	err := c.do(ctx, http.MethodDelete, "/v1/stream/"+id, nil, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CreateSession starts an interactive labeling session.
+func (c *Client) CreateSession(ctx context.Context, req httpapi.SessionRequest) (*httpapi.SessionStatus, error) {
+	var out httpapi.SessionStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/sessions", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Sessions lists the live sessions.
+func (c *Client) Sessions(ctx context.Context) (*httpapi.SessionList, error) {
+	var out httpapi.SessionList
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Session fetches one session's status (result included once done).
+func (c *Client) Session(ctx context.Context, id string) (*httpapi.SessionStatus, error) {
+	var out httpapi.SessionStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Pending fetches the session's uncertainty-sampled candidate awaiting
+// a label, if any.
+func (c *Client) Pending(ctx context.Context, id string) (*httpapi.SessionStatus, error) {
+	var out httpapi.SessionStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/pending", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PostLabel answers the session's pending candidate.
+func (c *Client) PostLabel(ctx context.Context, id string, index int, label string) (*httpapi.SessionStatus, error) {
+	var out httpapi.SessionStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/labels", httpapi.LabelRequest{Index: index, Label: label}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// CancelSession cancels and removes the session.
+func (c *Client) CancelSession(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// RunSession drives a session to completion: it creates the session,
+// then loops polling the pending candidate and answering it with the
+// label function (which sees the candidate's index and value) until the
+// session reports done, failed or cancelled. poll bounds the wait
+// between status checks when the pipeline is computing (default 10ms).
+func (c *Client) RunSession(ctx context.Context, req httpapi.SessionRequest, label func(index int, value float64) string, poll time.Duration) (*httpapi.SessionStatus, error) {
+	if poll <= 0 {
+		poll = 10 * time.Millisecond
+	}
+	st, err := c.CreateSession(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	id := st.ID
+	for {
+		switch st.State {
+		case httpapi.StateDone, httpapi.StateFailed, httpapi.StateCancelled:
+			return st, nil
+		case httpapi.StateAwaitingLabel:
+			if st.Pending == nil {
+				// Raced the pipeline between states; re-poll below.
+				break
+			}
+			st, err = c.PostLabel(ctx, id, st.Pending.Index, label(st.Pending.Index, st.Pending.Value))
+			if err != nil {
+				return nil, err
+			}
+			continue
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(poll):
+		}
+		if st, err = c.Pending(ctx, id); err != nil {
+			return nil, err
+		}
+	}
+}

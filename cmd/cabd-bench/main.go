@@ -8,13 +8,15 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi chaos inn obs.
+// table2 fig12 fig13 fig14 multi chaos inn obs serve.
 //
 // The runtime experiments (fig11, inn, obs) additionally write their rows
 // to a machine-readable snapshot (-json, default BENCH_runtime.json; empty
 // string disables). With -metrics the obs experiment also merges its
 // recorder snapshot — counters, degrade reasons, stage histograms — into
-// the JSON.
+// the JSON. The serve experiment benchmarks the HTTP serving layer
+// (throughput/latency quantiles, saturation shedding, one auto-labeled
+// session) and writes -servejson (default BENCH_serve.json).
 package main
 
 import (
@@ -25,6 +27,7 @@ import (
 	"time"
 
 	"cabd/internal/experiments"
+	"cabd/internal/experiments/servebench"
 )
 
 type runner struct {
@@ -41,6 +44,8 @@ func main() {
 		"runtime snapshot output for fig11/inn/obs ('' disables)")
 	metrics := flag.Bool("metrics", false,
 		"merge the obs recorder snapshot (counters, histograms) of the obs experiment into the runtime JSON")
+	serveJSON := flag.String("servejson", "BENCH_serve.json",
+		"serving benchmark output for the serve experiment ('' disables)")
 	flag.Parse()
 
 	sc := experiments.Scale{}
@@ -123,6 +128,21 @@ func main() {
 		}},
 		{"chaos", "robustness: fault injection across families and datasets", func(sc experiments.Scale) {
 			experiments.PrintChaos(out, experiments.Chaos(sc))
+		}},
+		{"serve", "HTTP serving layer: throughput, saturation shedding, session e2e", func(sc experiments.Scale) {
+			cfg := servebench.ServeConfig{}
+			if *full {
+				cfg = servebench.ServeConfig{Requests: 256, Concurrency: 16, N: 2000}
+			}
+			res := servebench.ServeBench(cfg)
+			servebench.PrintServe(out, res)
+			if *serveJSON != "" {
+				if err := servebench.WriteServeJSON(*serveJSON, res); err != nil {
+					fmt.Fprintf(os.Stderr, "cabd-bench: writing %s: %v\n", *serveJSON, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(out, "serving benchmark written to %s\n", *serveJSON)
+			}
 		}},
 	}
 

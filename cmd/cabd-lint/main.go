@@ -1,6 +1,6 @@
 // Command cabd-lint runs the repo's invariant analyzers (wallclock,
-// maporder, seededrand, floateq, recoverwrap, ctxdiscipline) over the
-// module and exits non-zero on any finding. See internal/lint.
+// maporder, seededrand, floateq, recoverwrap, ctxdiscipline, httpbody)
+// over the module and exits non-zero on any finding. See internal/lint.
 package main
 
 import (

@@ -1,0 +1,214 @@
+// Package httpapi defines the JSON wire types of the cabd serving layer
+// (cmd/cabd-serve). Both the server (internal/server) and the public Go
+// client (cabd/client) speak these shapes, so a struct here is the
+// protocol contract: request options, detection results, streaming
+// ingest summaries and the interactive labeling-session lifecycle.
+//
+// All endpoints exchange JSON. Detection subtypes and point labels use
+// the paper's vocabulary as lowercase strings: "normal",
+// "single-anomaly", "collective-anomaly", "change-point".
+package httpapi
+
+import "fmt"
+
+// Label strings, the wire form of cabd.Label.
+const (
+	LabelNormal            = "normal"
+	LabelSingleAnomaly     = "single-anomaly"
+	LabelCollectiveAnomaly = "collective-anomaly"
+	LabelChangePoint       = "change-point"
+)
+
+// Labels lists every valid wire label.
+var Labels = []string{LabelNormal, LabelSingleAnomaly, LabelCollectiveAnomaly, LabelChangePoint}
+
+// ValidLabel reports whether s is one of the wire labels.
+func ValidLabel(s string) bool {
+	for _, l := range Labels {
+		if s == l {
+			return true
+		}
+	}
+	return false
+}
+
+// DetectOptions are the per-request knobs of the detection endpoints.
+// Zero-valued fields keep the server's configured defaults.
+type DetectOptions struct {
+	// Sanitize selects the input policy: "interpolate", "drop" or
+	// "reject".
+	Sanitize string `json:"sanitize,omitempty"`
+	// Strategy selects the neighborhood computation: "binary-inn",
+	// "linear-inn", "mutualset-inn" or "fixed-knn".
+	Strategy string `json:"strategy,omitempty"`
+	// Confidence is the active-learning termination confidence γ in
+	// (0, 1].
+	Confidence float64 `json:"confidence,omitempty"`
+	// MaxQueries caps oracle interactions per session.
+	MaxQueries int `json:"max_queries,omitempty"`
+	// Seed drives the run's stochastic components for reproducibility.
+	Seed int64 `json:"seed,omitempty"`
+	// TimeoutMS is the per-request detection deadline in milliseconds,
+	// clamped to the server's maximum. Nearing it arms the detector's
+	// graceful degradation to FixedKNN. Ignored by sessions (a parked
+	// human labeler is not a timeout; idle eviction bounds session
+	// lifetime instead).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// DetectRequest is the body of POST /v1/detect.
+type DetectRequest struct {
+	Series  []float64      `json:"series"`
+	Options *DetectOptions `json:"options,omitempty"`
+}
+
+// BatchDetectRequest is the body of POST /v1/detect/batch.
+type BatchDetectRequest struct {
+	SeriesSet [][]float64    `json:"series_set"`
+	Options   *DetectOptions `json:"options,omitempty"`
+}
+
+// Detection is one reported anomaly or change point.
+type Detection struct {
+	Index      int     `json:"index"`
+	Subtype    string  `json:"subtype"`
+	Confidence float64 `json:"confidence"`
+}
+
+// SanitizeInfo mirrors the sanitize report attached to every result.
+type SanitizeInfo struct {
+	Policy   string `json:"policy"`
+	N        int    `json:"n"`
+	NaNs     int    `json:"nans,omitempty"`
+	Infs     int    `json:"infs,omitempty"`
+	Extremes int    `json:"extremes,omitempty"`
+	Repaired []int  `json:"repaired,omitempty"`
+	Dropped  []int  `json:"dropped,omitempty"`
+	Constant bool   `json:"constant,omitempty"`
+	TooShort bool   `json:"too_short,omitempty"`
+}
+
+// DetectResponse is one detection result on the wire.
+type DetectResponse struct {
+	Anomalies    []Detection `json:"anomalies"`
+	ChangePoints []Detection `json:"change_points"`
+	Queries      int         `json:"queries,omitempty"`
+	// Strategy is the neighborhood strategy actually used; Degraded and
+	// DegradeReason report a FixedKNN fallback under deadline pressure
+	// or candidate explosion.
+	Strategy      string             `json:"strategy"`
+	Degraded      bool               `json:"degraded,omitempty"`
+	DegradeReason string             `json:"degrade_reason,omitempty"`
+	Sanitize      *SanitizeInfo      `json:"sanitize,omitempty"`
+	StageSeconds  map[string]float64 `json:"stage_seconds,omitempty"`
+}
+
+// BatchDetectResponse is the body of a batch detection reply. Results
+// and Errors align with the request's series_set; Errors[i] is "" when
+// series i succeeded.
+type BatchDetectResponse struct {
+	Results []DetectResponse `json:"results"`
+	Errors  []string         `json:"errors"`
+}
+
+// StreamIngestResponse summarizes one NDJSON ingest request against
+// POST /v1/stream/{id} (or the final DELETE flush).
+type StreamIngestResponse struct {
+	ID string `json:"id"`
+	// Accepted is the number of observations parsed from this request's
+	// body; Total and Bad are the stream's lifetime counters.
+	Accepted   int         `json:"accepted"`
+	Total      int         `json:"total"`
+	Bad        int         `json:"bad"`
+	Detections []Detection `json:"detections"`
+	// Flushed is set on the DELETE reply: the stream was flushed with no
+	// trailing margin and evicted.
+	Flushed bool `json:"flushed,omitempty"`
+}
+
+// SessionRequest is the body of POST /v1/sessions. The server runs the
+// full active-learning pipeline over Series; labels are pulled from the
+// pending endpoint and posted back until every candidate clears the
+// configured confidence γ.
+type SessionRequest struct {
+	Series  []float64      `json:"series"`
+	Options *DetectOptions `json:"options,omitempty"`
+	// AutoLabel answers queries server-side from Truth (ground-truth
+	// labels, one wire label per point) instead of parking on a human —
+	// the load-testing oracle mode.
+	AutoLabel bool     `json:"auto_label,omitempty"`
+	Truth     []string `json:"truth,omitempty"`
+}
+
+// Session states.
+const (
+	StateRunning       = "running"
+	StateAwaitingLabel = "awaiting_label"
+	StateDone          = "done"
+	StateFailed        = "failed"
+	StateCancelled     = "cancelled"
+)
+
+// PendingCandidate is the uncertainty-sampled point the session is
+// currently asking the user to label.
+type PendingCandidate struct {
+	// Index is the point's position in the submitted series (original
+	// layout, even under the drop sanitize policy).
+	Index int `json:"index"`
+	// Value is the submitted observation at Index, echoed for context.
+	Value float64 `json:"value"`
+}
+
+// SessionStatus is the session resource returned by the session
+// endpoints.
+type SessionStatus struct {
+	ID      string `json:"id"`
+	State   string `json:"state"`
+	Queries int    `json:"queries"`
+	// Pending is non-nil while State is "awaiting_label".
+	Pending *PendingCandidate `json:"pending,omitempty"`
+	// Result is non-nil once State is "done".
+	Result *DetectResponse `json:"result,omitempty"`
+	// Error explains a "failed" session.
+	Error string `json:"error,omitempty"`
+}
+
+// SessionList is the body of GET /v1/sessions.
+type SessionList struct {
+	Sessions []SessionStatus `json:"sessions"`
+}
+
+// LabelRequest is the body of POST /v1/sessions/{id}/labels. Index must
+// match the pending candidate.
+type LabelRequest struct {
+	Index int    `json:"index"`
+	Label string `json:"label"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds accompanies 429 backpressure replies and mirrors
+	// the Retry-After header.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// Error implements error so a decoded ErrorResponse can travel as one.
+func (e *ErrorResponse) Err(status int) error {
+	return &StatusError{Status: status, Message: e.Error, RetryAfterSeconds: e.RetryAfterSeconds}
+}
+
+// StatusError is a non-2xx reply surfaced by the client.
+type StatusError struct {
+	Status            int
+	Message           string
+	RetryAfterSeconds int
+}
+
+// Error implements error.
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("cabd server: HTTP %d: %s", e.Status, e.Message)
+}
+
+// IsSaturated reports whether the error is a 429 backpressure shed.
+func (e *StatusError) IsSaturated() bool { return e.Status == 429 }

@@ -1,0 +1,58 @@
+package servebench
+
+import (
+	"testing"
+	"time"
+
+	"cabd/internal/obs"
+)
+
+// withFakeClock swaps the package time source for a stepping FakeClock
+// and restores it when the test ends, mirroring the harness in
+// internal/experiments. Tests using it must not run in parallel.
+func withFakeClock(t *testing.T, step time.Duration) *obs.FakeClock {
+	t.Helper()
+	fc := obs.NewFakeClock(time.Time{})
+	fc.SetStep(step)
+	old := clk
+	clk = fc
+	t.Cleanup(func() { clk = old })
+	return fc
+}
+
+// TestServeBenchFakeClockExact: at Concurrency 1 every detect round trip
+// brackets exactly one Now pair, so under a stepping clock every latency
+// quantile is exactly one step, the throughput leg's total is exactly
+// its Now-call count, and the session leg is one bracketing pair —
+// proof the serving benchmark reads no hidden wall clock.
+func TestServeBenchFakeClockExact(t *testing.T) {
+	step := 10 * time.Millisecond
+	withFakeClock(t, step)
+	res := ServeBench(ServeConfig{Requests: 4, Concurrency: 1, N: 64, Burst: 2})
+	if res.Errors != 0 {
+		t.Fatalf("throughput leg had %d errors", res.Errors)
+	}
+	stepMs := step.Seconds() * 1e3
+	for _, q := range []struct {
+		name string
+		got  float64
+	}{{"p50", res.P50Ms}, {"p90", res.P90Ms}, {"p99", res.P99Ms}} {
+		if q.got != stepMs {
+			t.Errorf("%s = %vms, want exactly %vms (one clock step)", q.name, q.got, stepMs)
+		}
+	}
+	// One start call, two calls per request, one end call: the total span
+	// covers exactly 2*Requests+1 steps.
+	if want := (2*4 + 1) * step.Seconds(); res.Seconds != want {
+		t.Errorf("throughput leg total %vs, want exactly %vs", res.Seconds, want)
+	}
+	// The session leg brackets the whole run with a single Now pair; its
+	// polling sleeps never touch the package clock.
+	if res.Session.Seconds != step.Seconds() {
+		t.Errorf("session leg %vs, want exactly one step %vs", res.Session.Seconds, step.Seconds())
+	}
+	if !res.Session.Converged {
+		t.Errorf("auto-labeled session did not converge: min confidence %v < gamma %v",
+			res.Session.MinConfidence, res.Session.Gamma)
+	}
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// isNetHTTPType reports whether t is the named type net/http.<name>,
+// unwrapping one pointer level (for *http.Request).
+func isNetHTTPType(t types.Type, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == name
+}
+
+// handlerParams returns the (w, r) parameter idents when ft is
+// handler-shaped — exactly (http.ResponseWriter, *http.Request) — and
+// ok reports the shape match.
+func handlerParams(p *Pass, ft *ast.FuncType) (req *ast.Ident, ok bool) {
+	if ft.Params == nil {
+		return nil, false
+	}
+	var kinds []string
+	var names []*ast.Ident
+	for _, f := range ft.Params.List {
+		t := p.Info.TypeOf(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies one slot
+		}
+		for i := 0; i < n; i++ {
+			switch {
+			case isNetHTTPType(t, "ResponseWriter"):
+				kinds = append(kinds, "w")
+				names = append(names, nil)
+			case isNetHTTPType(t, "Request"):
+				kinds = append(kinds, "r")
+				if len(f.Names) > i {
+					names = append(names, f.Names[i])
+				} else {
+					names = append(names, nil)
+				}
+			default:
+				return nil, false
+			}
+		}
+	}
+	if len(kinds) != 2 || kinds[0] != "w" || kinds[1] != "r" {
+		return nil, false
+	}
+	return names[1], true
+}
+
+var analyzerHttpbody = &Analyzer{
+	Name: "httpbody",
+	Doc: "an HTTP handler that reads its request body must cap it with " +
+		"http.MaxBytesReader first — an uncapped decode lets a single " +
+		"request buffer unbounded input into memory",
+	Run: func(p *Pass) {
+		p.Inspect(func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			reqIdent, ok := handlerParams(p, ft)
+			if !ok || reqIdent == nil || reqIdent.Name == "_" {
+				return true
+			}
+			reqObj := p.Info.Defs[reqIdent]
+			if reqObj == nil {
+				return true
+			}
+			bodyUse, capped := scanHandlerBody(p, body, reqObj)
+			if bodyUse.IsValid() && !capped {
+				p.Reportf(bodyUse, "handler reads the request body without http.MaxBytesReader; cap it so one request cannot buffer unbounded input")
+			}
+			return true
+		})
+	},
+}
+
+// scanHandlerBody walks one handler body reporting the first use of the
+// request parameter's Body field and whether the handler calls
+// http.MaxBytesReader anywhere (nested closures included).
+func scanHandlerBody(p *Pass, body *ast.BlockStmt, reqObj types.Object) (bodyUse token.Pos, capped bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if fn, ok := p.useOf(sel.Sel).(*types.Func); ok &&
+			fn.Name() == "MaxBytesReader" && fn.Pkg() != nil && fn.Pkg().Path() == "net/http" {
+			capped = true
+		}
+		if sel.Sel.Name == "Body" && !bodyUse.IsValid() {
+			if id, ok := sel.X.(*ast.Ident); ok && p.Info.Uses[id] == reqObj {
+				bodyUse = sel.Pos()
+			}
+		}
+		return true
+	})
+	return bodyUse, capped
+}

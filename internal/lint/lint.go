@@ -199,6 +199,7 @@ func All() []*Analyzer {
 		analyzerFloateq,
 		analyzerRecoverwrap,
 		analyzerCtxdiscipline,
+		analyzerHttpbody,
 	}
 }
 

@@ -100,6 +100,7 @@ func TestSeededrandFixture(t *testing.T)    { runFixture(t, "seededrand", "seede
 func TestFloateqFixture(t *testing.T)       { runFixture(t, "floateq", "floateq") }
 func TestRecoverwrapFixture(t *testing.T)   { runFixture(t, "recoverwrap", "recoverwrap") }
 func TestCtxdisciplineFixture(t *testing.T) { runFixture(t, "ctxdiscipline", "ctxdiscipline") }
+func TestHttpbodyFixture(t *testing.T)      { runFixture(t, "httpbody", "httpbody") }
 
 // TestObsPackageExempt: the Clock's home package may read time.Now.
 func TestObsPackageExempt(t *testing.T) { runFixture(t, "internal/obs", "wallclock") }
@@ -165,7 +166,7 @@ func TestSelect(t *testing.T) {
 
 func TestNamesStable(t *testing.T) {
 	names := Names()
-	wantNames := []string{"wallclock", "maporder", "seededrand", "floateq", "recoverwrap", "ctxdiscipline"}
+	wantNames := []string{"wallclock", "maporder", "seededrand", "floateq", "recoverwrap", "ctxdiscipline", "httpbody"}
 	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
 		t.Fatalf("Names() = %v, want %v", names, wantNames)
 	}

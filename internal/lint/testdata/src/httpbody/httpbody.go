@@ -1,0 +1,68 @@
+// Package httpbody exercises the MaxBytesReader guard rule: every
+// handler-shaped function that reads its request body must cap it.
+package httpbody
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// capped decodes behind a MaxBytesReader: clean.
+func capped(w http.ResponseWriter, r *http.Request) {
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	var v map[string]any
+	_ = json.NewDecoder(body).Decode(&v)
+}
+
+// uncapped decodes the raw request body.
+func uncapped(w http.ResponseWriter, r *http.Request) {
+	var v map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&v) // want httpbody "without http.MaxBytesReader"
+}
+
+// rawRead drains the body with no cap at all.
+func rawRead(w http.ResponseWriter, r *http.Request) {
+	b, _ := io.ReadAll(r.Body) // want httpbody "without http.MaxBytesReader"
+	_ = b
+}
+
+// viaClosure reads the body inside a nested closure; still the
+// handler's responsibility.
+func viaClosure(w http.ResponseWriter, r *http.Request) {
+	f := func() { _, _ = io.ReadAll(r.Body) } // want httpbody "without http.MaxBytesReader"
+	f()
+}
+
+// cappedElsewhere caps in one statement and decodes the capped reader
+// later: clean (the rule requires the call, not a specific dataflow).
+func cappedElsewhere(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, 4096)
+	var v map[string]any
+	_ = json.NewDecoder(r.Body).Decode(&v)
+}
+
+// literal handlers are checked like declared ones.
+var _ = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+	_, _ = io.ReadAll(r.Body) // want httpbody "without http.MaxBytesReader"
+})
+
+// notHandler has the wrong shape; reading the body here is some other
+// layer's concern (a helper the handler hands a capped reader to).
+func notHandler(r *http.Request) []byte {
+	b, _ := io.ReadAll(r.Body)
+	return b
+}
+
+// threeParams is not handler-shaped either.
+func threeParams(w http.ResponseWriter, r *http.Request, limit int64) {
+	_, _ = io.ReadAll(r.Body)
+}
+
+// noBody never touches the request body: clean.
+func noBody(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// use keeps the declared handlers referenced.
+var use = []http.HandlerFunc{capped, uncapped, rawRead, viaClosure, cappedElsewhere, noBody}

@@ -34,12 +34,16 @@ const (
 	StageALRound
 	StageAssemble
 	StageBatchSeries
+	// StageHTTPRequest is the whole-request wall time of one served HTTP
+	// request (internal/server); like StageBatchSeries it wraps entire
+	// runs and is not part of a single run's stage sum.
+	StageHTTPRequest
 	NumStages
 )
 
 var stageNames = [NumStages]string{
 	"sanitize", "candidates", "inn_score", "bootstrap",
-	"classify", "al_round", "assemble", "batch_series",
+	"classify", "al_round", "assemble", "batch_series", "http_request",
 }
 
 // String implements fmt.Stringer.
@@ -77,6 +81,17 @@ const (
 	// CounterBatchFailures counts the ones that returned an error.
 	CounterBatchSeries
 	CounterBatchFailures
+	// CounterHTTPRequests counts HTTP requests served by internal/server;
+	// CounterHTTPShed counts the ones rejected with 429 because the
+	// worker-pool queue (or a session/stream cap) was full.
+	CounterHTTPRequests
+	CounterHTTPShed
+	// CounterIdleEvictions counts streaming detectors and labeling
+	// sessions reclaimed by the server's idle janitor.
+	CounterIdleEvictions
+	// CounterSessionLabels counts labels posted into interactive
+	// server-side labeling sessions.
+	CounterSessionLabels
 	NumCounters
 )
 
@@ -85,6 +100,8 @@ var counterNames = [NumCounters]string{
 	"panics_contained_total", "bad_stream_values_total",
 	"rank_memo_hits_total", "rank_memo_misses_total",
 	"batch_series_total", "batch_failures_total",
+	"http_requests_total", "http_shed_total",
+	"idle_evictions_total", "session_labels_total",
 }
 
 // String implements fmt.Stringer.
@@ -106,10 +123,20 @@ const (
 	// GaugeStreamWindow is the current fill of the streaming analysis
 	// window.
 	GaugeStreamWindow
+	// GaugeQueueDepth is the number of requests parked in the serving
+	// worker-pool queue.
+	GaugeQueueDepth
+	// GaugeSessionsActive / GaugeStreamsActive count live labeling
+	// sessions and streaming detectors held by the server.
+	GaugeSessionsActive
+	GaugeStreamsActive
 	NumGauges
 )
 
-var gaugeNames = [NumGauges]string{"batch_in_flight", "stream_window"}
+var gaugeNames = [NumGauges]string{
+	"batch_in_flight", "stream_window",
+	"queue_depth", "sessions_active", "streams_active",
+}
 
 // String implements fmt.Stringer.
 func (g Gauge) String() string {
@@ -321,11 +348,12 @@ func (st StageTimings) Get(s Stage) time.Duration {
 }
 
 // Total returns the summed duration of the run's own stages
-// (StageBatchSeries wraps whole runs and is excluded).
+// (StageBatchSeries and StageHTTPRequest wrap whole runs and are
+// excluded).
 func (st StageTimings) Total() time.Duration {
 	var t time.Duration
 	for s, d := range st {
-		if Stage(s) == StageBatchSeries {
+		if Stage(s) == StageBatchSeries || Stage(s) == StageHTTPRequest {
 			continue
 		}
 		t += d

@@ -1,0 +1,5 @@
+package server
+
+// Sweep exposes the janitor's idle-eviction pass so deterministic-clock
+// tests drive it directly instead of sleeping through ticker periods.
+func (s *Server) Sweep() { s.sweep() }

@@ -1,0 +1,86 @@
+package server
+
+import (
+	"net/http"
+
+	"cabd"
+	"cabd/httpapi"
+)
+
+// handleDetect runs one unsupervised detection on the worker pool.
+// The request deadline (options.timeout_ms, clamped) bounds the run and
+// arms the detector's graceful degradation; a full queue sheds with
+// 429 + Retry-After.
+func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req httpapi.DetectRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	opts, err := parseOptions(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, opts)
+	defer cancel()
+	det := s.detectorFor(opts)
+	var res *cabd.Result
+	var detErr error
+	if perr := s.pool.run(func() {
+		res, detErr = det.DetectCtx(ctx, req.Series)
+	}); perr != nil {
+		s.writeShed(w, perr.Error())
+		return
+	}
+	if detErr != nil {
+		s.writeError(w, errStatus(detErr), detErr.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toWire(res))
+}
+
+// handleDetectBatch runs a whole series set through DetectBatchCtx as a
+// single pool job (the batch fans out over its own internal workers;
+// admission control here is per request, so one giant batch cannot
+// starve the queue accounting).
+func (s *Server) handleDetectBatch(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req httpapi.BatchDetectRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	opts, err := parseOptions(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, opts)
+	defer cancel()
+	det := s.detectorFor(opts)
+	var results []*cabd.Result
+	var errs []error
+	if perr := s.pool.run(func() {
+		results, errs = det.DetectBatchCtx(ctx, req.SeriesSet)
+	}); perr != nil {
+		s.writeShed(w, perr.Error())
+		return
+	}
+	out := httpapi.BatchDetectResponse{
+		Results: make([]httpapi.DetectResponse, len(results)),
+		Errors:  make([]string, len(results)),
+	}
+	for i, res := range results {
+		out.Results[i] = *toWire(res)
+		if i < len(errs) && errs[i] != nil {
+			out.Errors[i] = errs[i].Error()
+		}
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}

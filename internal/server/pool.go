@@ -1,0 +1,99 @@
+package server
+
+import (
+	"errors"
+
+	"cabd/internal/obs"
+)
+
+// errSaturated is the backpressure signal: the queue behind the workers
+// is full and the request must be shed (429 + Retry-After) rather than
+// parked unboundedly.
+var errSaturated = errors.New("server saturated: worker queue full")
+
+// pool is the bounded detection worker pool. Admission is a single
+// non-blocking channel send: either the job fits in the queue or the
+// caller sheds it immediately — there is no unbounded buffering layer
+// anywhere between the listener and the workers.
+type pool struct {
+	rec     *obs.Recorder
+	workers int
+	jobs    chan func()
+	done    chan struct{}
+}
+
+func newPool(workers, depth int, rec *obs.Recorder) *pool {
+	p := &pool{
+		rec:     rec,
+		workers: workers,
+		jobs:    make(chan func(), depth),
+		done:    make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *pool) worker() {
+	for job := range p.jobs {
+		p.rec.SetGauge(obs.GaugeQueueDepth, int64(len(p.jobs)))
+		job()
+	}
+	p.done <- struct{}{}
+}
+
+// trySubmit enqueues job if the queue has room, reporting whether it was
+// admitted. A shed is counted on the recorder.
+func (p *pool) trySubmit(job func()) bool {
+	select {
+	case p.jobs <- job:
+		p.rec.SetGauge(obs.GaugeQueueDepth, int64(len(p.jobs)))
+		return true
+	default:
+		p.rec.Add(obs.CounterHTTPShed, 1)
+		return false
+	}
+}
+
+// run executes f on the pool and waits for it to finish. It returns
+// errSaturated when the queue is full. Cancellation is f's own job: the
+// detection context passed into f makes it return promptly, so waiting
+// on completion here cannot wedge.
+func (p *pool) run(f func()) error {
+	fin := make(chan struct{})
+	if !p.trySubmit(func() {
+		defer close(fin)
+		f()
+	}) {
+		return errSaturated
+	}
+	<-fin
+	return nil
+}
+
+// close drains the queue and waits for every worker to exit. Admission
+// (trySubmit) must have stopped before calling it.
+func (p *pool) close() {
+	close(p.jobs)
+	for i := 0; i < p.workers; i++ {
+		<-p.done
+	}
+	p.rec.SetGauge(obs.GaugeQueueDepth, 0)
+}
+
+// retryAfterSeconds estimates how long a shed client should back off:
+// one queue's worth of work per worker, floored at one second. The
+// estimate is deliberately coarse — its job is to spread retries, not
+// to predict latency.
+func (p *pool) retryAfterSeconds() int {
+	depth := len(p.jobs)
+	if p.workers <= 0 {
+		return 1
+	}
+	sec := depth / p.workers
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}

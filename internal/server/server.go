@@ -1,0 +1,300 @@
+// Package server is the HTTP serving layer of cabd: the production
+// deployment mode the paper's prototype sketches, exposed as a JSON API
+// (see cabd/httpapi for the wire contract and cmd/cabd-serve for the
+// binary).
+//
+// Three request families share one server:
+//
+//   - one-shot detection (POST /v1/detect, /v1/detect/batch), executed
+//     on a bounded worker pool with queue-depth backpressure — a full
+//     queue sheds load with 429 + Retry-After instead of queueing
+//     unboundedly;
+//   - streaming ingest (POST /v1/stream/{id}, NDJSON observations),
+//     backed by per-id StreamDetector instances with idle eviction;
+//   - interactive labeling sessions (/v1/sessions...), the paper's
+//     user-driven active-learning loop over HTTP: the pipeline runs in
+//     a server-side goroutine, parks on a channel-backed labeler, and
+//     surfaces the uncertainty-sampled candidate it wants labeled until
+//     every candidate clears the confidence γ.
+//
+// All time is read through the injectable obs.Clock of the server's
+// recorder, so handler tests pin latencies, evictions and deadline
+// degradation with a FakeClock instead of sleeping.
+package server
+
+import (
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"cabd"
+	"cabd/internal/obs"
+)
+
+// Config parameterizes a Server. Zero-valued fields take defaults.
+type Config struct {
+	// Options is the base detector configuration; per-request options
+	// overlay it. Options.Obs is overwritten with the server's recorder.
+	Options cabd.Options
+
+	// Workers is the detection worker-pool size (default 4).
+	Workers int
+	// QueueDepth bounds the number of detection requests parked behind
+	// busy workers; a full queue sheds with 429 (default 64).
+	QueueDepth int
+	// MaxBodyBytes caps every request body (default 8 MiB).
+	MaxBodyBytes int64
+
+	// DefaultTimeout is the per-request detection deadline when the
+	// request does not set one (default 30s). MaxTimeout clamps
+	// client-supplied deadlines (default 2m).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+
+	// MaxSessions / MaxStreams cap the live interactive sessions and
+	// streaming detectors; at the cap, creation sheds with 429
+	// (defaults 64 and 256).
+	MaxSessions int
+	MaxStreams  int
+	// SessionTTL / StreamTTL are the idle-eviction horizons: a session
+	// or stream untouched for longer is reclaimed by the janitor
+	// (default 10m each).
+	SessionTTL time.Duration
+	StreamTTL  time.Duration
+	// JanitorEvery is the eviction sweep period (default 30s; negative
+	// disables the background janitor — tests drive sweeps directly).
+	JanitorEvery time.Duration
+
+	// Recorder receives the server's metrics (request spans into the
+	// http_request stage histogram, queue depth, shed/eviction/label
+	// counters) on top of the detection pipeline's own instrumentation.
+	// Nil installs a fresh wall-clock recorder; inject one built on an
+	// obs.FakeClock to pin timings in tests.
+	Recorder *obs.Recorder
+	// ExpvarName, when non-empty, publishes the recorder's snapshot
+	// under this name in the process-wide expvar registry (served at
+	// /debug/vars). Publishing is best-effort: a duplicate name is
+	// ignored so many servers can share a process.
+	ExpvarName string
+}
+
+func (c Config) defaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 2 * time.Minute
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 64
+	}
+	if c.MaxStreams <= 0 {
+		c.MaxStreams = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
+	}
+	if c.StreamTTL <= 0 {
+		c.StreamTTL = 10 * time.Minute
+	}
+	if c.JanitorEvery == 0 {
+		c.JanitorEvery = 30 * time.Second
+	}
+	if c.Recorder == nil {
+		c.Recorder = obs.New()
+	}
+	return c
+}
+
+// Server is one serving instance: a worker pool, a stream table, a
+// session table and the HTTP handler tree over them.
+type Server struct {
+	cfg   Config
+	rec   *obs.Recorder
+	clock obs.Clock
+	pool  *pool
+	mux   *http.ServeMux
+
+	streams  *streamTable
+	sessions *sessionTable
+
+	mu       sync.Mutex
+	draining bool
+
+	janitorStop chan struct{}
+	janitorWG   sync.WaitGroup
+}
+
+// New returns a ready-to-serve Server. Call Close (or Drain) when done
+// to release the worker pool and the janitor.
+func New(cfg Config) *Server {
+	cfg = cfg.defaults()
+	s := &Server{
+		cfg:   cfg,
+		rec:   cfg.Recorder,
+		clock: cfg.Recorder.Clock(),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.rec)
+	s.streams = newStreamTable(s)
+	s.sessions = newSessionTable(s)
+	s.mux = s.routes()
+	if cfg.ExpvarName != "" {
+		// Best effort: a second server reusing the name keeps serving,
+		// just without its own expvar entry.
+		_ = s.rec.PublishExpvar(cfg.ExpvarName)
+	}
+	if cfg.JanitorEvery > 0 {
+		s.janitorStop = make(chan struct{})
+		s.janitorWG.Add(1)
+		go s.janitor(cfg.JanitorEvery)
+	}
+	return s
+}
+
+// Recorder returns the server's metrics recorder.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// Handler returns the server's HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// routes builds the endpoint table. Every handler runs behind wrap
+// (request counter, latency span, panic containment).
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/detect", s.wrap(s.handleDetect))
+	mux.HandleFunc("POST /v1/detect/batch", s.wrap(s.handleDetectBatch))
+	mux.HandleFunc("POST /v1/stream/{id}", s.wrap(s.handleStreamPush))
+	mux.HandleFunc("DELETE /v1/stream/{id}", s.wrap(s.handleStreamClose))
+	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleSessionCreate))
+	mux.HandleFunc("GET /v1/sessions", s.wrap(s.handleSessionList))
+	mux.HandleFunc("GET /v1/sessions/{id}", s.wrap(s.handleSessionGet))
+	mux.HandleFunc("GET /v1/sessions/{id}/pending", s.wrap(s.handleSessionPending))
+	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.wrap(s.handleSessionLabel))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleSessionCancel))
+	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
+	mux.HandleFunc("GET /readyz", s.wrap(s.handleReadyz))
+	mux.HandleFunc("GET /metrics", s.wrap(s.handleMetrics))
+	mux.Handle("GET /debug/vars", http.DefaultServeMux)
+	return mux
+}
+
+// Draining reports whether the server has begun shutting down; /readyz
+// answers 503 and new work is refused while it is set.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+func (s *Server) setDraining() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Drain gracefully shuts the server down: mark not-ready, cancel every
+// live session, flush-close every stream, stop the janitor, and wait —
+// bounded by ctx — for the worker pool and session goroutines to
+// finish. The HTTP listener must already have stopped accepting (e.g.
+// http.Server.Shutdown) so no new work races the drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.setDraining()
+	if s.janitorStop != nil {
+		close(s.janitorStop)
+		s.janitorWG.Wait()
+		s.janitorStop = nil
+	}
+	s.sessions.cancelAll()
+	s.streams.closeAll()
+	done := make(chan struct{})
+	go func() {
+		s.sessions.wait()
+		s.pool.close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close is Drain with no deadline, for tests and defer.
+func (s *Server) Close() { _ = s.Drain(context.Background()) }
+
+// janitor periodically evicts idle streams and sessions. The ticker's
+// period is wall time (a janitor owns its cadence like a main package
+// owns its process), but idleness itself is judged against the
+// injectable clock, so eviction tests advance a FakeClock and call
+// sweep directly instead of sleeping.
+func (s *Server) janitor(every time.Duration) {
+	defer s.janitorWG.Done()
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sweep()
+		case <-s.janitorStop:
+			return
+		}
+	}
+}
+
+// sweep evicts every stream and session idle past its TTL.
+func (s *Server) sweep() {
+	now := s.clock.Now()
+	s.streams.evictIdle(now, s.cfg.StreamTTL)
+	s.sessions.evictIdle(now, s.cfg.SessionTTL)
+}
+
+// detectorFor builds the per-request detector: base options overlaid
+// with the request's DetectOptions, recorder always attached.
+func (s *Server) detectorFor(o *detectOptions) *cabd.Detector {
+	opts := s.cfg.Options
+	opts.Obs = s.rec
+	if o != nil {
+		if o.hasSanitize {
+			opts.Sanitize = o.sanitize
+		}
+		if o.hasStrategy {
+			opts.Strategy = o.strategy
+		}
+		if o.confidence > 0 {
+			opts.Confidence = o.confidence
+		}
+		if o.maxQueries > 0 {
+			opts.MaxQueries = o.maxQueries
+		}
+		if o.seed != 0 {
+			opts.Seed = o.seed
+		}
+	}
+	return cabd.New(opts)
+}
+
+// requestContext derives the detection context: the request deadline is
+// computed on the server's clock (so FakeClock tests steer the
+// detector's deadline-degradation pilot deterministically) and clamped
+// to MaxTimeout.
+func (s *Server) requestContext(r *http.Request, o *detectOptions) (context.Context, context.CancelFunc) {
+	timeout := s.cfg.DefaultTimeout
+	if o != nil && o.timeout > 0 {
+		timeout = o.timeout
+	}
+	if timeout > s.cfg.MaxTimeout {
+		timeout = s.cfg.MaxTimeout
+	}
+	return context.WithDeadline(r.Context(), s.clock.Now().Add(timeout))
+}

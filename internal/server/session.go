@@ -1,0 +1,389 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cabd"
+	"cabd/httpapi"
+	"cabd/internal/obs"
+	"cabd/internal/oracle"
+	"cabd/internal/series"
+)
+
+// session is one interactive active-learning run — the paper's
+// user-driven loop (Algorithm 2 line 5 / Algorithm 4) lifted over HTTP.
+// DetectInteractiveCtx runs in a dedicated goroutine; each uncertainty-
+// sampled query parks the goroutine on a channel-backed labeler until a
+// label arrives via POST .../labels, and the run resumes until every
+// candidate clears the configured confidence γ (or the query budget
+// runs out).
+type session struct {
+	id     string
+	srv    *Server
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu      sync.Mutex
+	state   string
+	queries int
+	pending *pendingQuery
+	result  *httpapi.DetectResponse
+	errMsg  string
+	last    time.Time
+}
+
+// pendingQuery is one parked labeler call: the index the loop wants
+// labeled and the channel its answer travels back on.
+type pendingQuery struct {
+	index  int
+	value  float64
+	answer chan cabd.Label
+}
+
+// sessionTable holds the live sessions.
+type sessionTable struct {
+	srv  *Server
+	mu   sync.Mutex
+	m    map[string]*session
+	next atomic.Int64
+	wg   sync.WaitGroup
+}
+
+func newSessionTable(s *Server) *sessionTable {
+	return &sessionTable{srv: s, m: map[string]*session{}}
+}
+
+// errSessionsFull sheds session creation at the cap.
+var errSessionsFull = errors.New("server saturated: session cap reached")
+
+// create registers a new session and spawns its pipeline goroutine.
+func (t *sessionTable) create(vals []float64, opts *detectOptions, truth []series.Label) (*session, error) {
+	t.mu.Lock()
+	if len(t.m) >= t.srv.cfg.MaxSessions {
+		t.mu.Unlock()
+		t.srv.rec.Add(obs.CounterHTTPShed, 1)
+		return nil, errSessionsFull
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &session{
+		id:     "s" + strconv.FormatInt(t.next.Add(1), 10),
+		srv:    t.srv,
+		cancel: cancel,
+		done:   make(chan struct{}),
+		state:  httpapi.StateRunning,
+		last:   t.srv.clock.Now(),
+	}
+	t.m[sess.id] = sess
+	t.srv.rec.SetGauge(obs.GaugeSessionsActive, int64(len(t.m)))
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	det := t.srv.detectorFor(opts)
+	go func() {
+		defer t.wg.Done()
+		sess.run(ctx, det, vals, truth)
+	}()
+	return sess, nil
+}
+
+// lookup returns the session for id, or nil.
+func (t *sessionTable) lookup(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+// remove drops id from the table.
+func (t *sessionTable) remove(id string) {
+	t.mu.Lock()
+	delete(t.m, id)
+	t.srv.rec.SetGauge(obs.GaugeSessionsActive, int64(len(t.m)))
+	t.mu.Unlock()
+}
+
+// evictIdle cancels and reclaims sessions idle past ttl — wedged
+// awaiting-label sessions included — in deterministic id order.
+func (t *sessionTable) evictIdle(now time.Time, ttl time.Duration) {
+	t.mu.Lock()
+	var expired []*session
+	for _, sess := range t.m {
+		sess.mu.Lock()
+		idle := now.Sub(sess.last) > ttl
+		sess.mu.Unlock()
+		if idle {
+			expired = append(expired, sess)
+		}
+	}
+	sort.Slice(expired, func(a, b int) bool { return expired[a].id < expired[b].id })
+	for _, sess := range expired {
+		delete(t.m, sess.id)
+		t.srv.rec.Add(obs.CounterIdleEvictions, 1)
+	}
+	t.srv.rec.SetGauge(obs.GaugeSessionsActive, int64(len(t.m)))
+	t.mu.Unlock()
+	// Cancel outside the table lock: each cancel wakes a parked labeler
+	// that might be racing a status call.
+	for _, sess := range expired {
+		sess.markCancelled("evicted after idle timeout")
+	}
+}
+
+// cancelAll cancels every live session (drain path).
+func (t *sessionTable) cancelAll() {
+	t.mu.Lock()
+	var all []*session
+	for _, sess := range t.m {
+		all = append(all, sess)
+	}
+	t.m = map[string]*session{}
+	t.srv.rec.SetGauge(obs.GaugeSessionsActive, 0)
+	t.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	for _, sess := range all {
+		sess.markCancelled("server draining")
+	}
+}
+
+// wait blocks until every session goroutine has exited.
+func (t *sessionTable) wait() { t.wg.Wait() }
+
+// run executes the interactive pipeline. With ground truth the oracle
+// answers queries inline (load-testing mode); otherwise each query
+// parks on the channel labeler until a client posts the label.
+func (s *session) run(ctx context.Context, det *cabd.Detector, vals []float64, truth []series.Label) {
+	var label func(i int) cabd.Label
+	if truth != nil {
+		orc := oracle.New(&series.Series{Name: "session", Values: vals, Labels: truth})
+		label = func(i int) cabd.Label {
+			s.noteQuery()
+			return cabd.Label(orc.Label(i))
+		}
+	} else {
+		label = func(i int) cabd.Label { return s.await(ctx, vals, i) }
+	}
+	res, err := det.DetectInteractiveCtx(ctx, vals, label)
+
+	s.mu.Lock()
+	s.pending = nil
+	s.last = s.srv.clock.Now()
+	switch {
+	case s.state == httpapi.StateCancelled:
+		// Keep the cancellation verdict even if the pipeline returned.
+	case err != nil:
+		s.state = httpapi.StateFailed
+		s.errMsg = err.Error()
+	default:
+		s.state = httpapi.StateDone
+		s.result = toWire(res)
+		s.queries = res.Queries
+	}
+	s.mu.Unlock()
+	close(s.done)
+}
+
+// await parks the pipeline on one uncertainty-sampled query until its
+// label arrives (or the session is cancelled — the Normal returned then
+// is discarded, because the loop's next ctx check aborts the run).
+func (s *session) await(ctx context.Context, vals []float64, i int) cabd.Label {
+	pq := &pendingQuery{index: i, answer: make(chan cabd.Label, 1)}
+	if i >= 0 && i < len(vals) {
+		pq.value = vals[i]
+	}
+	s.mu.Lock()
+	s.pending = pq
+	s.state = httpapi.StateAwaitingLabel
+	s.last = s.srv.clock.Now()
+	s.mu.Unlock()
+	select {
+	case lbl := <-pq.answer:
+		s.mu.Lock()
+		s.pending = nil
+		s.state = httpapi.StateRunning
+		s.queries++
+		s.last = s.srv.clock.Now()
+		s.mu.Unlock()
+		return lbl
+	case <-ctx.Done():
+		return cabd.Normal
+	}
+}
+
+// noteQuery bumps the query counter for the auto-label oracle path.
+func (s *session) noteQuery() {
+	s.mu.Lock()
+	s.queries++
+	s.last = s.srv.clock.Now()
+	s.mu.Unlock()
+}
+
+// markCancelled cancels the pipeline and records the verdict.
+func (s *session) markCancelled(reason string) {
+	s.mu.Lock()
+	if s.state != httpapi.StateDone && s.state != httpapi.StateFailed {
+		s.state = httpapi.StateCancelled
+		s.errMsg = reason
+		s.pending = nil
+	}
+	s.mu.Unlock()
+	s.cancel()
+}
+
+// touch refreshes the idle clock on client reads.
+func (s *session) touch() {
+	s.mu.Lock()
+	s.last = s.srv.clock.Now()
+	s.mu.Unlock()
+}
+
+// status snapshots the session resource.
+func (s *session) status() httpapi.SessionStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := httpapi.SessionStatus{
+		ID:      s.id,
+		State:   s.state,
+		Queries: s.queries,
+		Result:  s.result,
+		Error:   s.errMsg,
+	}
+	if s.pending != nil {
+		st.Pending = &httpapi.PendingCandidate{Index: s.pending.index, Value: s.pending.value}
+	}
+	return st
+}
+
+// deliver hands a posted label to the parked labeler. It fails when no
+// query is pending or the index does not match the pending candidate.
+func (s *session) deliver(index int, lbl cabd.Label) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state != httpapi.StateAwaitingLabel || s.pending == nil {
+		return fmt.Errorf("session %s has no pending query (state %s)", s.id, s.state)
+	}
+	if index != s.pending.index {
+		return fmt.Errorf("label is for index %d but the pending query is index %d", index, s.pending.index)
+	}
+	s.pending.answer <- lbl // buffered; exactly one send per pending query
+	s.pending = nil
+	s.state = httpapi.StateRunning
+	s.last = s.srv.clock.Now()
+	return nil
+}
+
+// --- handlers ---
+
+// handleSessionCreate boots one interactive labeling session.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req httpapi.SessionRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	opts, err := parseOptions(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var truth []series.Label
+	if req.AutoLabel {
+		truth, err = parseTruth(req.Truth, len(req.Series))
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	sess, err := s.sessions.create(req.Series, opts, truth)
+	if err != nil {
+		s.writeShed(w, err.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusCreated, sess.status())
+}
+
+// handleSessionList lists every live session, sorted by id.
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	s.sessions.mu.Lock()
+	all := make([]*session, 0, len(s.sessions.m))
+	for _, sess := range s.sessions.m {
+		all = append(all, sess)
+	}
+	s.sessions.mu.Unlock()
+	sort.Slice(all, func(a, b int) bool { return all[a].id < all[b].id })
+	out := httpapi.SessionList{Sessions: make([]httpapi.SessionStatus, 0, len(all))}
+	for _, sess := range all {
+		out.Sessions = append(out.Sessions, sess.status())
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// handleSessionGet returns the session resource (result included once
+// done).
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.lookup(r.PathValue("id"))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, "session not found")
+		return
+	}
+	sess.touch()
+	s.writeJSON(w, http.StatusOK, sess.status())
+}
+
+// handleSessionPending surfaces the uncertainty-sampled candidate the
+// loop is parked on (204 when none: still computing, or finished).
+func (s *Server) handleSessionPending(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.lookup(r.PathValue("id"))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, "session not found")
+		return
+	}
+	sess.touch()
+	s.writeJSON(w, http.StatusOK, sess.status())
+}
+
+// handleSessionLabel posts one label into the session, resuming the
+// parked pipeline.
+func (s *Server) handleSessionLabel(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.lookup(r.PathValue("id"))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, "session not found")
+		return
+	}
+	var req httpapi.LabelRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	lbl, err := parseLabel(req.Label)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := sess.deliver(req.Index, lbl); err != nil {
+		s.writeError(w, http.StatusConflict, err.Error())
+		return
+	}
+	s.rec.Add(obs.CounterSessionLabels, 1)
+	s.writeJSON(w, http.StatusOK, sess.status())
+}
+
+// handleSessionCancel cancels and removes the session.
+func (s *Server) handleSessionCancel(w http.ResponseWriter, r *http.Request) {
+	sess := s.sessions.lookup(r.PathValue("id"))
+	if sess == nil {
+		s.writeError(w, http.StatusNotFound, "session not found")
+		return
+	}
+	s.sessions.remove(sess.id)
+	sess.markCancelled("cancelled by client")
+	s.writeJSON(w, http.StatusOK, sess.status())
+}

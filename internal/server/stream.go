@@ -1,0 +1,227 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"cabd"
+	"cabd/httpapi"
+	"cabd/internal/obs"
+)
+
+// streamEntry is one live streaming detector. Its mutex serializes
+// pushes (cabd.StreamDetector is not safe for concurrent use); the
+// table's mutex only guards the map.
+type streamEntry struct {
+	id  string
+	srv *Server
+
+	mu   sync.Mutex
+	det  *cabd.StreamDetector
+	last time.Time
+}
+
+// streamTable holds the live streams keyed by caller-chosen id.
+type streamTable struct {
+	srv *Server
+	mu  sync.Mutex
+	m   map[string]*streamEntry
+}
+
+func newStreamTable(s *Server) *streamTable {
+	return &streamTable{srv: s, m: map[string]*streamEntry{}}
+}
+
+// errStreamsFull sheds stream creation at the cap.
+var errStreamsFull = errors.New("server saturated: stream cap reached")
+
+// getOrCreate returns the stream for id, creating it on first use.
+func (t *streamTable) getOrCreate(id string) (*streamEntry, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.m[id]; ok {
+		return e, nil
+	}
+	if len(t.m) >= t.srv.cfg.MaxStreams {
+		t.srv.rec.Add(obs.CounterHTTPShed, 1)
+		return nil, errStreamsFull
+	}
+	opts := t.srv.cfg.Options
+	opts.Obs = t.srv.rec
+	e := &streamEntry{
+		id:   id,
+		srv:  t.srv,
+		det:  cabd.NewStream(cabd.StreamConfig{BadValue: opts.Sanitize, Options: opts}),
+		last: t.srv.clock.Now(),
+	}
+	t.m[id] = e
+	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
+	return e, nil
+}
+
+// lookup returns the stream for id, or nil.
+func (t *streamTable) lookup(id string) *streamEntry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.m[id]
+}
+
+// remove drops id from the table.
+func (t *streamTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, id)
+	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
+}
+
+// evictIdle reclaims streams idle past ttl, in deterministic id order.
+func (t *streamTable) evictIdle(now time.Time, ttl time.Duration) {
+	t.mu.Lock()
+	var expired []string
+	for id, e := range t.m {
+		e.mu.Lock()
+		idle := now.Sub(e.last) > ttl
+		e.mu.Unlock()
+		if idle {
+			expired = append(expired, id)
+		}
+	}
+	sort.Strings(expired)
+	for _, id := range expired {
+		delete(t.m, id)
+		t.srv.rec.Add(obs.CounterIdleEvictions, 1)
+	}
+	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
+	t.mu.Unlock()
+}
+
+// closeAll empties the table (drain path; in-flight pushes finish on
+// their own entry references).
+func (t *streamTable) closeAll() {
+	t.mu.Lock()
+	t.m = map[string]*streamEntry{}
+	t.srv.rec.SetGauge(obs.GaugeStreamsActive, 0)
+	t.mu.Unlock()
+}
+
+// streamObservation is one NDJSON ingest line: either a bare number or
+// {"v": number}.
+type streamObservation struct {
+	V *float64 `json:"v"`
+}
+
+// handleStreamPush ingests NDJSON observations into the stream named by
+// the path id, creating it on first use, and answers with the
+// detections confirmed during this request. The body is parsed as a
+// sequence of JSON values (newline-delimited or whitespace-separated),
+// capped by MaxBytesReader.
+func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	id := r.PathValue("id")
+	e, err := s.streams.getOrCreate(id)
+	if err != nil {
+		s.writeShed(w, err.Error())
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	defer body.Close()
+	dec := json.NewDecoder(body)
+	var values []float64
+	for line := 0; ; line++ {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err == io.EOF {
+			break
+		} else if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				s.writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit))
+				return
+			}
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("observation %d: invalid JSON: %v", line, err))
+			return
+		}
+		v, err := parseObservation(raw)
+		if err != nil {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("observation %d: %v", line, err))
+			return
+		}
+		values = append(values, v)
+	}
+
+	e.mu.Lock()
+	var dets []cabd.StreamDetection
+	for _, v := range values {
+		dets = append(dets, e.det.Push(v)...)
+	}
+	e.last = s.clock.Now()
+	total, bad := e.det.Total(), e.det.Bad()
+	e.mu.Unlock()
+
+	s.writeJSON(w, http.StatusOK, httpapi.StreamIngestResponse{
+		ID:         id,
+		Accepted:   len(values),
+		Total:      total,
+		Bad:        bad,
+		Detections: wireStreamDetections(dets),
+	})
+}
+
+// handleStreamClose flushes the stream (final analysis with no trailing
+// margin), returns the remaining detections and evicts it.
+func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	e := s.streams.lookup(id)
+	if e == nil {
+		s.writeError(w, http.StatusNotFound, fmt.Sprintf("stream %q not found", id))
+		return
+	}
+	s.streams.remove(id)
+	e.mu.Lock()
+	dets := e.det.Flush()
+	total, bad := e.det.Total(), e.det.Bad()
+	e.mu.Unlock()
+	s.writeJSON(w, http.StatusOK, httpapi.StreamIngestResponse{
+		ID:         id,
+		Total:      total,
+		Bad:        bad,
+		Detections: wireStreamDetections(dets),
+		Flushed:    true,
+	})
+}
+
+// parseObservation accepts a bare JSON number or {"v": number}.
+func parseObservation(raw json.RawMessage) (float64, error) {
+	var v float64
+	if err := json.Unmarshal(raw, &v); err == nil {
+		return v, nil
+	}
+	var obj streamObservation
+	if err := json.Unmarshal(raw, &obj); err != nil || obj.V == nil {
+		return 0, fmt.Errorf("want a number or {\"v\": number}, got %s", raw)
+	}
+	return *obj.V, nil
+}
+
+func wireStreamDetections(dets []cabd.StreamDetection) []httpapi.Detection {
+	out := make([]httpapi.Detection, 0, len(dets))
+	for _, d := range dets {
+		out = append(out, httpapi.Detection{
+			Index:      d.Index,
+			Subtype:    d.Subtype.String(),
+			Confidence: d.Confidence,
+		})
+	}
+	return out
+}

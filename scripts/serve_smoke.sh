@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — boot cabd-serve on an ephemeral port, run one detect
+# request, scrape /metrics, and check graceful shutdown on SIGTERM.
+# Exercises the binary end to end the way a deployment would, in a few
+# seconds. Used by `make serve-smoke` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+bin="$workdir/cabd-serve"
+portfile="$workdir/port"
+logfile="$workdir/serve.log"
+
+cleanup() {
+  if [[ -n "${server_pid:-}" ]] && kill -0 "$server_pid" 2>/dev/null; then
+    kill -9 "$server_pid" 2>/dev/null || true
+  fi
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building cabd-serve"
+go build -o "$bin" ./cmd/cabd-serve
+
+"$bin" -addr 127.0.0.1:0 -portfile "$portfile" >"$logfile" 2>&1 &
+server_pid=$!
+
+for _ in $(seq 1 50); do
+  [[ -s "$portfile" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "serve-smoke: server died at boot"; cat "$logfile"; exit 1; }
+  sleep 0.1
+done
+[[ -s "$portfile" ]] || { echo "serve-smoke: no portfile after 5s"; cat "$logfile"; exit 1; }
+port=$(cat "$portfile")
+base="http://127.0.0.1:$port"
+echo "serve-smoke: serving on $base"
+
+curl -sfS "$base/healthz" | grep -q '"ok"' || { echo "serve-smoke: healthz failed"; exit 1; }
+curl -sfS "$base/readyz" | grep -q '"ready"' || { echo "serve-smoke: readyz failed"; exit 1; }
+
+# One real detection: a flat-ish series with one obvious spike.
+series=$(awk 'BEGIN{printf "["; for(i=0;i<120;i++){v=(i%7)/10.0; if(i==60)v=40; printf "%s%.1f",(i?",":""),v} printf "]"}')
+detect=$(curl -sfS -X POST "$base/v1/detect" \
+  -H 'Content-Type: application/json' \
+  -d "{\"series\": $series}")
+echo "serve-smoke: detect -> $detect"
+echo "$detect" | grep -q '"strategy"' || { echo "serve-smoke: detect reply missing strategy"; exit 1; }
+echo "$detect" | grep -q '"index": *60' || { echo "serve-smoke: the planted spike at 60 was not detected"; exit 1; }
+
+metrics=$(curl -sfS "$base/metrics")
+echo "$metrics" | grep -q '^cabd_http_requests_total [1-9]' \
+  || { echo "serve-smoke: /metrics shows no requests"; exit 1; }
+echo "$metrics" | grep -q '^cabd_queue_depth ' \
+  || { echo "serve-smoke: /metrics missing queue depth gauge"; exit 1; }
+echo "serve-smoke: metrics ok"
+
+kill -TERM "$server_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$server_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$server_pid" 2>/dev/null; then
+  echo "serve-smoke: server ignored SIGTERM for 10s"; cat "$logfile"; exit 1
+fi
+wait "$server_pid" 2>/dev/null || rc=$?
+if [[ "${rc:-0}" -ne 0 ]]; then
+  echo "serve-smoke: server exited $rc after SIGTERM"; cat "$logfile"; exit 1
+fi
+grep -q 'drained cleanly' "$logfile" || { echo "serve-smoke: no clean-drain log line"; cat "$logfile"; exit 1; }
+server_pid=""
+echo "serve-smoke: graceful shutdown ok"
+echo "serve-smoke: PASS"
