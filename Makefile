@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check cover fuzz bench serve-smoke
+.PHONY: all build vet lint test race check cover fuzz bench serve-smoke agent-smoke
 
 all: check
 
@@ -30,7 +30,13 @@ race:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
-check: vet build lint race serve-smoke
+# End-to-end smoke of the collector: cabd-serve + cabd-agent connected
+# through cabd-faultproxy — forwarding, SIGHUP hot reload, a 503 fault
+# window (spill + replay, zero loss), and the SIGTERM drain.
+agent-smoke:
+	./scripts/agent_smoke.sh
+
+check: vet build lint race serve-smoke agent-smoke
 
 # Coverage floor for the observability layer: pure bookkeeping code with a
 # deterministic fake clock has no excuse for untested branches.

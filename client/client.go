@@ -26,8 +26,9 @@ import (
 
 // Client talks to one cabd-serve instance.
 type Client struct {
-	base string
-	http *http.Client
+	base  string
+	http  *http.Client
+	retry *RetryPolicy
 }
 
 // Option configures a Client.
@@ -52,9 +53,31 @@ func New(baseURL string, opts ...Option) *Client {
 	return c
 }
 
-// do issues one JSON round trip. A nil in decodes into nothing-sent
-// (GET/DELETE); a nil out discards the body.
+// do issues one JSON round trip, retrying transient failures when a
+// RetryPolicy is installed (WithRetry). The request body is re-encoded
+// per attempt, so retried POSTs never replay a consumed reader.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.retry == nil {
+		return c.doOnce(ctx, method, path, in, out)
+	}
+	sched := c.retry.Backoff.Schedule()
+	for {
+		err := c.doOnce(ctx, method, path, in, out)
+		if err == nil {
+			return nil
+		}
+		if sched.Attempt() >= c.retry.MaxAttempts-1 || !c.retry.ShouldRetry(err) {
+			return err
+		}
+		if serr := c.retry.Sleep(ctx, sched.Next(retryAfterOf(err))); serr != nil {
+			return serr
+		}
+	}
+}
+
+// doOnce issues one JSON round trip. A nil in decodes into nothing-sent
+// (GET/DELETE); a nil out discards the body.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -164,6 +187,28 @@ func (c *Client) StreamClose(ctx context.Context, id string) (*httpapi.StreamIng
 	var out httpapi.StreamIngestResponse
 	err := c.do(ctx, http.MethodDelete, "/v1/stream/"+id, nil, &out)
 	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ingest forwards a batch of agent-side detections (POST /v1/ingest).
+// Batches carry per-detection idempotency keys, so resending after an
+// ambiguous failure is safe: the server acknowledges duplicates instead
+// of double counting them.
+func (c *Client) Ingest(ctx context.Context, req httpapi.IngestRequest) (*httpapi.IngestResponse, error) {
+	var out httpapi.IngestResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/ingest", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// IngestStats fetches the server-side forwarded-detection totals
+// (GET /v1/ingest), the loss-accounting view of the collector fleet.
+func (c *Client) IngestStats(ctx context.Context) (*httpapi.IngestStats, error) {
+	var out httpapi.IngestStats
+	if err := c.do(ctx, http.MethodGet, "/v1/ingest", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,179 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+
+	"cabd/httpapi"
+)
+
+// Backoff is a capped exponential retry schedule with seeded jitter:
+// attempt k waits Base·Factor^k, capped at Max, then spread by ±Jitter/2
+// around the nominal value by a seeded rng — deterministic, so tests
+// assert the exact delay sequence instead of sleeping. A Retry-After
+// hint from the server overrides the computed delay when it is larger
+// (the server knows its own saturation horizon better than the client).
+type Backoff struct {
+	// Base is the first delay (default 100ms); Max caps the growth
+	// (default 30s); Factor is the per-attempt multiplier (default 2).
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	// Jitter is the fractional spread: a delay d becomes uniform in
+	// [d·(1−Jitter/2), d·(1+Jitter/2)] (default 0.2; negative
+	// disables jitter entirely).
+	Jitter float64
+	// Seed drives the jitter rng (default 1).
+	Seed int64
+}
+
+func (b Backoff) defaults() Backoff {
+	if b.Base <= 0 {
+		b.Base = 100 * time.Millisecond
+	}
+	if b.Max <= 0 {
+		b.Max = 30 * time.Second
+	}
+	if b.Factor < 1 {
+		b.Factor = 2
+	}
+	if b.Jitter == 0 {
+		b.Jitter = 0.2
+	}
+	if b.Jitter < 0 || b.Jitter >= 1 {
+		b.Jitter = 0
+	}
+	if b.Seed == 0 {
+		b.Seed = 1
+	}
+	return b
+}
+
+// Schedule returns a fresh delay iterator over the backoff. Each
+// Schedule owns its own seeded rng, so two schedules with the same
+// Backoff produce identical sequences.
+func (b Backoff) Schedule() *Schedule {
+	b = b.defaults()
+	return &Schedule{b: b, rng: rand.New(rand.NewSource(b.Seed))}
+}
+
+// Schedule iterates one retry episode's delays. Not safe for concurrent
+// use; each retried request gets its own.
+type Schedule struct {
+	b       Backoff
+	rng     *rand.Rand
+	attempt int
+}
+
+// Next returns the delay before the next attempt. retryAfterSeconds is
+// the server's Retry-After hint (0 when absent); when it exceeds the
+// computed delay it wins, uncapped — honoring the server is the point.
+func (s *Schedule) Next(retryAfterSeconds int) time.Duration {
+	d := float64(s.b.Base)
+	for i := 0; i < s.attempt; i++ {
+		d *= s.b.Factor
+		if d >= float64(s.b.Max) {
+			break
+		}
+	}
+	if d > float64(s.b.Max) {
+		d = float64(s.b.Max)
+	}
+	if s.b.Jitter > 0 {
+		d *= 1 - s.b.Jitter/2 + s.b.Jitter*s.rng.Float64()
+	}
+	s.attempt++
+	out := time.Duration(d)
+	if ra := time.Duration(retryAfterSeconds) * time.Second; ra > out {
+		out = ra
+	}
+	return out
+}
+
+// Attempt reports how many delays have been handed out.
+func (s *Schedule) Attempt() int { return s.attempt }
+
+// Reset rewinds the exponential growth after a success (the jitter rng
+// keeps advancing, so reused schedules stay deterministic end to end).
+func (s *Schedule) Reset() { s.attempt = 0 }
+
+// RetryPolicy makes every JSON round trip of the client retry transient
+// failures — transport errors and 429/5xx replies — behind a Backoff.
+// Install it with WithRetry.
+type RetryPolicy struct {
+	// Backoff is the delay schedule (zero value takes the defaults).
+	Backoff Backoff
+	// MaxAttempts is the total number of tries including the first
+	// (default 4).
+	MaxAttempts int
+	// ShouldRetry classifies errors (default Retryable).
+	ShouldRetry func(error) bool
+	// Sleep waits between attempts; the default honors ctx
+	// cancellation. Tests inject a recorder to assert the exact
+	// schedule without sleeping.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (p RetryPolicy) defaults() RetryPolicy {
+	// Backoff stays raw here; Schedule() applies its defaults, and
+	// normalizing twice would re-expand an explicitly disabled jitter.
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.ShouldRetry == nil {
+		p.ShouldRetry = Retryable
+	}
+	if p.Sleep == nil {
+		p.Sleep = sleepCtx
+	}
+	return p
+}
+
+// WithRetry installs a retry policy on every JSON round trip (Detect,
+// DetectBatch, Ingest, the session endpoints). Streaming ingest pushes
+// are not retried — their NDJSON bodies are consumed by the attempt.
+func WithRetry(p RetryPolicy) Option {
+	pol := p.defaults()
+	return func(c *Client) { c.retry = &pol }
+}
+
+// Retryable is the default transient-failure classifier: transport
+// errors (connection refused/reset, EOF) and 429/500/502/503/504
+// replies retry; everything else — 4xx validation errors above all —
+// fails fast.
+func Retryable(err error) bool {
+	var serr *httpapi.StatusError
+	if errors.As(err, &serr) {
+		switch serr.Status {
+		case 429, 500, 502, 503, 504:
+			return true
+		}
+		return false
+	}
+	// Non-status errors from do() are transport-level (dial, reset,
+	// truncated body): the request may never have reached the server.
+	return err != nil
+}
+
+// retryAfterOf extracts the server's Retry-After hint, 0 when absent.
+func retryAfterOf(err error) int {
+	var serr *httpapi.StatusError
+	if errors.As(err, &serr) {
+		return serr.RetryAfterSeconds
+	}
+	return 0
+}
+
+// sleepCtx waits d or until ctx is cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

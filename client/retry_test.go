@@ -1,0 +1,235 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cabd/httpapi"
+)
+
+// TestScheduleExactNoJitter pins the capped exponential schedule
+// exactly: with jitter off the delays are pure Base·Factor^k clamped at
+// Max.
+func TestScheduleExactNoJitter(t *testing.T) {
+	s := zeroJitter(100*time.Millisecond, time.Second).Schedule()
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		time.Second, // capped
+		time.Second,
+	}
+	for i, w := range want {
+		if got := s.Next(0); got != w {
+			t.Fatalf("delay[%d] = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// zeroJitter builds a deterministic jitterless backoff (negative
+// Jitter disables the spread).
+func zeroJitter(base, max time.Duration) Backoff {
+	return Backoff{Base: base, Max: max, Factor: 2, Jitter: -1, Seed: 1}
+}
+
+// TestScheduleJitterDeterministic asserts (a) two schedules with the
+// same seed yield identical sequences, (b) jitter stays within the
+// ±Jitter/2 band, (c) a different seed yields a different sequence.
+func TestScheduleJitterDeterministic(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.2, Seed: 7}
+	s1, s2 := b.Schedule(), b.Schedule()
+	nominal := 100 * time.Millisecond
+	for i := 0; i < 6; i++ {
+		d1, d2 := s1.Next(0), s2.Next(0)
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged: %v vs %v", i, d1, d2)
+		}
+		lo := time.Duration(float64(nominal) * 0.9)
+		hi := time.Duration(float64(nominal) * 1.1)
+		if d1 < lo || d1 > hi {
+			t.Fatalf("attempt %d: %v outside jitter band [%v, %v]", i, d1, lo, hi)
+		}
+		if nominal < 10*time.Second {
+			nominal *= 2
+		}
+	}
+	other := b
+	other.Seed = 8
+	if o := other.Schedule().Next(0); o == b.Schedule().Next(0) {
+		t.Fatalf("different seeds produced identical first delay %v", o)
+	}
+}
+
+// TestScheduleHonorsRetryAfter: the server's hint wins when it exceeds
+// the computed delay, and is ignored when smaller.
+func TestScheduleHonorsRetryAfter(t *testing.T) {
+	s := zeroJitter(100*time.Millisecond, 10*time.Second).Schedule()
+	if got := s.Next(2); got != 2*time.Second {
+		t.Fatalf("Retry-After 2s not honored: got %v", got)
+	}
+	// Attempt 1 nominal is 200ms; a 0s hint leaves it alone.
+	if got := s.Next(0); got != 200*time.Millisecond {
+		t.Fatalf("hintless delay = %v, want 200ms", got)
+	}
+	// Nominal 400ms > 0s hint again; 1s hint beats it.
+	if got := s.Next(1); got != time.Second {
+		t.Fatalf("Retry-After 1s not honored over 400ms: got %v", got)
+	}
+}
+
+// TestScheduleReset rewinds growth but keeps iterating the same rng.
+func TestScheduleReset(t *testing.T) {
+	s := zeroJitter(100*time.Millisecond, 10*time.Second).Schedule()
+	s.Next(0)
+	s.Next(0)
+	s.Reset()
+	if got := s.Next(0); got != 100*time.Millisecond {
+		t.Fatalf("post-Reset delay = %v, want base 100ms", got)
+	}
+}
+
+// retryClient builds a client against url whose sleeps record into got
+// instead of sleeping.
+func retryClient(url string, attempts int, got *[]time.Duration) *Client {
+	return New(url, WithRetry(RetryPolicy{
+		Backoff:     zeroJitter(100*time.Millisecond, 10*time.Second),
+		MaxAttempts: attempts,
+		Sleep: func(_ context.Context, d time.Duration) error {
+			*got = append(*got, d)
+			return nil
+		},
+	}))
+}
+
+// TestClientRetries429 drives a server that sheds twice with 429 +
+// Retry-After before accepting, and asserts the call succeeds with the
+// exact hinted delays.
+func TestClientRetries429(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "3")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_, _ = w.Write([]byte(`{"error":"saturated","retry_after_seconds":3}`))
+			return
+		}
+		_, _ = w.Write([]byte(`{"accepted":1,"duplicates":0,"total":1}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv.URL, 4, &slept)
+	out, err := c.Ingest(context.Background(), httpapi.IngestRequest{
+		Agent:      "a",
+		Detections: []httpapi.ForwardedDetection{{Key: "a/s/1", Stream: "s", Index: 1}},
+	})
+	if err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if out.Accepted != 1 {
+		t.Fatalf("accepted = %d, want 1", out.Accepted)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	want := []time.Duration{3 * time.Second, 3 * time.Second}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+}
+
+// TestClientRetryGivesUp exhausts MaxAttempts against a hard-down
+// server and surfaces the final StatusError.
+func TestClientRetryGivesUp(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"down"}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv.URL, 3, &slept)
+	_, err := c.Ingest(context.Background(), httpapi.IngestRequest{Agent: "a"})
+	var serr *httpapi.StatusError
+	if !errors.As(err, &serr) || serr.Status != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 StatusError", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3 (MaxAttempts)", calls.Load())
+	}
+	want := []time.Duration{100 * time.Millisecond, 200 * time.Millisecond}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want %v", slept, want)
+	}
+}
+
+// TestClientNoRetryOnValidation: 4xx client errors fail fast.
+func TestClientNoRetryOnValidation(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		_, _ = w.Write([]byte(`{"error":"bad"}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := retryClient(srv.URL, 4, &slept)
+	if _, err := c.Ingest(context.Background(), httpapi.IngestRequest{Agent: "a"}); err == nil {
+		t.Fatal("want error")
+	}
+	if calls.Load() != 1 || len(slept) != 0 {
+		t.Fatalf("calls=%d slept=%v, want exactly one attempt, no sleeps", calls.Load(), slept)
+	}
+}
+
+// TestClientRetrySleepCancelled: a cancelled context surfaces from the
+// sleep instead of hammering the server.
+func TestClientRetrySleepCancelled(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"down"}`))
+	}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := New(srv.URL, WithRetry(RetryPolicy{
+		Backoff:     zeroJitter(time.Millisecond, time.Second),
+		MaxAttempts: 5,
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}))
+	if _, err := c.Ingest(ctx, httpapi.IngestRequest{Agent: "a"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRetryableClassification pins the default classifier.
+func TestRetryableClassification(t *testing.T) {
+	for _, status := range []int{429, 500, 502, 503, 504} {
+		if !Retryable(&httpapi.StatusError{Status: status}) {
+			t.Errorf("status %d should retry", status)
+		}
+	}
+	for _, status := range []int{400, 404, 409, 413, 422} {
+		if Retryable(&httpapi.StatusError{Status: status}) {
+			t.Errorf("status %d should fail fast", status)
+		}
+	}
+	if !Retryable(errors.New("dial tcp: connection refused")) {
+		t.Error("transport errors should retry")
+	}
+	if Retryable(nil) {
+		t.Error("nil error should not retry")
+	}
+}

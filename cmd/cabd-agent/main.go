@@ -1,0 +1,91 @@
+// Command cabd-agent is the cabd collector: it tails time-series
+// sources (*.csv, *.ndjson) from a directory, runs streaming detection
+// locally, and forwards confirmed detections to a cabd-serve instance
+// with an at-least-once crash-safe transport — capped exponential
+// backoff with seeded jitter (honoring Retry-After), a bounded
+// disk-backed spill buffer for disconnects, idempotency keys for
+// server-side dedup, and a checkpoint (source offsets + detector
+// snapshots) that makes restarts lossless.
+//
+// Configuration layers, later wins: built-in defaults, -config JSON
+// file, CABD_AGENT_* environment, flags. SIGHUP re-runs the same
+// layering and hot-applies the safe subset (pacing, batching, spill
+// cap, retry shape). SIGINT/SIGTERM drains: pending detections spill to
+// disk, the checkpoint is written, and the process exits cleanly.
+//
+// Usage:
+//
+//	cabd-agent -server http://127.0.0.1:8080 -source-dir /var/data -state-dir /var/lib/cabd-agent
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"cabd/internal/agent"
+)
+
+func main() {
+	// Pre-scan for -config so the file layer loads before flag
+	// registration; LoadConfig re-parses the full argument list.
+	pre := flag.NewFlagSet("cabd-agent", flag.ContinueOnError)
+	pre.SetOutput(discard{})
+	configPath := pre.String("config", "", "path to JSON config file")
+	_ = pre.Parse(os.Args[1:]) // unknown flags are fine here; LoadConfig validates
+
+	cfg, err := agent.LoadConfig(*configPath, os.LookupEnv, os.Args[1:])
+	if err != nil {
+		log.Fatalf("cabd-agent: %v", err)
+	}
+	cfg.Logf = log.Printf
+
+	a, err := agent.New(cfg)
+	if err != nil {
+		log.Fatalf("cabd-agent: %v", err)
+	}
+	log.Printf("cabd-agent: %q tailing %s -> %s (state %s)",
+		cfg.Name, cfg.SourceDir, cfg.Server, orNone(cfg.StateDir))
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM, syscall.SIGHUP)
+	go func() {
+		for sig := range sigc {
+			if sig == syscall.SIGHUP {
+				next, err := agent.LoadConfig(*configPath, os.LookupEnv, os.Args[1:])
+				if err != nil {
+					log.Printf("cabd-agent: SIGHUP reload rejected: %v", err)
+					continue
+				}
+				next.Logf = log.Printf
+				a.Reload(next)
+				continue
+			}
+			log.Printf("cabd-agent: %s received, draining", sig)
+			cancel()
+			return
+		}
+	}()
+
+	if err := a.Run(ctx); err != nil {
+		log.Fatalf("cabd-agent: drain: %v", err)
+	}
+	log.Printf("cabd-agent: drained cleanly (%d detections pending replay on next start)", a.Pending())
+}
+
+// discard silences the pre-scan flag set (it sees unknown flags by
+// design).
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+func orNone(s string) string {
+	if s == "" {
+		return "(none)"
+	}
+	return s
+}

@@ -8,7 +8,7 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi chaos inn obs serve.
+// table2 fig12 fig13 fig14 multi chaos inn obs serve load.
 //
 // The runtime experiments (fig11, inn, obs) additionally write their rows
 // to a machine-readable snapshot (-json, default BENCH_runtime.json; empty
@@ -16,7 +16,10 @@
 // recorder snapshot — counters, degrade reasons, stage histograms — into
 // the JSON. The serve experiment benchmarks the HTTP serving layer
 // (throughput/latency quantiles, saturation shedding, one auto-labeled
-// session) and writes -servejson (default BENCH_serve.json).
+// session) and writes -servejson (default BENCH_serve.json). The load
+// experiment drives a collector fleet (N cabd-agents x M streams) through
+// a mid-run server crash/restart, verifies zero detection loss, probes
+// the shed point, and writes -loadjson (default BENCH_load.json).
 package main
 
 import (
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	"cabd/internal/experiments"
+	"cabd/internal/experiments/loadbench"
 	"cabd/internal/experiments/servebench"
 )
 
@@ -46,6 +50,8 @@ func main() {
 		"merge the obs recorder snapshot (counters, histograms) of the obs experiment into the runtime JSON")
 	serveJSON := flag.String("servejson", "BENCH_serve.json",
 		"serving benchmark output for the serve experiment ('' disables)")
+	loadJSON := flag.String("loadjson", "BENCH_load.json",
+		"collector-fleet benchmark output for the load experiment ('' disables)")
 	flag.Parse()
 
 	sc := experiments.Scale{}
@@ -142,6 +148,29 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Fprintf(out, "serving benchmark written to %s\n", *serveJSON)
+			}
+		}},
+		{"load", "collector fleet: N agents x M streams, shed point, zero-loss restart", func(sc experiments.Scale) {
+			cfg := loadbench.LoadConfig{}
+			if *full {
+				cfg = loadbench.LoadConfig{Agents: 8, Streams: 6, Values: 3000, RampMax: 64}
+			}
+			res, err := loadbench.LoadBench(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cabd-bench: load experiment: %v\n", err)
+				os.Exit(1)
+			}
+			loadbench.PrintLoad(out, res)
+			if !res.ZeroLoss {
+				fmt.Fprintf(os.Stderr, "cabd-bench: load experiment LOST %d detections\n", res.Lost)
+				os.Exit(1)
+			}
+			if *loadJSON != "" {
+				if err := loadbench.WriteLoadJSON(*loadJSON, res); err != nil {
+					fmt.Fprintf(os.Stderr, "cabd-bench: writing %s: %v\n", *loadJSON, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(out, "load benchmark written to %s\n", *loadJSON)
 			}
 		}},
 	}

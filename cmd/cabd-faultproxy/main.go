@@ -1,0 +1,100 @@
+// Command cabd-faultproxy is a fault-injecting HTTP reverse proxy for
+// exercising the cabd collector's resilient transport against network
+// failure. It forwards to -target and injects the current fault mode
+// (pass, reset, error, hang, slow); a separate admin listener switches
+// modes at runtime:
+//
+//	POST /mode?mode=error&n=3   inject 503 into the next 3 requests
+//	POST /mode?mode=reset       reset every connection until changed
+//	GET  /mode                  report the current mode and fault count
+//
+// Usage:
+//
+//	cabd-faultproxy -listen :8081 -target http://127.0.0.1:8080 -admin 127.0.0.1:8082
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strconv"
+
+	"cabd/internal/agent/faultproxy"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":8081", "proxy listen address")
+		target   = flag.String("target", "http://127.0.0.1:8080", "upstream cabd-serve base URL")
+		admin    = flag.String("admin", "127.0.0.1:8082", "admin listen address (mode control)")
+		mode      = flag.String("mode", "pass", "initial fault mode (pass|reset|error|hang|slow)")
+		portfile  = flag.String("portfile", "", "write the proxy's bound port to this file once listening")
+		adminfile = flag.String("adminportfile", "", "write the admin listener's bound port to this file once listening")
+	)
+	flag.Parse()
+
+	m, err := faultproxy.ParseMode(*mode)
+	if err != nil {
+		log.Fatalf("cabd-faultproxy: %v", err)
+	}
+	p, err := faultproxy.New(*target)
+	if err != nil {
+		log.Fatalf("cabd-faultproxy: %v", err)
+	}
+	p.Set(m, 0)
+
+	amux := http.NewServeMux()
+	amux.HandleFunc("POST /mode", func(w http.ResponseWriter, r *http.Request) {
+		md, err := faultproxy.ParseMode(r.URL.Query().Get("mode"))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n := 0
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err = strconv.Atoi(s); err != nil {
+				http.Error(w, "bad n: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+		}
+		p.Set(md, n)
+		log.Printf("cabd-faultproxy: mode -> %s (n=%d)", md, n)
+		fmt.Fprintf(w, "mode %s n %d\n", md, n)
+	})
+	amux.HandleFunc("GET /mode", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "mode %s faults %d\n", p.Mode(), p.Faults())
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("cabd-faultproxy: listen %s: %v", *listen, err)
+	}
+	aln, err := net.Listen("tcp", *admin)
+	if err != nil {
+		log.Fatalf("cabd-faultproxy: admin listen %s: %v", *admin, err)
+	}
+	writePort := func(path string, l net.Listener) {
+		if path == "" {
+			return
+		}
+		port := l.Addr().(*net.TCPAddr).Port
+		if err := os.WriteFile(path, []byte(fmt.Sprintf("%d\n", port)), 0o644); err != nil {
+			log.Fatalf("cabd-faultproxy: write %s: %v", path, err)
+		}
+	}
+	writePort(*portfile, ln)
+	writePort(*adminfile, aln)
+	log.Printf("cabd-faultproxy: %s -> %s (admin %s, mode %s)", ln.Addr(), *target, aln.Addr(), m)
+
+	go func() {
+		if err := http.Serve(aln, amux); err != nil {
+			log.Fatalf("cabd-faultproxy: admin: %v", err)
+		}
+	}()
+	if err := http.Serve(ln, p); err != nil {
+		log.Fatalf("cabd-faultproxy: serve: %v", err)
+	}
+}

@@ -44,14 +44,16 @@ func main() {
 		maxStreams   = flag.Int("max-streams", 256, "cap on live streaming detectors")
 		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "idle session eviction horizon")
 		streamTTL    = flag.Duration("stream-ttl", 10*time.Minute, "idle stream eviction horizon")
+		janitorEvery = flag.Duration("janitor-every", 30*time.Second, "idle-eviction sweep period (negative disables the janitor)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown bound")
+		checkpoint   = flag.String("checkpoint-dir", "", "directory for crash-safe state (ingest journal + session checkpoints); empty disables persistence")
 		confidence   = flag.Float64("confidence", 0, "default termination confidence γ (0 keeps the library default)")
 		seed         = flag.Int64("seed", 0, "default run seed (0 keeps the library default)")
 	)
 	flag.Parse()
 
 	opts := cabd.Options{Confidence: *confidence, Seed: *seed}
-	srv := server.New(server.Config{
+	srv, err := server.New(server.Config{
 		Options:        opts,
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -62,8 +64,14 @@ func main() {
 		MaxStreams:     *maxStreams,
 		SessionTTL:     *sessionTTL,
 		StreamTTL:      *streamTTL,
+		JanitorEvery:   *janitorEvery,
+		CheckpointDir:  *checkpoint,
+		Logf:           log.Printf,
 		ExpvarName:     "cabd",
 	})
+	if err != nil {
+		log.Fatalf("cabd-serve: %v", err)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -185,6 +185,50 @@ type LabelRequest struct {
 	Label string `json:"label"`
 }
 
+// ForwardedDetection is one detection forwarded by a collector agent
+// (cmd/cabd-agent). Key is the idempotency key — agents derive it from
+// agent/stream/index, so an at-least-once redelivery after a crash or a
+// spill-buffer replay deduplicates server-side instead of double
+// counting.
+type ForwardedDetection struct {
+	Key        string  `json:"key"`
+	Stream     string  `json:"stream"`
+	Index      int     `json:"index"`
+	Subtype    string  `json:"subtype"`
+	Confidence float64 `json:"confidence"`
+}
+
+// IngestRequest is the body of POST /v1/ingest: one forwarded batch
+// from the named agent.
+type IngestRequest struct {
+	Agent      string               `json:"agent"`
+	Detections []ForwardedDetection `json:"detections"`
+}
+
+// IngestResponse acknowledges a forwarded batch. Accepted counts the
+// batch's new detections; Duplicates counts redeliveries the server
+// already held (expected under at-least-once forwarding, not an error).
+type IngestResponse struct {
+	Accepted   int `json:"accepted"`
+	Duplicates int `json:"duplicates"`
+	// Total is the server's lifetime count of unique accepted
+	// detections, across restarts when checkpointing is enabled.
+	Total int64 `json:"total"`
+}
+
+// IngestStats is the body of GET /v1/ingest: the server-side view of
+// everything collectors have forwarded, for loss accounting.
+type IngestStats struct {
+	Total      int64 `json:"total"`
+	Duplicates int64 `json:"duplicates"`
+	// ByStream maps stream name to its unique detection count, sorted
+	// on the wire by the JSON object's key order (maps marshal sorted).
+	ByStream map[string]int64 `json:"by_stream,omitempty"`
+	// ByAgent maps agent name to its unique detection count — the
+	// per-collector view a load test uses to prove zero loss.
+	ByAgent map[string]int64 `json:"by_agent,omitempty"`
+}
+
 // ErrorResponse is the body of every non-2xx reply.
 type ErrorResponse struct {
 	Error string `json:"error"`

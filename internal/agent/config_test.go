@@ -1,0 +1,87 @@
+package agent
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestConfigLayering pins the precedence chain: defaults < file < env <
+// flags, with absent fields at every layer keeping the previous value.
+func TestConfigLayering(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "agent.json")
+	file := `{
+		"name": "from-file",
+		"server": "http://file:1",
+		"source_dir": "/src",
+		"poll_every": "5s",
+		"backoff_base": "250ms",
+		"backoff_jitter": -1,
+		"seed": 9
+	}`
+	if err := os.WriteFile(path, []byte(file), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	env := map[string]string{
+		"CABD_AGENT_NAME":       "from-env",
+		"CABD_AGENT_POLL_EVERY": "3s",
+	}
+	lookup := func(k string) (string, bool) { v, ok := env[k]; return v, ok }
+
+	cfg, err := LoadConfig(path, lookup, []string{"-name", "from-flag", "-batch-size", "7"})
+	if err != nil {
+		t.Fatalf("LoadConfig: %v", err)
+	}
+	if cfg.Name != "from-flag" {
+		t.Errorf("name = %q, want flag layer to win", cfg.Name)
+	}
+	if cfg.PollEvery != 3*time.Second {
+		t.Errorf("poll_every = %v, want env layer 3s over file 5s", cfg.PollEvery)
+	}
+	if cfg.Server != "http://file:1" || cfg.SourceDir != "/src" {
+		t.Errorf("file layer lost: server %q source %q", cfg.Server, cfg.SourceDir)
+	}
+	if cfg.BatchSize != 7 {
+		t.Errorf("batch_size = %d, want flag 7", cfg.BatchSize)
+	}
+	if cfg.SpillMaxBytes != Default().SpillMaxBytes {
+		t.Errorf("spill_max_bytes = %d, want untouched default", cfg.SpillMaxBytes)
+	}
+	if cfg.Backoff.Base != 250*time.Millisecond || cfg.Backoff.Jitter != -1 {
+		t.Errorf("backoff from file lost: %+v", cfg.Backoff)
+	}
+	if cfg.Seed != 9 {
+		t.Errorf("seed = %d, want file 9", cfg.Seed)
+	}
+}
+
+// TestConfigErrors: bad durations and missing required fields reject
+// the whole load instead of silently running on defaults.
+func TestConfigErrors(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"poll_every": "soon"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	none := func(string) (string, bool) { return "", false }
+	if _, err := LoadConfig(bad, none, nil); err == nil {
+		t.Error("bad duration accepted")
+	}
+	if _, err := LoadConfig(filepath.Join(dir, "missing.json"), none, nil); err == nil {
+		t.Error("missing config file accepted")
+	}
+	// No server anywhere in the layers: validation must fail.
+	if _, err := LoadConfig("", none, []string{"-source-dir", "/src"}); err == nil {
+		t.Error("config without a server URL accepted")
+	}
+	if _, err := LoadConfig("", func(k string) (string, bool) {
+		if k == "CABD_AGENT_POLL_EVERY" {
+			return "nope", true
+		}
+		return "", false
+	}, nil); err == nil {
+		t.Error("bad env duration accepted")
+	}
+}

@@ -1,0 +1,144 @@
+// Package faultproxy is a fault-injecting HTTP reverse proxy for
+// exercising the agent's resilient transport (and any other cabd
+// client) against realistic network failure: connection resets, 5xx
+// bursts, request blackholes and slow-loris responses. It sits between
+// a client and a cabd-serve instance; tests and the smoke script flip
+// its mode at runtime to carve failure windows into otherwise healthy
+// traffic.
+package faultproxy
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"strconv"
+	"sync"
+)
+
+// Mode selects the injected fault.
+type Mode string
+
+const (
+	// ModePass forwards requests untouched.
+	ModePass Mode = "pass"
+	// ModeReset hijacks the connection and closes it mid-request — the
+	// client sees a connection reset / unexpected EOF.
+	ModeReset Mode = "reset"
+	// ModeError answers 503 with a Retry-After hint without touching
+	// the upstream — a saturated or crashed backend.
+	ModeError Mode = "error"
+	// ModeHang accepts the request and never answers until the client
+	// gives up (its context or timeout fires) — a blackhole.
+	ModeHang Mode = "hang"
+	// ModeSlow writes the response status and a single body byte, then
+	// stalls — a slow-loris server keeping the client on the hook.
+	ModeSlow Mode = "slow"
+)
+
+// ParseMode validates a wire/flag mode string.
+func ParseMode(s string) (Mode, error) {
+	switch Mode(s) {
+	case ModePass, ModeReset, ModeError, ModeHang, ModeSlow:
+		return Mode(s), nil
+	}
+	return "", fmt.Errorf("unknown fault mode %q (want pass|reset|error|hang|slow)", s)
+}
+
+// Proxy is the fault-injecting reverse proxy. Safe for concurrent use.
+type Proxy struct {
+	rp *httputil.ReverseProxy
+
+	mu        sync.Mutex
+	mode      Mode
+	remaining int // >0: faults left before auto-reverting to pass; 0: until changed
+	faults    int // total injected, for assertions
+}
+
+// New returns a proxy forwarding to target (a base URL).
+func New(target string) (*Proxy, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, fmt.Errorf("faultproxy target: %w", err)
+	}
+	return &Proxy{rp: httputil.NewSingleHostReverseProxy(u), mode: ModePass}, nil
+}
+
+// Set switches the fault mode. n > 0 injects the fault into exactly the
+// next n requests and then reverts to pass; n <= 0 keeps the mode until
+// the next Set.
+func (p *Proxy) Set(mode Mode, n int) {
+	p.mu.Lock()
+	p.mode = mode
+	p.remaining = n
+	p.mu.Unlock()
+}
+
+// Mode reports the current mode.
+func (p *Proxy) Mode() Mode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.mode
+}
+
+// Faults reports how many requests had a fault injected.
+func (p *Proxy) Faults() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.faults
+}
+
+// take claims one fault slot for this request, handling burst expiry.
+func (p *Proxy) take() Mode {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	mode := p.mode
+	if mode == ModePass {
+		return ModePass
+	}
+	p.faults++
+	if p.remaining > 0 {
+		p.remaining--
+		if p.remaining == 0 {
+			p.mode = ModePass
+		}
+	}
+	return mode
+}
+
+// ServeHTTP implements http.Handler.
+func (p *Proxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch p.take() {
+	case ModePass:
+		p.rp.ServeHTTP(w, r)
+	case ModeReset:
+		hj, ok := w.(http.Hijacker)
+		if !ok {
+			// Listener without hijack support: the closest lie is an
+			// empty 500.
+			w.WriteHeader(http.StatusInternalServerError)
+			return
+		}
+		conn, _, err := hj.Hijack()
+		if err != nil {
+			return
+		}
+		_ = conn.Close() // no response bytes at all: reset/EOF at the client
+	case ModeError:
+		w.Header().Set("Retry-After", strconv.Itoa(1))
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = w.Write([]byte(`{"error":"injected fault: upstream unavailable","retry_after_seconds":1}`))
+	case ModeHang:
+		// Hold the request until the client abandons it; no timer of our
+		// own — the victim's patience is the fault's duration.
+		<-r.Context().Done()
+	case ModeSlow:
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write([]byte("{"))
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+		}
+		<-r.Context().Done()
+	}
+}

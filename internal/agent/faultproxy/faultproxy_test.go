@@ -1,0 +1,131 @@
+package faultproxy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"cabd/httpapi"
+)
+
+func newRig(t *testing.T) (*Proxy, *httptest.Server) {
+	t.Helper()
+	upstream := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = io.WriteString(w, "ok")
+	}))
+	t.Cleanup(upstream.Close)
+	p, err := New(upstream.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(p)
+	t.Cleanup(front.Close)
+	return p, front
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp, string(body)
+}
+
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"pass", "reset", "error", "hang", "slow"} {
+		if _, err := ParseMode(s); err != nil {
+			t.Errorf("ParseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := ParseMode("explode"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+// TestErrorModeShape: the injected 503 looks exactly like a saturated
+// cabd-serve — Retry-After header plus the JSON hint the client parses.
+func TestErrorModeShape(t *testing.T) {
+	p, front := newRig(t)
+	p.Set(ModeError, 0)
+	resp, body := get(t, front.URL)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") != "1" {
+		t.Fatalf("Retry-After = %q, want 1", resp.Header.Get("Retry-After"))
+	}
+	var er httpapi.ErrorResponse
+	if err := json.Unmarshal([]byte(body), &er); err != nil {
+		t.Fatalf("body is not the JSON error shape: %v (%s)", err, body)
+	}
+	if er.RetryAfterSeconds != 1 || er.Error == "" {
+		t.Fatalf("error body = %+v, want retry_after_seconds 1 with a message", er)
+	}
+}
+
+// TestResetMode: the client sees a transport-level failure, not an HTTP
+// status — the shape a crashed server produces.
+func TestResetMode(t *testing.T) {
+	p, front := newRig(t)
+	p.Set(ModeReset, 0)
+	if _, err := http.Get(front.URL); err == nil {
+		t.Fatal("reset mode produced a successful response")
+	}
+}
+
+// TestBurstAutoReverts: n=2 injects exactly two faults and the third
+// request passes through to the upstream.
+func TestBurstAutoReverts(t *testing.T) {
+	p, front := newRig(t)
+	p.Set(ModeError, 2)
+	for i := 0; i < 2; i++ {
+		if resp, _ := get(t, front.URL); resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("request %d: status %d, want injected 503", i, resp.StatusCode)
+		}
+	}
+	if p.Mode() != ModePass {
+		t.Fatalf("mode after burst = %s, want pass", p.Mode())
+	}
+	resp, body := get(t, front.URL)
+	if resp.StatusCode != http.StatusOK || body != "ok" {
+		t.Fatalf("post-burst request: %d %q, want upstream's 200 ok", resp.StatusCode, body)
+	}
+	if p.Faults() != 2 {
+		t.Fatalf("faults = %d, want 2", p.Faults())
+	}
+}
+
+// TestHangAndSlowRespectClientPatience: both modes hold the request only
+// until the client's context gives up — the proxy itself has no timer.
+func TestHangAndSlowRespectClientPatience(t *testing.T) {
+	for _, mode := range []Mode{ModeHang, ModeSlow} {
+		t.Run(string(mode), func(t *testing.T) {
+			p, front := newRig(t)
+			p.Set(mode, 0)
+			ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+			defer cancel()
+			req, _ := http.NewRequestWithContext(ctx, http.MethodGet, front.URL, nil)
+			resp, err := http.DefaultClient.Do(req)
+			if err == nil {
+				// Slow mode writes headers before stalling, so Do may
+				// succeed; the body read must then hit the deadline.
+				_, err = io.ReadAll(resp.Body)
+				resp.Body.Close()
+			}
+			if err == nil {
+				t.Fatalf("%s mode answered within the client deadline", mode)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				t.Fatalf("unexpected error shape: %v", err)
+			}
+		})
+	}
+}

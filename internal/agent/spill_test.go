@@ -1,0 +1,123 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cabd/httpapi"
+)
+
+func dets(stream string, from, n int) []httpapi.ForwardedDetection {
+	out := make([]httpapi.ForwardedDetection, n)
+	for i := range out {
+		out[i] = httpapi.ForwardedDetection{
+			Key:    fmt.Sprintf("a/%s/%d", stream, from+i),
+			Stream: stream, Index: from + i, Subtype: "single-anomaly", Confidence: 0.9,
+		}
+	}
+	return out
+}
+
+// TestSpillOrderAndReopen: segments replay strictly in write order,
+// including segments inherited from a previous process.
+func TestSpillOrderAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := openSpill(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.add(dets("cpu", 0, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.add(dets("cpu", 3, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new process inherits both segments in order.
+	s2, err := openSpill(dir, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.pending(); got != 5 {
+		t.Fatalf("pending after reopen = %d, want 5", got)
+	}
+	var replayed []string
+	n, err := s2.replay(func(batch []httpapi.ForwardedDetection) error {
+		for _, d := range batch {
+			replayed = append(replayed, d.Key)
+		}
+		return nil
+	})
+	if err != nil || n != 5 {
+		t.Fatalf("replay = %d, %v; want 5, nil", n, err)
+	}
+	for i, k := range replayed {
+		if want := fmt.Sprintf("a/cpu/%d", i); k != want {
+			t.Fatalf("replay order broken at %d: %q != %q", i, k, want)
+		}
+	}
+	if s2.pending() != 0 || s2.bytes() != 0 {
+		t.Fatalf("drained spill still reports %d dets / %d bytes", s2.pending(), s2.bytes())
+	}
+}
+
+// TestSpillReplayStopsOnFailure: a failed send leaves the segment (and
+// everything after it) intact for the next attempt.
+func TestSpillReplayStopsOnFailure(t *testing.T) {
+	s, err := openSpill(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.add(dets("cpu", 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.add(dets("cpu", 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	calls := 0
+	n, err := s.replay(func([]httpapi.ForwardedDetection) error {
+		calls++
+		if calls == 2 {
+			return errors.New("server gone")
+		}
+		return nil
+	})
+	if err == nil || n != 2 {
+		t.Fatalf("replay = %d, %v; want 2 then the error", n, err)
+	}
+	if s.pending() != 2 {
+		t.Fatalf("pending after partial replay = %d, want 2", s.pending())
+	}
+}
+
+// TestSpillCapDropsOldest: past the byte cap the OLDEST segments go,
+// and the just-written one always survives.
+func TestSpillCapDropsOldest(t *testing.T) {
+	s, err := openSpill(t.TempDir(), 1) // absurdly small: every add evicts predecessors
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped, err := s.add(dets("cpu", 0, 3)); err != nil || dropped != 0 {
+		t.Fatalf("first add: dropped %d, %v", dropped, err)
+	}
+	dropped, err := s.add(dets("cpu", 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want the 3 oldest", dropped)
+	}
+	var keys []string
+	if _, err := s.replay(func(batch []httpapi.ForwardedDetection) error {
+		for _, d := range batch {
+			keys = append(keys, d.Key)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0] != "a/cpu/3" {
+		t.Fatalf("survivors = %v, want the newest segment only", keys)
+	}
+}

@@ -192,7 +192,7 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 	})
 	trueLabels := make(map[int]Class) // candidate position -> oracle class
 	t.Do(obs.StageClassify, func() {
-		d.classify(cands, pseudo, trueLabels, rng)
+		res.Model = d.classify(cands, pseudo, trueLabels, rng)
 	})
 	res.Rounds = append(res.Rounds, snapshot(0, 0, cands))
 
@@ -246,7 +246,7 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 					agreeStreak = 0
 				}
 				trueLabels[pos] = truth
-				d.classify(cands, pseudo, trueLabels, rng)
+				res.Model = d.classify(cands, pseudo, trueLabels, rng)
 			})
 			res.Rounds = append(res.Rounds, snapshot(queries, queries, cands))
 		}
@@ -265,8 +265,9 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 // refreshes every candidate's class and confidence weight. Confidence is
 // the out-of-bag probability, so it is not a self-fulfilling echo of the
 // candidate's own training label; queried candidates keep their oracle
-// label with full confidence.
-func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[int]Class, rng *rand.Rand) {
+// label with full confidence. The trained ensemble is returned so the
+// run's Result can expose the final model for checkpointing.
+func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[int]Class, rng *rand.Rand) *forest.Forest {
 	n := len(cands)
 	X := make([][]float64, n)
 	y := make([]int, n)
@@ -302,6 +303,9 @@ func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[in
 			cands[i].Confidence = 1
 			continue
 		}
+		if fr == nil {
+			continue
+		}
 		// Class from the full ensemble; confidence weight from the
 		// out-of-bag probability of that class. A candidate that is the
 		// lone example of its feature region keeps its hypothesis label
@@ -318,6 +322,7 @@ func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[in
 		cands[i].Class = Class(bi)
 		cands[i].Confidence = oob[bi]
 	}
+	return fr
 }
 
 // mostUncertain returns the position of the unqueried candidate with the

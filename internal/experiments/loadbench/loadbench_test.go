@@ -1,0 +1,36 @@
+package loadbench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadBenchTiny runs the whole experiment at a small scale: the
+// fleet must lose nothing across the mid-run restart, the outage must
+// actually exercise the spill path, and the ramp must find a shed point.
+func TestLoadBenchTiny(t *testing.T) {
+	res, err := LoadBench(LoadConfig{Agents: 2, Streams: 2, Values: 900, RampMax: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reference == 0 {
+		t.Fatal("reference run produced no detections; the experiment proves nothing")
+	}
+	if !res.ZeroLoss || res.Lost != 0 {
+		t.Fatalf("lost %d of %d detections across the restart", res.Lost, res.Reference)
+	}
+	if res.Spilled == 0 || res.Replayed == 0 {
+		t.Fatalf("outage did not exercise the spill path: spilled %d replayed %d", res.Spilled, res.Replayed)
+	}
+	if res.ShedPoint == 0 {
+		t.Fatalf("ramp to %d never saturated the one-worker server: %+v", 32, res.Ramp)
+	}
+
+	var b strings.Builder
+	PrintLoad(&b, res)
+	for _, want := range []string{"zero_loss=true", "shed point", "spilled"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, b.String())
+		}
+	}
+}

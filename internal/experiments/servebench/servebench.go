@@ -128,7 +128,7 @@ func ServeBench(cfg ServeConfig) ServeResult {
 	res := ServeResult{Requests: cfg.Requests, Concurrency: cfg.Concurrency, N: cfg.N}
 
 	// --- throughput leg ---
-	srv := server.New(server.Config{JanitorEvery: -1})
+	srv, _ := server.New(server.Config{JanitorEvery: -1})
 	ts := httptest.NewServer(srv.Handler())
 	cl := client.New(ts.URL)
 	vals := synth.YahooLike(42, cfg.N).Values
@@ -167,7 +167,7 @@ func ServeBench(cfg ServeConfig) ServeResult {
 	srv.Close()
 
 	// --- saturation leg: one worker, one queue slot, Burst callers ---
-	tiny := server.New(server.Config{Workers: 1, QueueDepth: 1, JanitorEvery: -1})
+	tiny, _ := server.New(server.Config{Workers: 1, QueueDepth: 1, JanitorEvery: -1})
 	tts := httptest.NewServer(tiny.Handler())
 	tcl := client.New(tts.URL)
 	sat := ServeSaturation{Burst: cfg.Burst}
@@ -205,7 +205,7 @@ func ServeBench(cfg ServeConfig) ServeResult {
 	tiny.Close()
 
 	// --- session leg: auto-labeled active learning to convergence ---
-	ssrv := server.New(server.Config{JanitorEvery: -1})
+	ssrv, _ := server.New(server.Config{JanitorEvery: -1})
 	sts := httptest.NewServer(ssrv.Handler())
 	scl := client.New(sts.URL)
 	s := synth.YahooLike(7, cfg.N)

@@ -105,6 +105,16 @@ func TestHttpbodyFixture(t *testing.T)      { runFixture(t, "httpbody", "httpbod
 // TestObsPackageExempt: the Clock's home package may read time.Now.
 func TestObsPackageExempt(t *testing.T) { runFixture(t, "internal/obs", "wallclock") }
 
+// TestAgentSleepBan: collector packages may not call the time package's
+// sleep/timer primitives — pacing goes through obs.SleepFunc.
+func TestAgentSleepBan(t *testing.T) { runFixture(t, "internal/agent", "wallclock") }
+
+// TestFaultproxySleepExempt: the fault proxy subpackage keeps only the
+// base wall-clock-read ban.
+func TestFaultproxySleepExempt(t *testing.T) {
+	runFixture(t, "internal/agent/faultproxy", "wallclock")
+}
+
 // TestMainPackageExempt: binaries own their wall clock and global rand.
 func TestMainPackageExempt(t *testing.T) {
 	runFixture(t, "mainpkg", "wallclock", "seededrand")
@@ -203,8 +213,9 @@ func TestLoaderExpand(t *testing.T) {
 		t.Fatalf("Expand ./maporder = %v, err %v", single, err)
 	}
 	sub, err := l.Expand([]string{"./internal/..."})
-	if err != nil || len(sub) != 1 || sub[0] != "fixture/internal/obs" {
-		t.Fatalf("Expand ./internal/... = %v, err %v", sub, err)
+	wantSub := []string{"fixture/internal/agent", "fixture/internal/agent/faultproxy", "fixture/internal/obs"}
+	if err != nil || strings.Join(sub, ",") != strings.Join(wantSub, ",") {
+		t.Fatalf("Expand ./internal/... = %v, err %v, want %v", sub, err, wantSub)
 	}
 	byPath, err := l.Expand([]string{"fixture/floateq"})
 	if err != nil || len(byPath) != 1 || byPath[0] != "fixture/floateq" {

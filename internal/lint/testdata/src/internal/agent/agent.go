@@ -1,0 +1,30 @@
+// Package agent is a lint fixture: collector packages may not pace
+// themselves off the wall clock — neither reads nor sleeps/timers.
+package agent
+
+import "time"
+
+func badRead() time.Time {
+	return time.Now() // want wallclock "direct time.Now call"
+}
+
+func badSleep() {
+	time.Sleep(time.Second) // want wallclock "time.Sleep paces agent code"
+}
+
+func badAfter() <-chan time.Time {
+	return time.After(time.Second) // want wallclock "time.After paces agent code"
+}
+
+func badTimer() *time.Timer {
+	return time.NewTimer(time.Second) // want wallclock "time.NewTimer paces agent code"
+}
+
+func badTicker() *time.Ticker {
+	return time.NewTicker(time.Second) // want wallclock "time.NewTicker paces agent code"
+}
+
+// Duration arithmetic never touches the clock and stays legal.
+func okDurations(d time.Duration) time.Duration {
+	return 2*d + time.Millisecond
+}

@@ -1,0 +1,18 @@
+// Package faultproxy is a lint fixture: the fault proxy is exempt from
+// the agent sleep/timer ban (its faults are context-bounded by design,
+// but the exemption keeps the rule honest about its scope).
+package faultproxy
+
+import "time"
+
+func okSleep() {
+	time.Sleep(time.Millisecond)
+}
+
+func okAfter() <-chan time.Time {
+	return time.After(time.Millisecond)
+}
+
+func badReadStillApplies() time.Time {
+	return time.Now() // want wallclock "direct time.Now call"
+}

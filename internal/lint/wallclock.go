@@ -15,11 +15,37 @@ var wallclockBanned = map[string]bool{
 	"Until": true,
 }
 
+// wallclockSleepBanned are the time-package sleep/timer primitives that
+// pace execution off the wall clock. They are additionally banned in the
+// collector packages (internal/agent/...), where every pause — poll
+// pacing and retry backoff alike — must go through the injectable
+// obs.SleepFunc so schedules are exactly assertable in tests. The
+// faultproxy subpackage is exempt: its faults are deliberately timer-free
+// (the victim's context bounds their duration).
+var wallclockSleepBanned = map[string]bool{
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// agentScoped reports whether the sleep/timer ban applies to a package.
+func agentScoped(path string) bool {
+	if !strings.Contains(path, "internal/agent") {
+		return false
+	}
+	return !strings.HasSuffix(path, "/faultproxy")
+}
+
 var analyzerWallclock = &Analyzer{
 	Name: "wallclock",
 	Doc: "library code must measure time through the injectable obs.Clock, " +
 		"never time.Now/Since/Until directly; internal/obs (the Clock's home) " +
-		"and package main are exempt",
+		"and package main are exempt. In internal/agent packages the ban " +
+		"extends to time.Sleep/After/Tick/NewTimer/NewTicker/AfterFunc — " +
+		"pacing goes through obs.SleepFunc (faultproxy exempt)",
 	SkipMain: true,
 	Run: func(p *Pass) {
 		// internal/obs implements the Wall clock; it is the one library
@@ -27,6 +53,7 @@ var analyzerWallclock = &Analyzer{
 		if strings.HasSuffix(p.Pkg.ImportPath, "internal/obs") {
 			return
 		}
+		sleepBan := agentScoped(p.Pkg.ImportPath)
 		p.Inspect(func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -39,6 +66,8 @@ var analyzerWallclock = &Analyzer{
 			}
 			if wallclockBanned[fn.Name()] {
 				p.Reportf(sel.Pos(), "direct time.%s call reads the wall clock; thread obs.Clock (obs.Wall in production, FakeClock in tests)", fn.Name())
+			} else if sleepBan && wallclockSleepBanned[fn.Name()] {
+				p.Reportf(sel.Pos(), "time.%s paces agent code off the wall clock; sleep through the injectable obs.SleepFunc so backoff and poll schedules are exactly testable", fn.Name())
 			}
 			return true
 		})

@@ -1,0 +1,123 @@
+package forest
+
+import "fmt"
+
+// FlatNode is one serialized tree node. Internal nodes carry the split
+// (Feature, Threshold) and the indices of their children inside the
+// tree's node array; leaves carry the class distribution and children
+// of -1. The flat layout keeps the wire form free of recursion so a
+// hostile checkpoint cannot stack-overflow the decoder.
+type FlatNode struct {
+	Feature   int       `json:"f"`
+	Threshold float64   `json:"t"`
+	Left      int       `json:"l"`
+	Right     int       `json:"r"`
+	Probs     []float64 `json:"p,omitempty"`
+}
+
+// TreeSnapshot is one serialized tree: Nodes[0] is the root.
+type TreeSnapshot struct {
+	Nodes []FlatNode `json:"nodes"`
+}
+
+// Snapshot is the serializable form of a trained Forest — the model
+// checkpoint written by the serving layer so a restarted process can
+// reload the exact ensemble instead of retraining. InBag preserves the
+// bootstrap membership so out-of-bag estimates survive the round trip.
+type Snapshot struct {
+	NumClasses int            `json:"num_classes"`
+	Trees      []TreeSnapshot `json:"trees"`
+	InBag      [][]bool       `json:"in_bag,omitempty"`
+}
+
+// Snapshot flattens the forest into its serializable form. Nil forests
+// snapshot to nil.
+func (f *Forest) Snapshot() *Snapshot {
+	if f == nil {
+		return nil
+	}
+	s := &Snapshot{NumClasses: f.numClasses, Trees: make([]TreeSnapshot, len(f.trees))}
+	for i, root := range f.trees {
+		var nodes []FlatNode
+		flatten(root, &nodes)
+		s.Trees[i] = TreeSnapshot{Nodes: nodes}
+	}
+	for _, bag := range f.inBag {
+		s.InBag = append(s.InBag, append([]bool(nil), bag...))
+	}
+	return s
+}
+
+// flatten appends n's subtree to nodes in preorder and returns n's
+// index.
+func flatten(n *node, nodes *[]FlatNode) int {
+	at := len(*nodes)
+	*nodes = append(*nodes, FlatNode{Left: -1, Right: -1})
+	if n.probs != nil {
+		(*nodes)[at].Probs = append([]float64(nil), n.probs...)
+		return at
+	}
+	(*nodes)[at].Feature = n.feature
+	(*nodes)[at].Threshold = n.threshold
+	l := flatten(n.left, nodes)
+	r := flatten(n.right, nodes)
+	(*nodes)[at].Left = l
+	(*nodes)[at].Right = r
+	return at
+}
+
+// FromSnapshot rebuilds a Forest from its serialized form, validating
+// the node graph (indices in range, acyclic by forward reference, leaf
+// distributions sized to NumClasses) so a corrupted checkpoint fails
+// loudly instead of predicting garbage. A nil snapshot returns nil.
+func FromSnapshot(s *Snapshot) (*Forest, error) {
+	if s == nil {
+		return nil, nil
+	}
+	if s.NumClasses <= 0 {
+		return nil, fmt.Errorf("forest snapshot: num_classes %d", s.NumClasses)
+	}
+	if len(s.InBag) != 0 && len(s.InBag) != len(s.Trees) {
+		return nil, fmt.Errorf("forest snapshot: %d in-bag rows for %d trees", len(s.InBag), len(s.Trees))
+	}
+	f := &Forest{numClasses: s.NumClasses}
+	for ti, ts := range s.Trees {
+		root, err := unflatten(ts.Nodes, 0, s.NumClasses)
+		if err != nil {
+			return nil, fmt.Errorf("forest snapshot: tree %d: %w", ti, err)
+		}
+		f.trees = append(f.trees, root)
+	}
+	for _, bag := range s.InBag {
+		f.inBag = append(f.inBag, append([]bool(nil), bag...))
+	}
+	return f, nil
+}
+
+// unflatten rebuilds the subtree rooted at index at. Children must sit
+// strictly after their parent (the preorder invariant), which rules out
+// cycles without a visited set.
+func unflatten(nodes []FlatNode, at, numClasses int) (*node, error) {
+	if at < 0 || at >= len(nodes) {
+		return nil, fmt.Errorf("node index %d out of range [0, %d)", at, len(nodes))
+	}
+	fn := nodes[at]
+	if fn.Probs != nil {
+		if len(fn.Probs) != numClasses {
+			return nil, fmt.Errorf("leaf %d has %d probs, want %d", at, len(fn.Probs), numClasses)
+		}
+		return &node{probs: append([]float64(nil), fn.Probs...)}, nil
+	}
+	if fn.Left <= at || fn.Right <= at {
+		return nil, fmt.Errorf("node %d children (%d, %d) not strictly after parent", at, fn.Left, fn.Right)
+	}
+	left, err := unflatten(nodes, fn.Left, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	right, err := unflatten(nodes, fn.Right, numClasses)
+	if err != nil {
+		return nil, err
+	}
+	return &node{feature: fn.Feature, threshold: fn.Threshold, left: left, right: right}, nil
+}

@@ -1,9 +1,34 @@
 package obs
 
 import (
+	"context"
 	"sync"
 	"time"
 )
+
+// SleepFunc waits for a duration or until the context is cancelled.
+// Library code that must pause (backoff between retries, poll loops)
+// takes one of these instead of calling time.Sleep, so tests substitute
+// a recorder that asserts the exact schedule without sleeping. Sleep is
+// the production implementation.
+type SleepFunc func(ctx context.Context, d time.Duration) error
+
+// Sleep waits d on the process wall clock, returning early with
+// ctx.Err() on cancellation. It lives here — the one package allowed to
+// touch real time — so clock-disciplined packages need no timer imports.
+func Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
 
 // Clock abstracts time for span measurement so tests can assert exact
 // stage timings instead of sleeping. Production recorders use Wall.

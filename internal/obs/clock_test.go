@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestWallClockMovesForward(t *testing.T) {
+	a := Wall.Now()
+	b := Wall.Now()
+	if b.Before(a) {
+		t.Fatalf("Wall.Now went backwards: %v then %v", a, b)
+	}
+}
+
+func TestSleep(t *testing.T) {
+	ctx := context.Background()
+
+	if err := Sleep(ctx, 0); err != nil {
+		t.Fatalf("Sleep(ctx, 0) = %v, want nil", err)
+	}
+	if err := Sleep(ctx, -time.Second); err != nil {
+		t.Fatalf("Sleep(ctx, -1s) = %v, want nil", err)
+	}
+
+	if err := Sleep(ctx, time.Microsecond); err != nil {
+		t.Fatalf("Sleep(ctx, 1us) = %v, want nil", err)
+	}
+
+	cancelled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := Sleep(cancelled, time.Hour); err != context.Canceled {
+		t.Fatalf("Sleep(cancelled, 1h) = %v, want context.Canceled", err)
+	}
+	if err := Sleep(cancelled, 0); err != context.Canceled {
+		t.Fatalf("Sleep(cancelled, 0) = %v, want context.Canceled", err)
+	}
+}

@@ -89,6 +89,23 @@ const (
 	// CounterIdleEvictions counts streaming detectors and labeling
 	// sessions reclaimed by the server's idle janitor.
 	CounterIdleEvictions
+	// CounterIngestAccepted / CounterIngestDuplicates count forwarded
+	// detections accepted by the ingest endpoint and at-least-once
+	// redeliveries deduplicated by idempotency key.
+	CounterIngestAccepted
+	CounterIngestDuplicates
+	// CounterAgentForwarded / CounterAgentSpilled / CounterAgentReplayed
+	// / CounterAgentSpillDropped / CounterAgentRetries instrument the
+	// collector agent's forwarder: detections delivered upstream,
+	// detections parked in the disk spill buffer on disconnect, spilled
+	// detections replayed after reconnect, spilled detections dropped at
+	// the buffer's byte cap, and send attempts that failed and backed
+	// off.
+	CounterAgentForwarded
+	CounterAgentSpilled
+	CounterAgentReplayed
+	CounterAgentSpillDropped
+	CounterAgentRetries
 	// CounterSessionLabels counts labels posted into interactive
 	// server-side labeling sessions.
 	CounterSessionLabels
@@ -101,7 +118,11 @@ var counterNames = [NumCounters]string{
 	"rank_memo_hits_total", "rank_memo_misses_total",
 	"batch_series_total", "batch_failures_total",
 	"http_requests_total", "http_shed_total",
-	"idle_evictions_total", "session_labels_total",
+	"idle_evictions_total",
+	"ingest_accepted_total", "ingest_duplicates_total",
+	"agent_forwarded_total", "agent_spilled_total", "agent_replayed_total",
+	"agent_spill_dropped_total", "agent_retries_total",
+	"session_labels_total",
 }
 
 // String implements fmt.Stringer.

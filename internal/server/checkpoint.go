@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"cabd"
+	"cabd/httpapi"
+	"cabd/internal/ml/forest"
+	"cabd/internal/obs"
+	"cabd/internal/series"
+)
+
+// sessionCheckpoint is the on-disk form of one interactive session,
+// written to CheckpointDir as session-<id>.json. It records the
+// original request plus every label delivered so far — enough for a
+// restarted server to re-run the deterministic pipeline (fixed seed,
+// same label set) and converge to the same verdict without asking the
+// user to repeat themselves. Terminal sessions additionally carry the
+// final wire result and the serialized classifier ensemble, so the
+// exact model that produced the verdict survives the restart.
+type sessionCheckpoint struct {
+	ID        string                  `json:"id"`
+	Series    []float64               `json:"series"`
+	Options   *httpapi.DetectOptions  `json:"options,omitempty"`
+	AutoLabel bool                    `json:"auto_label,omitempty"`
+	Truth     []string                `json:"truth,omitempty"`
+	Labels    []labelRecord           `json:"labels,omitempty"`
+	Queries   int                     `json:"queries"`
+	State     string                  `json:"state"`
+	Result    *httpapi.DetectResponse `json:"result,omitempty"`
+	Error     string                  `json:"error,omitempty"`
+	Model     *forest.Snapshot        `json:"model,omitempty"`
+}
+
+// labelRecord is one delivered label, in delivery order.
+type labelRecord struct {
+	Index int    `json:"index"`
+	Label string `json:"label"`
+}
+
+// sessionCheckpointPath names the checkpoint file for a session id.
+func sessionCheckpointPath(dir, id string) string {
+	return filepath.Join(dir, "session-"+id+".json")
+}
+
+// atomicWriteFile writes data to path via a temp file in the same
+// directory plus rename, so a crash mid-write leaves either the old
+// checkpoint or the new one — never a torn file.
+func atomicWriteFile(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		_ = tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// checkpointSession persists the session's current checkpoint. Best
+// effort: a failed write is logged, not fatal — the session keeps
+// serving and the next persistence point retries.
+func (s *Server) checkpointSession(sess *session) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	cp := sess.snapshotCheckpoint()
+	data, err := json.Marshal(cp)
+	if err != nil {
+		s.logf("cabd-serve: checkpoint session %s: encode: %v", cp.ID, err)
+		return
+	}
+	if err := atomicWriteFile(sessionCheckpointPath(s.cfg.CheckpointDir, cp.ID), data); err != nil {
+		s.logf("cabd-serve: checkpoint session %s: %v", cp.ID, err)
+	}
+}
+
+// dropSessionCheckpoint deletes a session's checkpoint file — the
+// session ended on purpose (client cancel, idle eviction), so a restart
+// must not resurrect it. Drain deliberately does NOT call this: drained
+// sessions are the ones a restart resumes.
+func (s *Server) dropSessionCheckpoint(id string) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	if err := os.Remove(sessionCheckpointPath(s.cfg.CheckpointDir, id)); err != nil && !os.IsNotExist(err) {
+		s.logf("cabd-serve: drop checkpoint %s: %v", id, err)
+	}
+}
+
+// snapshotCheckpoint copies the session into its on-disk form.
+func (s *session) snapshotCheckpoint() *sessionCheckpoint {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := &sessionCheckpoint{
+		ID:        s.id,
+		Series:    s.req.Series,
+		Options:   s.req.Options,
+		AutoLabel: s.req.AutoLabel,
+		Truth:     s.req.Truth,
+		Labels:    append([]labelRecord(nil), s.labels...),
+		Queries:   s.queries,
+		State:     s.state,
+		Result:    s.result,
+		Error:     s.errMsg,
+		Model:     s.model,
+	}
+	// A parked query checkpoints as running: on restore the replayed
+	// pipeline re-parks on the same uncertainty-sampled index by itself.
+	if cp.State == httpapi.StateAwaitingLabel {
+		cp.State = httpapi.StateRunning
+	}
+	return cp
+}
+
+// restore reloads every session checkpoint in dir: terminal sessions
+// come back as completed records (result still fetchable), open ones
+// re-run the deterministic pipeline with recorded labels replayed by
+// index until it either finishes or parks on the first genuinely new
+// query. The id counter resumes above the highest restored id so new
+// sessions never collide with resurrected ones.
+func (t *sessionTable) restore(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "session-*.json"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	var maxID int64
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", p, err)
+		}
+		var cp sessionCheckpoint
+		if err := json.Unmarshal(data, &cp); err != nil {
+			return fmt.Errorf("restore %s: %w", p, err)
+		}
+		if cp.ID == "" {
+			return fmt.Errorf("restore %s: checkpoint has no session id", p)
+		}
+		if n, perr := strconv.ParseInt(strings.TrimPrefix(cp.ID, "s"), 10, 64); perr == nil && n > maxID {
+			maxID = n
+		}
+		if err := t.restoreOne(&cp); err != nil {
+			return fmt.Errorf("restore %s: %w", p, err)
+		}
+	}
+	if maxID > t.next.Load() {
+		t.next.Store(maxID)
+	}
+	return nil
+}
+
+// restoreOne rebuilds a single session from its checkpoint.
+func (t *sessionTable) restoreOne(cp *sessionCheckpoint) error {
+	opts, err := parseOptions(cp.Options)
+	if err != nil {
+		return err
+	}
+	req := httpapi.SessionRequest{
+		Series:    cp.Series,
+		Options:   cp.Options,
+		AutoLabel: cp.AutoLabel,
+		Truth:     cp.Truth,
+	}
+	switch cp.State {
+	case httpapi.StateDone, httpapi.StateFailed, httpapi.StateCancelled:
+		sess := t.adopt(cp.ID, req)
+		sess.mu.Lock()
+		sess.state = cp.State
+		sess.queries = cp.Queries
+		sess.result = cp.Result
+		sess.errMsg = cp.Error
+		sess.model = cp.Model
+		sess.labels = cp.Labels
+		sess.mu.Unlock()
+		close(sess.done)
+		return nil
+	default:
+		replay := make(map[int]cabd.Label, len(cp.Labels))
+		for _, lr := range cp.Labels {
+			lbl, err := parseLabel(lr.Label)
+			if err != nil {
+				return fmt.Errorf("recorded label for index %d: %w", lr.Index, err)
+			}
+			replay[lr.Index] = lbl
+		}
+		var truth []series.Label
+		if cp.AutoLabel {
+			truth, err = parseTruth(cp.Truth, len(cp.Series))
+			if err != nil {
+				return err
+			}
+		}
+		sess := t.adopt(cp.ID, req)
+		sess.mu.Lock()
+		sess.labels = cp.Labels
+		sess.replay = replay
+		sess.mu.Unlock()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		sess.cancel = cancel
+		det := t.srv.detectorFor(opts)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			sess.run(ctx, det, cp.Series, truth)
+		}()
+		return nil
+	}
+}
+
+// adopt registers a restored session shell in the table under its old
+// id, bypassing the MaxSessions shed (these sessions were admitted
+// before the restart; refusing them now would lose user work).
+func (t *sessionTable) adopt(id string, req httpapi.SessionRequest) *session {
+	sess := &session{
+		id:      id,
+		srv:     t.srv,
+		cancel:  func() {},
+		done:    make(chan struct{}),
+		state:   httpapi.StateRunning,
+		req:     req,
+		created: t.srv.clock.Now(),
+		last:    t.srv.clock.Now(),
+	}
+	t.mu.Lock()
+	t.m[id] = sess
+	t.srv.rec.SetGauge(obs.GaugeSessionsActive, int64(len(t.m)))
+	t.mu.Unlock()
+	return sess
+}

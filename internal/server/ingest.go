@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"cabd/httpapi"
+	"cabd/internal/obs"
+)
+
+// ingestStore holds every detection forwarded by collector agents
+// (POST /v1/ingest), deduplicated by idempotency key — the server half
+// of the at-least-once contract: agents may redeliver after crashes,
+// ambiguous failures and spill-buffer replays, and the store counts
+// each unique detection exactly once.
+//
+// With a checkpoint directory configured the store is durable: accepted
+// detections append to an NDJSON journal that is replayed on startup,
+// so a restart loses nothing and still recognizes redeliveries from
+// before the crash.
+type ingestStore struct {
+	mu       sync.Mutex
+	seen     map[string]struct{}
+	byStream map[string]int64
+	byAgent  map[string]int64
+	total    int64
+	dups     int64
+	journal  *os.File // nil when checkpointing is disabled
+}
+
+// ingestJournalName is the journal file under Config.CheckpointDir.
+const ingestJournalName = "ingest.ndjson"
+
+// journalEntry is one journal line: the wire detection plus its agent.
+type journalEntry struct {
+	Agent string `json:"agent,omitempty"`
+	httpapi.ForwardedDetection
+}
+
+// newIngestStore builds the store, replaying the journal when dir is
+// non-empty. Replay errors are fatal to New — serving with silently
+// truncated loss accounting would defeat the store's purpose — except
+// for a trailing partial line, the expected shape of a crash mid-write,
+// which is dropped (its batch was never acknowledged, so the agent will
+// redeliver it).
+func newIngestStore(dir string) (*ingestStore, error) {
+	st := &ingestStore{
+		seen:     map[string]struct{}{},
+		byStream: map[string]int64{},
+		byAgent:  map[string]int64{},
+	}
+	if dir == "" {
+		return st, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("ingest journal dir: %w", err)
+	}
+	path := filepath.Join(dir, ingestJournalName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("ingest journal: %w", err)
+	}
+	if err := st.replay(f); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("ingest journal %s: %w", path, err)
+	}
+	// Append past the last complete line (replay truncated any partial
+	// tail).
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		_ = f.Close()
+		return nil, fmt.Errorf("ingest journal %s: %w", path, err)
+	}
+	st.journal = f
+	return st, nil
+}
+
+// replay loads the journal into the dedup index, truncating a partial
+// trailing line left by a crash mid-append.
+func (st *ingestStore) replay(f *os.File) error {
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	var complete int64
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			complete += 1
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			// A malformed line can only be the torn tail of a crashed
+			// append; anything before it parsed cleanly. Truncate here
+			// and move on — the unacknowledged batch will be redelivered.
+			break
+		}
+		if e.Key != "" {
+			if _, dup := st.seen[e.Key]; !dup {
+				st.seen[e.Key] = struct{}{}
+				st.byStream[e.Stream]++
+				st.byAgent[e.Agent]++
+				st.total++
+			}
+		}
+		complete += int64(len(line)) + 1
+	}
+	if err := sc.Err(); err != nil && !errors.Is(err, bufio.ErrTooLong) {
+		return err
+	}
+	return f.Truncate(complete)
+}
+
+// add records a forwarded batch, returning the accepted/duplicate
+// split. Journal appends are synced before acknowledging, so an
+// acknowledged detection survives a crash.
+func (st *ingestStore) add(agent string, dets []httpapi.ForwardedDetection) (accepted, dups int, total int64, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var buf []byte
+	fresh := make([]httpapi.ForwardedDetection, 0, len(dets))
+	for _, d := range dets {
+		if _, dup := st.seen[d.Key]; dup {
+			dups++
+			continue
+		}
+		line, merr := json.Marshal(journalEntry{Agent: agent, ForwardedDetection: d})
+		if merr != nil {
+			return 0, 0, st.total, fmt.Errorf("encode journal entry: %w", merr)
+		}
+		buf = append(buf, line...)
+		buf = append(buf, '\n')
+		fresh = append(fresh, d)
+	}
+	if st.journal != nil && len(buf) > 0 {
+		if _, werr := st.journal.Write(buf); werr != nil {
+			return 0, 0, st.total, fmt.Errorf("append journal: %w", werr)
+		}
+		if serr := st.journal.Sync(); serr != nil {
+			return 0, 0, st.total, fmt.Errorf("sync journal: %w", serr)
+		}
+	}
+	// Index only after the journal write stuck: an acknowledged key must
+	// be durable, an unacknowledged one must stay redeliverable.
+	for _, d := range fresh {
+		st.seen[d.Key] = struct{}{}
+		st.byStream[d.Stream]++
+		st.byAgent[agent]++
+		st.total++
+		accepted++
+	}
+	st.dups += int64(dups)
+	return accepted, dups, st.total, nil
+}
+
+// stats snapshots the store for GET /v1/ingest.
+func (st *ingestStore) stats() httpapi.IngestStats {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := httpapi.IngestStats{Total: st.total, Duplicates: st.dups}
+	if len(st.byStream) > 0 {
+		out.ByStream = make(map[string]int64, len(st.byStream))
+		for k, v := range st.byStream {
+			out.ByStream[k] = v
+		}
+	}
+	if len(st.byAgent) > 0 {
+		out.ByAgent = make(map[string]int64, len(st.byAgent))
+		for k, v := range st.byAgent {
+			out.ByAgent[k] = v
+		}
+	}
+	return out
+}
+
+// close releases the journal handle (drain path).
+func (st *ingestStore) close() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.journal != nil {
+		_ = st.journal.Sync()
+		_ = st.journal.Close()
+		st.journal = nil
+	}
+}
+
+// handleIngest accepts one forwarded batch from a collector agent.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req httpapi.IngestRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	for i, d := range req.Detections {
+		if d.Key == "" {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Sprintf("detections[%d] is missing its idempotency key", i))
+			return
+		}
+	}
+	accepted, dups, total, err := s.ingest.add(req.Agent, req.Detections)
+	if err != nil {
+		// Journal write failure: the batch is not durable, so refuse it
+		// retryably rather than acknowledging possible loss.
+		s.writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
+	s.rec.Add(obs.CounterIngestAccepted, int64(accepted))
+	s.rec.Add(obs.CounterIngestDuplicates, int64(dups))
+	s.writeJSON(w, http.StatusOK, httpapi.IngestResponse{
+		Accepted: accepted, Duplicates: dups, Total: total,
+	})
+}
+
+// handleIngestStats serves the loss-accounting view.
+func (s *Server) handleIngestStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.ingest.stats())
+}

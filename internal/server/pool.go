@@ -2,6 +2,7 @@ package server
 
 import (
 	"errors"
+	"sync"
 
 	"cabd/internal/obs"
 )
@@ -16,10 +17,11 @@ var errSaturated = errors.New("server saturated: worker queue full")
 // caller sheds it immediately — there is no unbounded buffering layer
 // anywhere between the listener and the workers.
 type pool struct {
-	rec     *obs.Recorder
-	workers int
-	jobs    chan func()
-	done    chan struct{}
+	rec      *obs.Recorder
+	workers  int
+	jobs     chan func()
+	done     chan struct{}
+	stopOnce sync.Once
 }
 
 func newPool(workers, depth int, rec *obs.Recorder) *pool {
@@ -73,13 +75,17 @@ func (p *pool) run(f func()) error {
 }
 
 // close drains the queue and waits for every worker to exit. Admission
-// (trySubmit) must have stopped before calling it.
+// (trySubmit) must have stopped before calling it. Idempotent, so a
+// deferred Close after an explicit Drain (the restart tests' shape) is
+// harmless.
 func (p *pool) close() {
-	close(p.jobs)
-	for i := 0; i < p.workers; i++ {
-		<-p.done
-	}
-	p.rec.SetGauge(obs.GaugeQueueDepth, 0)
+	p.stopOnce.Do(func() {
+		close(p.jobs)
+		for i := 0; i < p.workers; i++ {
+			<-p.done
+		}
+		p.rec.SetGauge(obs.GaugeQueueDepth, 0)
+	})
 }
 
 // retryAfterSeconds estimates how long a shed client should back off:

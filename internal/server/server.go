@@ -66,6 +66,19 @@ type Config struct {
 	// disables the background janitor — tests drive sweeps directly).
 	JanitorEvery time.Duration
 
+	// CheckpointDir, when non-empty, makes the server crash-safe: the
+	// ingest store journals accepted detections there (NDJSON, replayed
+	// on startup) and every interactive session checkpoints its request,
+	// delivered labels and terminal result there (session-<id>.json,
+	// atomic writes). New restores both on boot, so a restarted server
+	// resumes active-learning sessions — the deterministic pipeline
+	// replays recorded labels and converges to the same verdict — and
+	// still deduplicates agent redeliveries from before the crash.
+	CheckpointDir string
+	// Logf receives operational log lines (evictions with session age,
+	// checkpoint failures). Nil discards them.
+	Logf func(format string, args ...any)
+
 	// Recorder receives the server's metrics (request spans into the
 	// http_request stage histogram, queue depth, shed/eviction/label
 	// counters) on top of the detection pipeline's own instrumentation.
@@ -127,6 +140,7 @@ type Server struct {
 
 	streams  *streamTable
 	sessions *sessionTable
+	ingest   *ingestStore
 
 	mu       sync.Mutex
 	draining bool
@@ -135,9 +149,12 @@ type Server struct {
 	janitorWG   sync.WaitGroup
 }
 
-// New returns a ready-to-serve Server. Call Close (or Drain) when done
-// to release the worker pool and the janitor.
-func New(cfg Config) *Server {
+// New returns a ready-to-serve Server. With a CheckpointDir it first
+// restores persisted state — the ingest journal and every checkpointed
+// session — and fails rather than serve over state it could not read.
+// Call Close (or Drain) when done to release the worker pool and the
+// janitor.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.defaults()
 	s := &Server{
 		cfg:   cfg,
@@ -147,6 +164,19 @@ func New(cfg Config) *Server {
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.rec)
 	s.streams = newStreamTable(s)
 	s.sessions = newSessionTable(s)
+	ing, err := newIngestStore(cfg.CheckpointDir)
+	if err != nil {
+		s.pool.close()
+		return nil, err
+	}
+	s.ingest = ing
+	if cfg.CheckpointDir != "" {
+		if err := s.sessions.restore(cfg.CheckpointDir); err != nil {
+			s.ingest.close()
+			s.pool.close()
+			return nil, err
+		}
+	}
 	s.mux = s.routes()
 	if cfg.ExpvarName != "" {
 		// Best effort: a second server reusing the name keeps serving,
@@ -158,7 +188,14 @@ func New(cfg Config) *Server {
 		s.janitorWG.Add(1)
 		go s.janitor(cfg.JanitorEvery)
 	}
-	return s
+	return s, nil
+}
+
+// logf forwards to the configured operational logger, if any.
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
 }
 
 // Recorder returns the server's metrics recorder.
@@ -181,6 +218,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions/{id}/pending", s.wrap(s.handleSessionPending))
 	mux.HandleFunc("POST /v1/sessions/{id}/labels", s.wrap(s.handleSessionLabel))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleSessionCancel))
+	mux.HandleFunc("POST /v1/ingest", s.wrap(s.handleIngest))
+	mux.HandleFunc("GET /v1/ingest", s.wrap(s.handleIngestStats))
 	mux.HandleFunc("GET /healthz", s.wrap(s.handleHealthz))
 	mux.HandleFunc("GET /readyz", s.wrap(s.handleReadyz))
 	mux.HandleFunc("GET /metrics", s.wrap(s.handleMetrics))
@@ -220,6 +259,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	go func() {
 		s.sessions.wait()
 		s.pool.close()
+		s.ingest.close()
 		close(done)
 	}()
 	select {

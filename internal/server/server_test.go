@@ -26,7 +26,10 @@ import (
 func newTestServer(t *testing.T, cfg server.Config) (*server.Server, *httptest.Server, *client.Client) {
 	t.Helper()
 	cfg.JanitorEvery = -1
-	srv := server.New(cfg)
+	srv, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
 	return srv, ts, client.New(ts.URL)
@@ -366,7 +369,10 @@ func TestExactRequestLatencyFakeClock(t *testing.T) {
 // TestDrainRefusesNewWork: once draining, readiness flips and every
 // ingress family answers 503.
 func TestDrainRefusesNewWork(t *testing.T) {
-	srv := server.New(server.Config{JanitorEvery: -1})
+	srv, err := server.New(server.Config{JanitorEvery: -1})
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	cl := client.New(ts.URL)

@@ -13,6 +13,7 @@ import (
 
 	"cabd"
 	"cabd/httpapi"
+	"cabd/internal/ml/forest"
 	"cabd/internal/obs"
 	"cabd/internal/oracle"
 	"cabd/internal/series"
@@ -30,6 +31,11 @@ type session struct {
 	srv    *Server
 	cancel context.CancelFunc
 	done   chan struct{}
+	// req is the originating request, retained verbatim so the session
+	// can be checkpointed and deterministically re-run after a restart.
+	req httpapi.SessionRequest
+	// created anchors eviction-age logging.
+	created time.Time
 
 	mu      sync.Mutex
 	state   string
@@ -38,6 +44,15 @@ type session struct {
 	result  *httpapi.DetectResponse
 	errMsg  string
 	last    time.Time
+	// labels is every delivered label in delivery order (human sessions);
+	// it rides in the checkpoint so a restart can replay them.
+	labels []labelRecord
+	// replay answers restored queries by index before parking on a
+	// human: the pipeline is deterministic under a fixed seed, so it
+	// re-asks the same indices in the same order.
+	replay map[int]cabd.Label
+	// model is the final serialized ensemble, set when the run finishes.
+	model *forest.Snapshot
 }
 
 // pendingQuery is one parked labeler call: the index the loop wants
@@ -65,7 +80,7 @@ func newSessionTable(s *Server) *sessionTable {
 var errSessionsFull = errors.New("server saturated: session cap reached")
 
 // create registers a new session and spawns its pipeline goroutine.
-func (t *sessionTable) create(vals []float64, opts *detectOptions, truth []series.Label) (*session, error) {
+func (t *sessionTable) create(req httpapi.SessionRequest, opts *detectOptions, truth []series.Label) (*session, error) {
 	t.mu.Lock()
 	if len(t.m) >= t.srv.cfg.MaxSessions {
 		t.mu.Unlock()
@@ -74,22 +89,25 @@ func (t *sessionTable) create(vals []float64, opts *detectOptions, truth []serie
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	sess := &session{
-		id:     "s" + strconv.FormatInt(t.next.Add(1), 10),
-		srv:    t.srv,
-		cancel: cancel,
-		done:   make(chan struct{}),
-		state:  httpapi.StateRunning,
-		last:   t.srv.clock.Now(),
+		id:      "s" + strconv.FormatInt(t.next.Add(1), 10),
+		srv:     t.srv,
+		cancel:  cancel,
+		done:    make(chan struct{}),
+		state:   httpapi.StateRunning,
+		req:     req,
+		created: t.srv.clock.Now(),
+		last:    t.srv.clock.Now(),
 	}
 	t.m[sess.id] = sess
 	t.srv.rec.SetGauge(obs.GaugeSessionsActive, int64(len(t.m)))
 	t.wg.Add(1)
 	t.mu.Unlock()
 
+	t.srv.checkpointSession(sess)
 	det := t.srv.detectorFor(opts)
 	go func() {
 		defer t.wg.Done()
-		sess.run(ctx, det, vals, truth)
+		sess.run(ctx, det, req.Series, truth)
 	}()
 	return sess, nil
 }
@@ -110,7 +128,9 @@ func (t *sessionTable) remove(id string) {
 }
 
 // evictIdle cancels and reclaims sessions idle past ttl — wedged
-// awaiting-label sessions included — in deterministic id order.
+// awaiting-label sessions included — in deterministic id order. An
+// evicted session's checkpoint is dropped too: idle reclamation is a
+// deliberate end, not a crash, so a restart must not resurrect it.
 func (t *sessionTable) evictIdle(now time.Time, ttl time.Duration) {
 	t.mu.Lock()
 	var expired []*session
@@ -132,7 +152,14 @@ func (t *sessionTable) evictIdle(now time.Time, ttl time.Duration) {
 	// Cancel outside the table lock: each cancel wakes a parked labeler
 	// that might be racing a status call.
 	for _, sess := range expired {
+		age := now.Sub(sess.created)
+		sess.mu.Lock()
+		idleFor := now.Sub(sess.last)
+		sess.mu.Unlock()
+		t.srv.logf("cabd-serve: session %s evicted after idle timeout (age %s, idle %s)",
+			sess.id, age, idleFor)
 		sess.markCancelled("evicted after idle timeout")
+		t.srv.dropSessionCheckpoint(sess.id)
 	}
 }
 
@@ -157,7 +184,10 @@ func (t *sessionTable) wait() { t.wg.Wait() }
 
 // run executes the interactive pipeline. With ground truth the oracle
 // answers queries inline (load-testing mode); otherwise each query
-// parks on the channel labeler until a client posts the label.
+// first consults the replay map (labels restored from a checkpoint —
+// the deterministic pipeline re-asks the same indices, so a restored
+// session fast-forwards through them) and only then parks on the
+// channel labeler until a client posts the label.
 func (s *session) run(ctx context.Context, det *cabd.Detector, vals []float64, truth []series.Label) {
 	var label func(i int) cabd.Label
 	if truth != nil {
@@ -167,15 +197,21 @@ func (s *session) run(ctx context.Context, det *cabd.Detector, vals []float64, t
 			return cabd.Label(orc.Label(i))
 		}
 	} else {
-		label = func(i int) cabd.Label { return s.await(ctx, vals, i) }
+		label = func(i int) cabd.Label {
+			if lbl, ok := s.replayLabel(i); ok {
+				return lbl
+			}
+			return s.await(ctx, vals, i)
+		}
 	}
 	res, err := det.DetectInteractiveCtx(ctx, vals, label)
 
 	s.mu.Lock()
 	s.pending = nil
 	s.last = s.srv.clock.Now()
+	cancelled := s.state == httpapi.StateCancelled
 	switch {
-	case s.state == httpapi.StateCancelled:
+	case cancelled:
 		// Keep the cancellation verdict even if the pipeline returned.
 	case err != nil:
 		s.state = httpapi.StateFailed
@@ -184,9 +220,33 @@ func (s *session) run(ctx context.Context, det *cabd.Detector, vals []float64, t
 		s.state = httpapi.StateDone
 		s.result = toWire(res)
 		s.queries = res.Queries
+		if res.Model != nil {
+			s.model = res.Model.Snapshot()
+		}
 	}
 	s.mu.Unlock()
+	// Persist the terminal verdict (result + serialized model), but not
+	// a cancellation: drain cancels every session and must leave the
+	// last pre-drain checkpoint for the restart to resume from, while
+	// deliberate cancels drop the file at their call site.
+	if !cancelled {
+		s.srv.checkpointSession(s)
+	}
 	close(s.done)
+}
+
+// replayLabel answers a restored query from the checkpoint's recorded
+// labels, if present.
+func (s *session) replayLabel(i int) (cabd.Label, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lbl, ok := s.replay[i]
+	if !ok {
+		return 0, false
+	}
+	s.queries++
+	s.last = s.srv.clock.Now()
+	return lbl, true
 }
 
 // await parks the pipeline on one uncertainty-sampled query until its
@@ -274,6 +334,7 @@ func (s *session) deliver(index int, lbl cabd.Label) error {
 	s.pending.answer <- lbl // buffered; exactly one send per pending query
 	s.pending = nil
 	s.state = httpapi.StateRunning
+	s.labels = append(s.labels, labelRecord{Index: index, Label: lbl.String()})
 	s.last = s.srv.clock.Now()
 	return nil
 }
@@ -303,7 +364,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	sess, err := s.sessions.create(req.Series, opts, truth)
+	sess, err := s.sessions.create(req, opts, truth)
 	if err != nil {
 		s.writeShed(w, err.Error())
 		return
@@ -373,6 +434,9 @@ func (s *Server) handleSessionLabel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.rec.Add(obs.CounterSessionLabels, 1)
+	// Persist the grown label set so a crash after this acknowledgment
+	// never asks the user to repeat a label they already gave.
+	s.checkpointSession(sess)
 	s.writeJSON(w, http.StatusOK, sess.status())
 }
 
@@ -385,5 +449,6 @@ func (s *Server) handleSessionCancel(w http.ResponseWriter, r *http.Request) {
 	}
 	s.sessions.remove(sess.id)
 	sess.markCancelled("cancelled by client")
+	s.dropSessionCheckpoint(sess.id)
 	s.writeJSON(w, http.StatusOK, sess.status())
 }

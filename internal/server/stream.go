@@ -19,8 +19,9 @@ import (
 // pushes (cabd.StreamDetector is not safe for concurrent use); the
 // table's mutex only guards the map.
 type streamEntry struct {
-	id  string
-	srv *Server
+	id      string
+	srv     *Server
+	created time.Time
 
 	mu   sync.Mutex
 	det  *cabd.StreamDetector
@@ -55,10 +56,11 @@ func (t *streamTable) getOrCreate(id string) (*streamEntry, error) {
 	opts := t.srv.cfg.Options
 	opts.Obs = t.srv.rec
 	e := &streamEntry{
-		id:   id,
-		srv:  t.srv,
-		det:  cabd.NewStream(cabd.StreamConfig{BadValue: opts.Sanitize, Options: opts}),
-		last: t.srv.clock.Now(),
+		id:      id,
+		srv:     t.srv,
+		created: t.srv.clock.Now(),
+		det:     cabd.NewStream(cabd.StreamConfig{BadValue: opts.Sanitize, Options: opts}),
+		last:    t.srv.clock.Now(),
 	}
 	t.m[id] = e
 	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
@@ -83,22 +85,29 @@ func (t *streamTable) remove(id string) {
 // evictIdle reclaims streams idle past ttl, in deterministic id order.
 func (t *streamTable) evictIdle(now time.Time, ttl time.Duration) {
 	t.mu.Lock()
-	var expired []string
-	for id, e := range t.m {
+	var expired []*streamEntry
+	for _, e := range t.m {
 		e.mu.Lock()
 		idle := now.Sub(e.last) > ttl
 		e.mu.Unlock()
 		if idle {
-			expired = append(expired, id)
+			expired = append(expired, e)
 		}
 	}
-	sort.Strings(expired)
-	for _, id := range expired {
-		delete(t.m, id)
+	sort.Slice(expired, func(a, b int) bool { return expired[a].id < expired[b].id })
+	for _, e := range expired {
+		delete(t.m, e.id)
 		t.srv.rec.Add(obs.CounterIdleEvictions, 1)
 	}
 	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
 	t.mu.Unlock()
+	for _, e := range expired {
+		e.mu.Lock()
+		idleFor := now.Sub(e.last)
+		e.mu.Unlock()
+		t.srv.logf("cabd-serve: stream %s evicted after idle timeout (age %s, idle %s)",
+			e.id, now.Sub(e.created), idleFor)
+	}
 }
 
 // closeAll empties the table (drain path; in-flight pushes finish on

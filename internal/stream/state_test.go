@@ -1,0 +1,95 @@
+package stream
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+
+	"cabd/internal/core"
+	"cabd/internal/synth"
+)
+
+// streamCfg is a small, fast configuration shared by the state tests.
+func streamCfg() Config {
+	return Config{
+		Window:  128,
+		Hop:     16,
+		Margin:  8,
+		Options: core.Options{Seed: 5},
+	}
+}
+
+// TestStateResumeEquivalence is the checkpoint contract: push half a
+// series, snapshot through a JSON round trip, resume, push the rest —
+// and every downstream detection (and every counter) must match the
+// uninterrupted run exactly.
+func TestStateResumeEquivalence(t *testing.T) {
+	s := synth.Generate(synth.Config{N: 600, Seed: 9, SingleFrac: 0.02, ChangeFrac: 0.01})
+	vals := s.Values
+	vals[100] = math.NaN() // exercise the imputation state too
+	cut := len(vals) / 2
+
+	full := New(streamCfg())
+	var wantTail []Detection
+	for i, v := range vals {
+		dets := full.Push(v)
+		if i >= cut {
+			wantTail = append(wantTail, dets...)
+		}
+	}
+	wantTail = append(wantTail, full.Flush()...)
+
+	half := New(streamCfg())
+	for _, v := range vals[:cut] {
+		half.Push(v)
+	}
+	buf, err := json.Marshal(half.State())
+	if err != nil {
+		t.Fatalf("marshal state: %v", err)
+	}
+	var st State
+	if err := json.Unmarshal(buf, &st); err != nil {
+		t.Fatalf("unmarshal state: %v", err)
+	}
+	resumed := Resume(streamCfg(), st)
+
+	var gotTail []Detection
+	for _, v := range vals[cut:] {
+		gotTail = append(gotTail, resumed.Push(v)...)
+	}
+	gotTail = append(gotTail, resumed.Flush()...)
+
+	if !reflect.DeepEqual(gotTail, wantTail) {
+		t.Fatalf("resumed tail detections diverged:\ngot  %v\nwant %v", gotTail, wantTail)
+	}
+	if resumed.Total() != full.Total() || resumed.Bad() != full.Bad() {
+		t.Fatalf("counters diverged: total %d/%d bad %d/%d",
+			resumed.Total(), full.Total(), resumed.Bad(), full.Bad())
+	}
+}
+
+// TestStateCanonical: Emitted is sorted and the snapshot is
+// insensitive to map iteration order.
+func TestStateCanonical(t *testing.T) {
+	d := New(streamCfg())
+	d.emitted[42] = true
+	d.emitted[7] = true
+	d.emitted[99] = true
+	st := d.State()
+	if !reflect.DeepEqual(st.Emitted, []int{7, 42, 99}) {
+		t.Fatalf("emitted not canonical: %v", st.Emitted)
+	}
+}
+
+// TestStateEmptyRoundTrip: a fresh detector's state resumes to a
+// working fresh detector.
+func TestStateEmptyRoundTrip(t *testing.T) {
+	d := Resume(streamCfg(), New(streamCfg()).State())
+	if d.Total() != 0 || d.Bad() != 0 {
+		t.Fatalf("fresh resume has counters: total %d bad %d", d.Total(), d.Bad())
+	}
+	if out := d.Push(1.0); out != nil {
+		t.Fatalf("first push emitted %v", out)
+	}
+}

@@ -7,6 +7,8 @@
 package stream
 
 import (
+	"sort"
+
 	"cabd/internal/core"
 	"cabd/internal/obs"
 	"cabd/internal/sanitize"
@@ -83,6 +85,63 @@ func New(cfg Config) *Detector {
 		det:     core.NewDetector(cfg.Options),
 		emitted: map[int]bool{},
 	}
+}
+
+// State is the serializable snapshot of a streaming detector — the
+// agent checkpoint format. It captures everything Push accumulates, so
+// a Resume'd detector continues the stream bit-identically: same window
+// contents, same global indices, same emitted-detection dedup set.
+type State struct {
+	// Window is the sliding-buffer contents; Start is the global index
+	// of Window[0].
+	Window []float64 `json:"window,omitempty"`
+	Start  int       `json:"start"`
+	// Total / SinceRun / Bad mirror the stream's lifetime counters.
+	Total    int `json:"total"`
+	SinceRun int `json:"since_run"`
+	Bad      int `json:"bad"`
+	// Emitted lists the already-reported global detection indices still
+	// inside the window, sorted for a canonical wire form.
+	Emitted []int `json:"emitted,omitempty"`
+	// LastGood / HasGood restore the bad-value imputation state.
+	LastGood float64 `json:"last_good"`
+	HasGood  bool    `json:"has_good"`
+}
+
+// State snapshots the detector for checkpointing.
+func (d *Detector) State() State {
+	st := State{
+		Window:   append([]float64(nil), d.buf...),
+		Start:    d.start,
+		Total:    d.total,
+		SinceRun: d.sinceRun,
+		Bad:      d.bad,
+		LastGood: d.lastGood,
+		HasGood:  d.hasGood,
+	}
+	for idx := range d.emitted {
+		st.Emitted = append(st.Emitted, idx)
+	}
+	sort.Ints(st.Emitted)
+	return st
+}
+
+// Resume rebuilds a detector from a checkpointed State under cfg. The
+// configuration is not part of the state — a resumed agent applies its
+// (possibly reloaded) config to the restored stream position.
+func Resume(cfg Config, st State) *Detector {
+	d := New(cfg)
+	d.buf = append(d.buf, st.Window...)
+	d.start = st.Start
+	d.total = st.Total
+	d.sinceRun = st.SinceRun
+	d.bad = st.Bad
+	d.lastGood = st.LastGood
+	d.hasGood = st.HasGood
+	for _, idx := range st.Emitted {
+		d.emitted[idx] = true
+	}
+	return d
 }
 
 // Push appends one observation and returns any newly confirmed

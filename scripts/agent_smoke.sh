@@ -1,0 +1,141 @@
+#!/usr/bin/env bash
+# agent_smoke.sh — boot cabd-serve and a cabd-agent connected through the
+# cabd-faultproxy, and drive the collector's whole operational surface:
+# detection forwarding, a SIGHUP config reload, a 503 fault window (the
+# agent spills to disk, then replays once the proxy passes again), and a
+# SIGTERM drain. Exercises the three binaries end to end the way a
+# deployment would. Used by `make agent-smoke` and CI.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+srcdir="$workdir/src"
+mkdir -p "$srcdir" "$workdir/ckpt"
+
+cleanup() {
+  for pid in "${agent_pid:-}" "${proxy_pid:-}" "${serve_pid:-}"; do
+    if [[ -n "$pid" ]] && kill -0 "$pid" 2>/dev/null; then
+      kill -9 "$pid" 2>/dev/null || true
+      wait "$pid" 2>/dev/null || true
+    fi
+  done
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+# wait_for <desc> <tries> <cmd...>: poll cmd (0.1s apart) until it succeeds.
+wait_for() {
+  local desc=$1 tries=$2; shift 2
+  for _ in $(seq 1 "$tries"); do
+    "$@" >/dev/null 2>&1 && return 0
+    sleep 0.1
+  done
+  echo "agent-smoke: timed out waiting for $desc"
+  for log in serve proxy agent; do
+    [[ -f "$workdir/$log.log" ]] && { echo "--- $log.log ---"; cat "$workdir/$log.log"; }
+  done
+  return 1
+}
+
+echo "agent-smoke: building cabd-serve, cabd-faultproxy, cabd-agent"
+go build -o "$workdir/cabd-serve" ./cmd/cabd-serve
+go build -o "$workdir/cabd-faultproxy" ./cmd/cabd-faultproxy
+go build -o "$workdir/cabd-agent" ./cmd/cabd-agent
+
+"$workdir/cabd-serve" -addr 127.0.0.1:0 -portfile "$workdir/serve.port" \
+  -checkpoint-dir "$workdir/ckpt" >"$workdir/serve.log" 2>&1 &
+serve_pid=$!
+wait_for "cabd-serve port" 50 test -s "$workdir/serve.port"
+serve="http://127.0.0.1:$(cat "$workdir/serve.port")"
+echo "agent-smoke: serve on $serve"
+
+"$workdir/cabd-faultproxy" -listen 127.0.0.1:0 -portfile "$workdir/proxy.port" \
+  -admin 127.0.0.1:0 -adminportfile "$workdir/admin.port" \
+  -target "$serve" >"$workdir/proxy.log" 2>&1 &
+proxy_pid=$!
+wait_for "faultproxy ports" 50 test -s "$workdir/admin.port"
+proxy="http://127.0.0.1:$(cat "$workdir/proxy.port")"
+admin="http://127.0.0.1:$(cat "$workdir/admin.port")"
+echo "agent-smoke: proxy on $proxy (admin $admin)"
+
+# Config layering on the real binary: the file sets identity-free tuning,
+# the environment sets the state dir, flags set server + source dir.
+cat >"$workdir/agent.json" <<EOF
+{
+  "name": "smoke-agent",
+  "poll_every": "200ms",
+  "batch_size": 16,
+  "window": 64,
+  "hop": 8,
+  "margin": 4
+}
+EOF
+CABD_AGENT_STATE_DIR="$workdir/state" "$workdir/cabd-agent" \
+  -config "$workdir/agent.json" -server "$proxy" -source-dir "$srcdir" \
+  >"$workdir/agent.log" 2>&1 &
+agent_pid=$!
+
+# spike_chunk <start> <spike_index>: 120 flat-ish values with one spike.
+spike_chunk() {
+  awk -v s="$1" -v sp="$2" 'BEGIN{
+    for (i = s; i < s + 120; i++) { v = (i % 7) / 10.0; if (i == sp) v = 40; printf "%.1f\n", v }
+  }'
+}
+
+ingest_total() {
+  curl -sfS "$serve/v1/ingest" | grep -Eq "\"total\":$1(,|})"
+}
+
+# Phase 1: healthy forwarding — the planted spike must arrive at serve.
+spike_chunk 0 60 >>"$srcdir/cpu.csv"
+wait_for "first detection ingested" 100 ingest_total 1
+echo "agent-smoke: detection forwarded through the proxy"
+
+# Phase 2: SIGHUP hot reload (same layers, applied without a restart).
+kill -HUP "$agent_pid"
+wait_for "reload applied" 50 grep -q "reload applied" "$workdir/agent.log"
+echo "agent-smoke: SIGHUP reload ok"
+
+# Phase 3: fault window — the proxy answers 503, the agent retries with
+# backoff and spills the detection to disk instead of losing it.
+curl -sfS -X POST "$admin/mode?mode=error" >/dev/null
+spike_chunk 120 180 >>"$srcdir/cpu.csv"
+wait_for "forwarding failure during fault window" 150 \
+  grep -q "cabd-agent: forward .* detections:" "$workdir/agent.log"
+if ingest_total 2; then
+  echo "agent-smoke: detection leaked past the error window"; exit 1
+fi
+
+# Phase 4: the proxy heals; the spilled detection replays exactly once.
+curl -sfS -X POST "$admin/mode?mode=pass" >/dev/null
+wait_for "spilled detection replayed" 150 ingest_total 2
+echo "agent-smoke: spill replayed after the fault window"
+
+# Phase 5: SIGTERM drain — clean exit, checkpoint on disk.
+kill -TERM "$agent_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$agent_pid" 2>/dev/null || break
+  sleep 0.1
+done
+if kill -0 "$agent_pid" 2>/dev/null; then
+  echo "agent-smoke: agent ignored SIGTERM for 10s"; cat "$workdir/agent.log"; exit 1
+fi
+wait "$agent_pid" 2>/dev/null || rc=$?
+if [[ "${rc:-0}" -ne 0 ]]; then
+  echo "agent-smoke: agent exited $rc after SIGTERM"; cat "$workdir/agent.log"; exit 1
+fi
+grep -q "drained cleanly" "$workdir/agent.log" \
+  || { echo "agent-smoke: no clean-drain log line"; cat "$workdir/agent.log"; exit 1; }
+test -s "$workdir/state/agent.json" \
+  || { echo "agent-smoke: no agent checkpoint after drain"; exit 1; }
+agent_pid=""
+echo "agent-smoke: SIGTERM drain ok"
+
+kill -TERM "$serve_pid"
+for _ in $(seq 1 100); do
+  kill -0 "$serve_pid" 2>/dev/null || break
+  sleep 0.1
+done
+serve_pid=""
+echo "agent-smoke: PASS"

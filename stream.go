@@ -38,13 +38,33 @@ type StreamDetector struct {
 
 // NewStream returns a streaming detector.
 func NewStream(cfg StreamConfig) *StreamDetector {
-	return &StreamDetector{inner: stream.New(stream.Config{
+	return &StreamDetector{inner: stream.New(streamConfig(cfg))}
+}
+
+func streamConfig(cfg StreamConfig) stream.Config {
+	return stream.Config{
 		Window:   cfg.Window,
 		Hop:      cfg.Hop,
 		Margin:   cfg.Margin,
 		BadValue: cfg.BadValue,
 		Options:  cfg.Options,
-	})}
+	}
+}
+
+// StreamState is the serializable snapshot of a StreamDetector: window
+// contents, global position, counters and the emitted-detection dedup
+// set. It is the unit of agent checkpointing (cmd/cabd-agent) — a
+// detector resumed from a state continues the stream bit-identically.
+type StreamState = stream.State
+
+// State snapshots the detector for checkpointing. The configuration is
+// not part of the state; pass it again to ResumeStream.
+func (d *StreamDetector) State() StreamState { return d.inner.State() }
+
+// ResumeStream rebuilds a streaming detector from a checkpointed state
+// under cfg.
+func ResumeStream(cfg StreamConfig, st StreamState) *StreamDetector {
+	return &StreamDetector{inner: stream.Resume(streamConfig(cfg), st)}
 }
 
 // Push appends one observation and returns any newly confirmed
