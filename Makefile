@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check cover fuzz bench serve-smoke agent-smoke
+.PHONY: all build vet lint test race check cover fuzz bench serve-smoke agent-smoke stream-smoke
 
 all: check
 
@@ -36,7 +36,13 @@ serve-smoke:
 agent-smoke:
 	./scripts/agent_smoke.sh
 
-check: vet build lint race serve-smoke agent-smoke
+# Smoke-scale run of the streaming benchmark: the incremental engine
+# must emit detections bit-identical to the full-rerun oracle at every
+# window size (the experiment exits non-zero on divergence).
+stream-smoke:
+	$(GO) run ./cmd/cabd-bench -exp stream -streamjson BENCH_stream.json
+
+check: vet build lint race serve-smoke agent-smoke stream-smoke
 
 # Coverage floor for the observability layer: pure bookkeeping code with a
 # deterministic fake clock has no excuse for untested branches.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"time"
@@ -152,7 +153,9 @@ func (c *Client) DetectBatch(ctx context.Context, seriesSet [][]float64, opts *h
 }
 
 // StreamPush appends observations to the stream named id (created on
-// first use) and returns the detections confirmed so far.
+// first use) and returns the detections confirmed so far. The id is
+// path-escaped on the wire, so slash-scoped tenant ids ("acme/s-17")
+// travel as one path segment and keep their server-side quota grouping.
 func (c *Client) StreamPush(ctx context.Context, id string, values []float64) (*httpapi.StreamIngestResponse, error) {
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf) // one observation per line: NDJSON
@@ -161,7 +164,7 @@ func (c *Client) StreamPush(ctx context.Context, id string, values []float64) (*
 			return nil, fmt.Errorf("cabd client: encode stream value: %w", err)
 		}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream/"+id, &buf)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/stream/"+url.PathEscape(id), &buf)
 	if err != nil {
 		return nil, fmt.Errorf("cabd client: build stream push: %w", err)
 	}
@@ -185,7 +188,7 @@ func (c *Client) StreamPush(ctx context.Context, id string, values []float64) (*
 // margin) and evicts it, returning the remaining detections.
 func (c *Client) StreamClose(ctx context.Context, id string) (*httpapi.StreamIngestResponse, error) {
 	var out httpapi.StreamIngestResponse
-	err := c.do(ctx, http.MethodDelete, "/v1/stream/"+id, nil, &out)
+	err := c.do(ctx, http.MethodDelete, "/v1/stream/"+url.PathEscape(id), nil, &out)
 	if err != nil {
 		return nil, err
 	}

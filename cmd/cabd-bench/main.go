@@ -8,7 +8,7 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi chaos inn obs serve load.
+// table2 fig12 fig13 fig14 multi chaos inn obs serve stream load.
 //
 // The runtime experiments (fig11, inn, obs) additionally write their rows
 // to a machine-readable snapshot (-json, default BENCH_runtime.json; empty
@@ -19,7 +19,12 @@
 // session) and writes -servejson (default BENCH_serve.json). The load
 // experiment drives a collector fleet (N cabd-agents x M streams) through
 // a mid-run server crash/restart, verifies zero detection loss, probes
-// the shed point, and writes -loadjson (default BENCH_load.json).
+// the shed point, and writes -loadjson (default BENCH_load.json). The
+// stream experiment benchmarks the streaming path (incremental vs
+// full-rerun engine cost and detection equality, many-stream memory
+// bounds, the sharded registry over HTTP) and writes -streamjson
+// (default BENCH_stream.json); a detection divergence between the two
+// engines fails the run.
 package main
 
 import (
@@ -32,6 +37,7 @@ import (
 	"cabd/internal/experiments"
 	"cabd/internal/experiments/loadbench"
 	"cabd/internal/experiments/servebench"
+	"cabd/internal/experiments/streambench"
 )
 
 type runner struct {
@@ -52,6 +58,8 @@ func main() {
 		"serving benchmark output for the serve experiment ('' disables)")
 	loadJSON := flag.String("loadjson", "BENCH_load.json",
 		"collector-fleet benchmark output for the load experiment ('' disables)")
+	streamJSON := flag.String("streamjson", "BENCH_stream.json",
+		"streaming benchmark output for the stream experiment ('' disables)")
 	flag.Parse()
 
 	sc := experiments.Scale{}
@@ -148,6 +156,34 @@ func main() {
 					os.Exit(1)
 				}
 				fmt.Fprintf(out, "serving benchmark written to %s\n", *serveJSON)
+			}
+		}},
+		{"stream", "streaming path: incremental vs full-rerun cost, many-stream scale, sharded registry", func(sc experiments.Scale) {
+			cfg := streambench.StreamBenchConfig{}
+			if *full {
+				cfg = streambench.StreamBenchConfig{
+					Windows:   []int{64, 128, 256, 512},
+					HopsPer:   16,
+					Streams:   100000,
+					PerStream: 96,
+					Registry:  2048,
+					Conc:      32,
+				}
+			}
+			res := streambench.StreamBench(cfg)
+			streambench.PrintStream(out, res)
+			for _, c := range res.Cost {
+				if !c.Equal {
+					fmt.Fprintf(os.Stderr, "cabd-bench: stream experiment: window %d incremental/full detections DIVERGED\n", c.Window)
+					os.Exit(1)
+				}
+			}
+			if *streamJSON != "" {
+				if err := streambench.WriteStreamJSON(*streamJSON, res); err != nil {
+					fmt.Fprintf(os.Stderr, "cabd-bench: writing %s: %v\n", *streamJSON, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(out, "streaming benchmark written to %s\n", *streamJSON)
 			}
 		}},
 		{"load", "collector fleet: N agents x M streams, shed point, zero-loss restart", func(sc experiments.Scale) {

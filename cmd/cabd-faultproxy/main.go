@@ -27,9 +27,9 @@ import (
 
 func main() {
 	var (
-		listen   = flag.String("listen", ":8081", "proxy listen address")
-		target   = flag.String("target", "http://127.0.0.1:8080", "upstream cabd-serve base URL")
-		admin    = flag.String("admin", "127.0.0.1:8082", "admin listen address (mode control)")
+		listen    = flag.String("listen", ":8081", "proxy listen address")
+		target    = flag.String("target", "http://127.0.0.1:8080", "upstream cabd-serve base URL")
+		admin     = flag.String("admin", "127.0.0.1:8082", "admin listen address (mode control)")
 		mode      = flag.String("mode", "pass", "initial fault mode (pass|reset|error|hang|slow)")
 		portfile  = flag.String("portfile", "", "write the proxy's bound port to this file once listening")
 		adminfile = flag.String("adminportfile", "", "write the admin listener's bound port to this file once listening")

@@ -42,6 +42,11 @@ func main() {
 		maxTimeout   = flag.Duration("max-timeout", 2*time.Minute, "clamp on client-supplied deadlines")
 		maxSessions  = flag.Int("max-sessions", 64, "cap on live interactive sessions")
 		maxStreams   = flag.Int("max-streams", 256, "cap on live streaming detectors")
+		tenantQuota  = flag.Int("max-streams-per-tenant", 0, "per-tenant cap on live streams (tenant = id prefix before '/'; 0 disables)")
+		shards       = flag.Int("stream-shards", 0, "stream registry shard count (0 keeps the server default)")
+		mailbox      = flag.Int("stream-mailbox", 0, "per-shard mailbox depth; a full mailbox sheds with 429 (0 keeps the server default)")
+		hopTimeout   = flag.Duration("stream-hop-timeout", 0, "per-hop analysis deadline inside streaming detectors (0 disables)")
+		fullEngine   = flag.Bool("stream-full-rerun", false, "use the full-rerun stream engine instead of the incremental one (differential-oracle mode)")
 		sessionTTL   = flag.Duration("session-ttl", 10*time.Minute, "idle session eviction horizon")
 		streamTTL    = flag.Duration("stream-ttl", 10*time.Minute, "idle stream eviction horizon")
 		janitorEvery = flag.Duration("janitor-every", 30*time.Second, "idle-eviction sweep period (negative disables the janitor)")
@@ -53,21 +58,30 @@ func main() {
 	flag.Parse()
 
 	opts := cabd.Options{Confidence: *confidence, Seed: *seed}
+	engine := cabd.StreamEngineIncremental
+	if *fullEngine {
+		engine = cabd.StreamEngineFull
+	}
 	srv, err := server.New(server.Config{
-		Options:        opts,
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		MaxBodyBytes:   *maxBody,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxSessions:    *maxSessions,
-		MaxStreams:     *maxStreams,
-		SessionTTL:     *sessionTTL,
-		StreamTTL:      *streamTTL,
-		JanitorEvery:   *janitorEvery,
-		CheckpointDir:  *checkpoint,
-		Logf:           log.Printf,
-		ExpvarName:     "cabd",
+		Options:             opts,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		MaxBodyBytes:        *maxBody,
+		DefaultTimeout:      *timeout,
+		MaxTimeout:          *maxTimeout,
+		MaxSessions:         *maxSessions,
+		MaxStreams:          *maxStreams,
+		MaxStreamsPerTenant: *tenantQuota,
+		StreamShards:        *shards,
+		StreamMailbox:       *mailbox,
+		StreamHopTimeout:    *hopTimeout,
+		StreamEngine:        engine,
+		SessionTTL:          *sessionTTL,
+		StreamTTL:           *streamTTL,
+		JanitorEvery:        *janitorEvery,
+		CheckpointDir:       *checkpoint,
+		Logf:                log.Printf,
+		ExpvarName:          "cabd",
 	})
 	if err != nil {
 		log.Fatalf("cabd-serve: %v", err)

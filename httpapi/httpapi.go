@@ -73,6 +73,9 @@ type Detection struct {
 	Index      int     `json:"index"`
 	Subtype    string  `json:"subtype"`
 	Confidence float64 `json:"confidence"`
+	// Degraded marks streamed detections whose confirming analysis ran
+	// under graceful degradation (candidate flood or deadline pressure).
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SanitizeInfo mirrors the sanitize report attached to every result.

@@ -14,6 +14,13 @@ import (
 // INN-independent analysis of the series. The returned zscores slice is
 // parallel to the indices: the strength of each candidate's ∂ deviation,
 // which the bootstrap rules reuse to grade level shifts.
+//
+// The analysis runs on the raw values: the robust z of ∂ is invariant
+// under the affine standardization of Equation 2 (both the median offset
+// and the MAD scale cancel), so standardizing first buys nothing — and
+// skipping it lets the streaming engine maintain the ∂ order statistics
+// across window slides, where the per-hop (μ, σ) frame would otherwise
+// perturb every stored value.
 func candidateIndices(s *series.Series, z float64) (idx []int, zscores []float64) {
 	d2 := series.SecondDiff(s.Values)
 	rz := stats.RobustZ(d2)
@@ -39,7 +46,10 @@ func candidateIndices(s *series.Series, z float64) (idx []int, zscores []float64
 }
 
 // topDeviations returns the indices of the k largest second differences,
-// sorted by index.
+// sorted by index. Ties are broken toward the smaller index so the
+// selected set is a deterministic function of the values — the streaming
+// engine reproduces this selection from an order-statistic tree and must
+// arrive at the identical set.
 func topDeviations(d2 []float64, k int) []int {
 	if k < 1 {
 		k = 1
@@ -53,7 +63,13 @@ func topDeviations(d2 []float64, k int) []int {
 		items[i] = iv{i, v}
 	}
 	// Simple sort is fine at these sizes.
-	sort.Slice(items, func(a, b int) bool { return items[a].v > items[b].v })
+	sort.Slice(items, func(a, b int) bool {
+		//cabd:lint-ignore floateq deterministic (value, index) selection order needs exact ties to fall through to the index
+		if items[a].v != items[b].v {
+			return items[a].v > items[b].v
+		}
+		return items[a].i < items[b].i
+	})
 	if k > len(items) {
 		k = len(items)
 	}

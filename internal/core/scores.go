@@ -13,14 +13,24 @@ import (
 )
 
 // scorer computes the score metric β (Algorithm 3) for candidates of one
-// standardized series.
+// series. It works on the raw values: every score it computes — SAX words
+// (standardized per window), the variance ratio, the INN-derived sizes —
+// is invariant under the affine standardization of Equation 2, so only
+// the Computer (which measures distances in the standardized embedding)
+// ever sees standardized data.
 type scorer struct {
 	opts     Options
-	values   []float64 // standardized values
+	values   []float64 // raw values
 	comp     *inn.Computer
 	tlim     int              // pruned search range
 	corpus   map[int][]string // sliding SAX words keyed by window length
 	corpusMu sync.Mutex
+
+	// freq, when set, answers word-frequency lookups instead of the
+	// sliding-corpus cache — the streaming engine's rolling corpus hook
+	// (core.Env.Frequency). It must be safe for concurrent use: scoreAll
+	// workers call it in parallel.
+	freq func(wlen int, word string) float64
 
 	// clk times the deadline pilot. It comes from the run's obs recorder
 	// (obs.Wall when none is installed), so a FakeClock recorder makes
@@ -124,7 +134,11 @@ func (sc *scorer) score(c *Candidate) {
 	wlen := whi - wlo
 	if wlen >= 2 && wlen <= n/2 {
 		word := sax.Word(sc.values[wlo:whi], sc.opts.SAXSegments, sc.opts.SAXAlphabet)
-		c.Correlation = sax.Frequency(sc.corpusFor(wlen), word)
+		if sc.freq != nil {
+			c.Correlation = sc.freq(wlen, word)
+		} else {
+			c.Correlation = sax.Frequency(sc.corpusFor(wlen), word)
+		}
 	} else {
 		// Degenerate or series-scale windows occur everywhere.
 		c.Correlation = 1

@@ -58,12 +58,52 @@ const DefaultRangeFrac = 0.05
 // rank-query engine; see Computer.WithLegacyProbes.
 const LegacyEngineEnv = "CABD_INN_ENGINE"
 
-// Computer computes neighborhoods over a fixed set of 2-D points
+// Index answers the two primitive queries every INN strategy reduces to,
+// over the point set identified by indices 0..Len()-1 and the documented
+// (distance, index) neighbor order.
+//
+// The static implementation wraps a KD-tree over a fixed point slice; the
+// streaming engine supplies a sliding-window tree whose coordinates are
+// standardized on the fly through the current window frame. Both must
+// answer identically for the same logical point set — rank counting and
+// k-NN sets are functions of the points and the metric, not of the index
+// structure, which is what makes the engines differentially testable.
+type Index interface {
+	// Len returns the number of indexed points.
+	Len() int
+	// RankAtMost returns min(rank, limit), where rank is the number of
+	// points ordering strictly ahead of point j in the (distance, index)
+	// neighbor order of point i (excluding i and j themselves). A result
+	// below limit is the exact rank.
+	RankAtMost(i, j, limit int) int
+	// KNNInto returns the k nearest neighbors of point i (excluding i),
+	// ascending by (distance, index), reusing buf when it suffices.
+	KNNInto(i, k int, buf []kdtree.Neighbor) []kdtree.Neighbor
+}
+
+// staticIndex is the batch-path Index: a KD-tree built once over the full
+// embedding.
+type staticIndex struct {
+	pts  [][2]float64
+	tree *kdtree.KD
+}
+
+func (s *staticIndex) Len() int { return len(s.pts) }
+
+func (s *staticIndex) RankAtMost(i, j, limit int) int {
+	return s.tree.RankAtMost(s.pts[i], kdtree.Dist(s.pts[i], s.pts[j]), j, i, limit)
+}
+
+func (s *staticIndex) KNNInto(i, k int, buf []kdtree.Neighbor) []kdtree.Neighbor {
+	return s.tree.KNNInto(s.pts[i], k, i, buf)
+}
+
+// Computer computes neighborhoods over an indexed set of 2-D points
 // (typically series.Points() of a standardized series). It is safe for
 // concurrent use after construction.
 //
 // Membership probes ("is x_j among the k nearest neighbors of x_i?") are
-// answered by a rank query: one allocation-free KD-tree walk counting the
+// answered by a rank query: one allocation-free index walk counting the
 // points that order ahead of x_j under the (distance, index) tie-break,
 // so InTopK(i, j, k) is rank(i, j) < k with cost O(log n + |ball|)
 // instead of a full allocating k-NN query per probe. An optional bounded
@@ -71,8 +111,8 @@ const LegacyEngineEnv = "CABD_INN_ENGINE"
 // one cached walk answers every radius the gallop + binary search of
 // Algorithm 5 probes for that pair.
 type Computer struct {
-	pts    [][2]float64
-	tree   *kdtree.KD
+	idx    Index
+	n      int       // cached idx.Len()
 	legacy bool      // answer probes via full k-NN lists (test oracle)
 	memo   *rankMemo // optional shared (i,j) -> rank cache
 }
@@ -81,9 +121,17 @@ type Computer struct {
 // engine defaults to rank queries; setting CABD_INN_ENGINE=legacy in the
 // environment selects the naive k-NN-membership oracle instead.
 func NewComputer(pts [][2]float64) *Computer {
+	return NewComputerOver(&staticIndex{pts: pts, tree: kdtree.New(pts)})
+}
+
+// NewComputerOver wraps a caller-supplied Index — the hook through which
+// the streaming engine runs the unmodified Algorithm 5 neighborhood logic
+// over its sliding-window tree. The same CABD_INN_ENGINE=legacy escape
+// hatch applies.
+func NewComputerOver(idx Index) *Computer {
 	return &Computer{
-		pts:    pts,
-		tree:   kdtree.New(pts),
+		idx:    idx,
+		n:      idx.Len(),
 		legacy: os.Getenv(LegacyEngineEnv) == "legacy",
 	}
 }
@@ -131,7 +179,7 @@ func FromSeries(s *series.Series) *Computer {
 }
 
 // Len returns the number of indexed points.
-func (c *Computer) Len() int { return len(c.pts) }
+func (c *Computer) Len() int { return c.n }
 
 // RangeLimit returns the pruned search range for this dataset:
 // ceil(frac*n) clamped to [1, n-1]. frac <= 0 selects DefaultRangeFrac.
@@ -139,7 +187,7 @@ func (c *Computer) RangeLimit(frac float64) int {
 	if frac <= 0 {
 		frac = DefaultRangeFrac
 	}
-	n := len(c.pts)
+	n := c.n
 	t := int(frac * float64(n))
 	if float64(t) < frac*float64(n) {
 		t++
@@ -161,9 +209,9 @@ func (c *Computer) KNN(i, k int) []int {
 	var scratch [64]kdtree.Neighbor
 	var nbs []kdtree.Neighbor
 	if k <= len(scratch) {
-		nbs = c.tree.KNNInto(c.pts[i], k, i, scratch[:0])
+		nbs = c.idx.KNNInto(i, k, scratch[:0])
 	} else {
-		nbs = c.tree.KNN(c.pts[i], k, i)
+		nbs = c.idx.KNNInto(i, k, nil)
 	}
 	out := make([]int, len(nbs))
 	for j, nb := range nbs {
@@ -178,21 +226,21 @@ func (c *Computer) KNN(i, k int) []int {
 // tree walk, memoized when the Computer carries a rank memo.
 func (c *Computer) Rank(i, j int) int {
 	if c.memo != nil {
-		key := uint64(i)*uint64(len(c.pts)) + uint64(j)
+		key := uint64(i)*uint64(c.n) + uint64(j)
 		if r, ok := c.memo.get(key); ok {
 			return r
 		}
-		r := c.tree.Rank(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i)
+		r := c.idx.RankAtMost(i, j, c.n)
 		c.memo.put(key, r)
 		return r
 	}
-	return c.tree.Rank(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i)
+	return c.idx.RankAtMost(i, j, c.n)
 }
 
 // InTopK reports whether point j is among the k nearest neighbors of
 // point i, i.e. x_j ∈ NN_k(x_i).
 func (c *Computer) InTopK(i, j, k int) bool {
-	n := len(c.pts)
+	n := c.n
 	if i == j || i < 0 || j < 0 || i >= n || j >= n {
 		return false
 	}
@@ -211,13 +259,13 @@ func (c *Computer) InTopK(i, j, k int) bool {
 		if r, ok := c.memo.get(key); ok {
 			return r < k
 		}
-		r := c.tree.RankAtMost(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i, k)
+		r := c.idx.RankAtMost(i, j, k)
 		if r < k {
 			c.memo.put(key, r)
 		}
 		return r < k
 	}
-	return c.tree.RankAtMost(c.pts[i], kdtree.Dist(c.pts[i], c.pts[j]), j, i, k) < k
+	return c.idx.RankAtMost(i, j, k) < k
 }
 
 // legacyInTopK is the pre-rank-engine probe: materialize NN_k(x_i) and
@@ -242,7 +290,7 @@ func (c *Computer) Mutual(i, j, t int) bool {
 // unconstrained (non-contiguous) INN of Algorithm 1. Sorted ascending,
 // excluding i. Cost: one k-NN query of size t plus up to t reverse probes.
 func (c *Computer) MutualSet(i, t int) []int {
-	n := len(c.pts)
+	n := c.n
 	if n < 2 {
 		return nil
 	}
@@ -265,7 +313,7 @@ func (c *Computer) MutualSet(i, t int) []int {
 // linear and stops at the first failure (contiguity assumption of
 // Section IV). Members are sorted ascending, excluding i.
 func (c *Computer) Minimal(i, t int) []int {
-	n := len(c.pts)
+	n := c.n
 	if n < 2 {
 		return nil
 	}
@@ -283,7 +331,7 @@ func (c *Computer) Minimal(i, t int) []int {
 // assuming the INN is not segmented. Members are sorted ascending,
 // excluding i.
 func (c *Computer) Binary(i, t int) []int {
-	n := len(c.pts)
+	n := c.n
 	if n < 2 {
 		return nil
 	}
@@ -331,7 +379,7 @@ func (c *Computer) mutualAt(i, dir, o, t int) bool {
 // fails or the series boundary / range limit t is reached; returns the
 // extent (number of admitted offsets).
 func (c *Computer) scanSide(i, dir, t int) int {
-	n := len(c.pts)
+	n := c.n
 	ext := 0
 	for o := 1; o <= t; o++ {
 		j := i + dir*o
@@ -355,7 +403,7 @@ func (c *Computer) scanSide(i, dir, t int) int {
 // result matches the linear scan except in the rare case of a gap strictly
 // between consecutive probe points.
 func (c *Computer) binarySide(i, dir, t int) int {
-	n := len(c.pts)
+	n := c.n
 	maxOff := t
 	if dir > 0 && i+maxOff > n-1 {
 		maxOff = n - 1 - i

@@ -1,0 +1,420 @@
+// sliding.go implements a sliding-window variant of the KD-tree for the
+// streaming engine: points arrive in index order, expire in index order
+// (FIFO), and queries must answer exactly like a static tree freshly
+// built over the live window — rank counts and k-NN sets are functions of
+// the point set and the metric, not of the index structure, so a bucketed
+// forest of small static trees with lazy eviction gives bit-identical
+// answers at O(log window) insert/evict amortized cost instead of an
+// O(window log window) rebuild per analysis.
+//
+// # Coordinates
+//
+// The batch pipeline embeds a window as (standardized position,
+// standardized value) pairs, and both standardizations change every time
+// the window slides: position i is window-relative, and the value (μ, σ)
+// are window aggregates. Storing transformed coordinates would therefore
+// invalidate every stored point on every hop. Instead the sliding tree
+// stores raw (global position, raw value) points — which never change —
+// and every query carries a Frame that maps raw points into the current
+// window's standardized space on the fly, using the exact floating-point
+// expression of stats.Standardize so transformed coordinates are
+// bit-identical to the batch embedding. The transform is monotone per
+// axis (an affine map with positive scale, or the constant zero map when
+// σ = 0), so split planes chosen in raw space remain valid split planes
+// in transformed space and the usual KD pruning bounds hold.
+package kdtree
+
+import "math"
+
+// Frame maps a raw (global position, value) point into the standardized
+// query space of one analysis window. MeanPos/StdPos standardize the
+// window-relative positions 0..n-1 and MeanVal/StdVal the window values;
+// both pairs must come from stats.Mean/stats.Std over the same inputs the
+// batch path feeds stats.Standardize, so the division below reproduces
+// its per-element rounding exactly. A zero σ maps the axis to zero, like
+// stats.Standardize on a constant input.
+type Frame struct {
+	Start   int64 // global index of window position 0
+	MeanPos float64
+	StdPos  float64
+	MeanVal float64
+	StdVal  float64
+}
+
+// Transform returns the standardized embedding of the raw point (g, v)
+// under the frame.
+func (f Frame) Transform(g int64, v float64) [2]float64 {
+	var p [2]float64
+	if f.StdPos > 0 {
+		p[0] = (float64(g-f.Start) - f.MeanPos) / f.StdPos
+	}
+	if f.StdVal > 0 {
+		p[1] = (v - f.MeanVal) / f.StdVal
+	}
+	return p
+}
+
+// snode is one compact tree node: the raw point plus array-index links.
+// Raw coordinates are immutable, so a bucket is never touched after its
+// build; staleness is decided per query against the eviction watermark.
+type snode struct {
+	g           int64
+	v           float64
+	left, right int32 // index into the bucket's node array, -1 = none
+	axis        uint8
+}
+
+type spoint struct {
+	g int64
+	v float64
+}
+
+func (p spoint) coord(axis int) float64 {
+	if axis == 0 {
+		return float64(p.g)
+	}
+	return p.v
+}
+
+// sbucket is one immutable static KD-tree over a contiguous run of
+// arrivals [minG, maxG].
+type sbucket struct {
+	nodes      []snode
+	root       int32
+	minG, maxG int64
+}
+
+// live returns the number of unexpired points in the bucket under
+// watermark minG (points with g < minG are stale). Arrivals are
+// contiguous, so the count is a range intersection, not a scan.
+func (b *sbucket) live(watermark int64) int {
+	lo := b.minG
+	if watermark > lo {
+		lo = watermark
+	}
+	if lo > b.maxG {
+		return 0
+	}
+	return int(b.maxG - lo + 1)
+}
+
+// Sliding is the sliding-window tree. Points are pushed in strictly
+// consecutive global order and expired in the same order via EvictBefore;
+// Flush indexes the pending arrivals before a batch of queries. Queries
+// may run concurrently with each other, but not with Push/Flush/
+// EvictBefore — the streaming engine serializes structure mutation per
+// stream and fans out only the read-side probes.
+type Sliding struct {
+	buckets []sbucket
+	pending []spoint
+	minG    int64 // eviction watermark: g < minG is stale
+	nextG   int64
+	hasAny  bool
+
+	// maxBuckets bounds the forest size: when a flush pushes the count
+	// past it, the two smallest adjacent buckets merge (rebuild over
+	// their live points), keeping per-query overhead O(maxBuckets · log)
+	// while FIFO expiry retires old buckets wholesale.
+	maxBuckets int
+}
+
+// NewSliding returns an empty sliding tree.
+func NewSliding() *Sliding {
+	return &Sliding{maxBuckets: 12}
+}
+
+// Push appends the raw point (g, v). Global indices must be consecutive:
+// the stream assigns one index per accepted observation, and bucket
+// eviction accounting relies on each bucket covering a contiguous range.
+func (s *Sliding) Push(g int64, v float64) {
+	if s.hasAny && g != s.nextG {
+		panic("kdtree: Sliding.Push indices must be consecutive")
+	}
+	s.hasAny = true
+	s.nextG = g + 1
+	s.pending = append(s.pending, spoint{g: g, v: v})
+}
+
+// EvictBefore marks every point with global index < g as expired. Fully
+// expired buckets are dropped immediately; a bucket straddling the
+// watermark keeps its stale nodes until it expires wholesale, and queries
+// skip them.
+func (s *Sliding) EvictBefore(g int64) {
+	if g <= s.minG {
+		return
+	}
+	s.minG = g
+	i := 0
+	for i < len(s.buckets) && s.buckets[i].maxG < g {
+		i++
+	}
+	if i > 0 {
+		s.buckets = append(s.buckets[:0], s.buckets[i:]...)
+	}
+	// Pending points are never older than bucketed ones; drop expired
+	// heads (possible when the window slides faster than it analyzes).
+	j := 0
+	for j < len(s.pending) && s.pending[j].g < g {
+		j++
+	}
+	if j > 0 {
+		s.pending = append(s.pending[:0], s.pending[j:]...)
+	}
+}
+
+// Flush indexes the pending arrivals as one new bucket and re-balances
+// the forest. Queries only see flushed points; the engine flushes once
+// per analysis, so a hop of h arrivals costs one O(h log h) build.
+func (s *Sliding) Flush() {
+	if len(s.pending) > 0 {
+		b := buildBucket(s.pending)
+		s.pending = s.pending[:0]
+		s.buckets = append(s.buckets, b)
+	}
+	for len(s.buckets) > s.maxBuckets {
+		s.mergeSmallest()
+	}
+}
+
+// Len returns the number of live (flushed, unexpired) points.
+func (s *Sliding) Len() int {
+	n := 0
+	for i := range s.buckets {
+		n += s.buckets[i].live(s.minG)
+	}
+	return n
+}
+
+// mergeSmallest rebuilds the adjacent bucket pair with the fewest live
+// points into one bucket. Adjacency keeps each bucket's global range
+// contiguous (the invariant live-counting relies on).
+func (s *Sliding) mergeSmallest() {
+	if len(s.buckets) < 2 {
+		return
+	}
+	best, bestLive := 0, -1
+	for i := 0; i+1 < len(s.buckets); i++ {
+		l := s.buckets[i].live(s.minG) + s.buckets[i+1].live(s.minG)
+		if bestLive < 0 || l < bestLive {
+			best, bestLive = i, l
+		}
+	}
+	a, b := &s.buckets[best], &s.buckets[best+1]
+	pts := make([]spoint, 0, bestLive)
+	pts = collectLive(pts, a, s.minG)
+	pts = collectLive(pts, b, s.minG)
+	merged := buildBucket(pts)
+	s.buckets[best] = merged
+	s.buckets = append(s.buckets[:best+1], s.buckets[best+2:]...)
+}
+
+// collectLive appends the live points of b in global order.
+func collectLive(pts []spoint, b *sbucket, watermark int64) []spoint {
+	lo := b.minG
+	if watermark > lo {
+		lo = watermark
+	}
+	// Nodes are permuted by the build; reconstitute arrival order by g.
+	tmp := make([]spoint, 0, len(b.nodes))
+	for i := range b.nodes {
+		if b.nodes[i].g >= lo {
+			tmp = append(tmp, spoint{g: b.nodes[i].g, v: b.nodes[i].v})
+		}
+	}
+	// Insertion sort by g: buckets are small and mostly ordered runs.
+	for i := 1; i < len(tmp); i++ {
+		for j := i; j > 0 && tmp[j].g < tmp[j-1].g; j-- {
+			tmp[j], tmp[j-1] = tmp[j-1], tmp[j]
+		}
+	}
+	return append(pts, tmp...)
+}
+
+// buildBucket builds one static KD-tree over pts (which arrive in global
+// order; the build permutes a copy).
+func buildBucket(pts []spoint) sbucket {
+	cp := make([]spoint, len(pts))
+	copy(cp, pts)
+	b := sbucket{nodes: make([]snode, 0, len(cp)), minG: cp[0].g, maxG: cp[len(cp)-1].g}
+	b.root = buildS(&b.nodes, cp, 0)
+	return b
+}
+
+func buildS(nodes *[]snode, pts []spoint, depth int) int32 {
+	if len(pts) == 0 {
+		return -1
+	}
+	axis := depth % 2
+	mid := len(pts) / 2
+	medianSelectS(pts, mid, axis)
+	id := int32(len(*nodes))
+	*nodes = append(*nodes, snode{g: pts[mid].g, v: pts[mid].v, axis: uint8(axis), left: -1, right: -1})
+	l := buildS(nodes, pts[:mid], depth+1)
+	r := buildS(nodes, pts[mid+1:], depth+1)
+	(*nodes)[id].left, (*nodes)[id].right = l, r
+	return id
+}
+
+// medianSelectS is medianSelect over raw sliding points: Hoare
+// quickselect with a median-of-three pivot on the raw axis coordinate
+// (raw order equals transformed order — the frame map is monotone).
+func medianSelectS(items []spoint, k, axis int) {
+	lo, hi := 0, len(items)-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if items[mid].coord(axis) < items[lo].coord(axis) {
+			items[mid], items[lo] = items[lo], items[mid]
+		}
+		if items[hi].coord(axis) < items[mid].coord(axis) {
+			items[hi], items[mid] = items[mid], items[hi]
+			if items[mid].coord(axis) < items[lo].coord(axis) {
+				items[mid], items[lo] = items[lo], items[mid]
+			}
+		}
+		items[lo], items[mid] = items[mid], items[lo]
+		p := items[lo].coord(axis)
+		i, j := lo-1, hi+1
+		for {
+			for {
+				j--
+				if items[j].coord(axis) <= p {
+					break
+				}
+			}
+			for {
+				i++
+				if items[i].coord(axis) >= p {
+					break
+				}
+			}
+			if i >= j {
+				break
+			}
+			items[i], items[j] = items[j], items[i]
+		}
+		if k <= j {
+			hi = j
+		} else {
+			lo = j + 1
+		}
+	}
+}
+
+// RankAtMost mirrors KD.RankAtMost over the live window: it returns
+// min(rank, limit) where rank counts the live points ordering strictly
+// ahead of the point with global index tieG in the (distance,
+// window-relative index) neighbor order of the transformed query q at
+// distance d, excluding skipG and tieG themselves. Window-relative index
+// order is global order shifted by Frame.Start, so ties compare g
+// directly.
+func (s *Sliding) RankAtMost(f Frame, q [2]float64, d float64, tieG, skipG int64, limit int) int {
+	if limit <= 0 {
+		return 0
+	}
+	count := 0
+	var stack [maxStack]int32
+	for bi := range s.buckets {
+		b := &s.buckets[bi]
+		top := 0
+		cur := b.root
+		for cur >= 0 || top > 0 {
+			if cur < 0 {
+				top--
+				cur = stack[top]
+			}
+			nd := &b.nodes[cur]
+			tp := f.Transform(nd.g, nd.v)
+			if nd.g >= s.minG && nd.g != skipG && nd.g != tieG {
+				dd := dist(q, tp)
+				//cabd:lint-ignore floateq rank counting must mirror the exact (distance, index) tie order of the k-NN engine
+				if dd < d || (dd == d && nd.g < tieG) {
+					count++
+					if count >= limit {
+						return count
+					}
+				}
+			}
+			diff := q[nd.axis] - tp[nd.axis]
+			near, far := nd.left, nd.right
+			if diff > 0 {
+				near, far = nd.right, nd.left
+			}
+			if far >= 0 && math.Abs(diff) <= d {
+				stack[top] = far
+				top++
+			}
+			cur = near
+		}
+	}
+	return count
+}
+
+// KNNInto mirrors KD.KNNInto over the live window: the k nearest live
+// neighbors of the transformed query q (excluding skipG), ascending by
+// (distance, window-relative index). Neighbor.Index is window-relative
+// (g - Frame.Start). The candidate heap is shared across buckets, so the
+// prune bound tightens globally exactly as it does in one static tree.
+func (s *Sliding) KNNInto(f Frame, q [2]float64, k int, skipG int64, buf []Neighbor) []Neighbor {
+	if k <= 0 {
+		return nil
+	}
+	want := k
+	if live := s.Len(); want > live {
+		want = live
+	}
+	if want == 0 {
+		return nil
+	}
+	h := buf[:0]
+	if cap(h) < want {
+		h = make([]Neighbor, 0, want)
+	}
+	var stack [maxStack]frameFrame
+	for bi := range s.buckets {
+		b := &s.buckets[bi]
+		top := 0
+		cur := b.root
+		for cur >= 0 || top > 0 {
+			if cur < 0 {
+				top--
+				fr := stack[top]
+				if len(h) == k && fr.planeDist > h[0].Dist {
+					continue
+				}
+				cur = fr.n
+			}
+			nd := &b.nodes[cur]
+			tp := f.Transform(nd.g, nd.v)
+			if nd.g >= s.minG && nd.g != skipG {
+				d := dist(q, tp)
+				nb := Neighbor{Index: int(nd.g - f.Start), Dist: d}
+				if len(h) < k {
+					h = append(h, nb)
+					siftUp(h, len(h)-1)
+				} else if worse(h[0], nb) {
+					h[0] = nb
+					siftDown(h, 0)
+				}
+			}
+			diff := q[nd.axis] - tp[nd.axis]
+			near, far := nd.left, nd.right
+			if diff > 0 {
+				near, far = nd.right, nd.left
+			}
+			if far >= 0 {
+				stack[top] = frameFrame{n: far, planeDist: math.Abs(diff)}
+				top++
+			}
+			cur = near
+		}
+	}
+	ascendingSort(h)
+	return h
+}
+
+// frameFrame is the traversal frame of the sliding k-NN walk (int32 node
+// ids instead of pointers).
+type frameFrame struct {
+	n         int32
+	planeDist float64
+}

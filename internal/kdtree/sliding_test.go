@@ -1,0 +1,138 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/stats"
+)
+
+// slidingHarness drives a Sliding tree through a seeded stream and, at
+// every hop, checks it answers bit-identically to a static KD freshly
+// built over the standardized embedding of the live window — rank walks,
+// k-NN lists, and the frame transform itself.
+func TestSlidingMatchesStaticTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const window, hop, total = 96, 7, 700
+
+	sl := NewSliding()
+	var win []float64 // live window values
+	start := 0        // global index of win[0]
+
+	val := func(i int) float64 {
+		switch {
+		case i%137 == 0:
+			return 40 + rng.NormFloat64() // spikes
+		case i%61 == 0:
+			return rng.NormFloat64() * 1e-9 // near-duplicates
+		default:
+			return math.Sin(float64(i)/9) + rng.NormFloat64()*0.3
+		}
+	}
+
+	for i := 0; i < total; i++ {
+		v := val(i)
+		sl.Push(int64(i), v)
+		win = append(win, v)
+		if len(win) > window {
+			drop := len(win) - window
+			win = win[drop:]
+			start += drop
+			sl.EvictBefore(int64(start))
+		}
+		if i%hop != hop-1 || len(win) < 8 {
+			continue
+		}
+		sl.Flush()
+		checkAgainstStatic(t, rng, sl, win, start)
+	}
+}
+
+func checkAgainstStatic(t *testing.T, rng *rand.Rand, sl *Sliding, win []float64, start int) {
+	t.Helper()
+	n := len(win)
+	if got := sl.Len(); got != n {
+		t.Fatalf("start=%d: sliding Len=%d, window has %d", start, got, n)
+	}
+
+	// The static reference: the exact embedding the batch pipeline uses.
+	idx := make([]float64, n)
+	for i := range idx {
+		idx[i] = float64(i)
+	}
+	si := stats.Standardize(idx)
+	sv := stats.Standardize(win)
+	pts := make([][2]float64, n)
+	for i := range pts {
+		pts[i] = [2]float64{si[i], sv[i]}
+	}
+	static := New(pts)
+
+	f := Frame{
+		Start:   int64(start),
+		MeanPos: stats.Mean(idx), StdPos: stats.Std(idx),
+		MeanVal: stats.Mean(win), StdVal: stats.Std(win),
+	}
+
+	// The frame transform must reproduce stats.Standardize bit for bit —
+	// that identity is what makes every downstream probe exact.
+	for i := 0; i < n; i++ {
+		tp := f.Transform(int64(start+i), win[i])
+		if tp != pts[i] { //cabd:lint-ignore floateq the transform contract is bit-identity with stats.Standardize
+			t.Fatalf("start=%d i=%d: Transform=%v static=%v", start, i, tp, pts[i])
+		}
+	}
+
+	for probe := 0; probe < 40; probe++ {
+		i := rng.Intn(n)
+		j := rng.Intn(n)
+		if i == j {
+			continue
+		}
+		d := Dist(pts[i], pts[j])
+		for _, limit := range []int{1, 5, n} {
+			want := static.RankAtMost(pts[i], d, j, i, limit)
+			got := sl.RankAtMost(f, pts[i], d, int64(start+j), int64(start+i), limit)
+			if got != want {
+				t.Fatalf("start=%d rank(%d,%d,limit=%d): sliding=%d static=%d", start, i, j, limit, got, want)
+			}
+		}
+	}
+
+	var buf [32]Neighbor
+	for probe := 0; probe < 12; probe++ {
+		i := rng.Intn(n)
+		for _, k := range []int{1, 3, 10} {
+			want := static.KNN(pts[i], k, i)
+			got := sl.KNNInto(f, pts[i], k, int64(start+i), buf[:0])
+			if len(got) != len(want) {
+				t.Fatalf("start=%d knn(%d,k=%d): len sliding=%d static=%d", start, i, k, len(got), len(want))
+			}
+			for x := range want {
+				if got[x].Index != want[x].Index || got[x].Dist != want[x].Dist { //cabd:lint-ignore floateq k-NN lists must agree exactly, distances included
+					t.Fatalf("start=%d knn(%d,k=%d)[%d]: sliding=%+v static=%+v", start, i, k, x, got[x], want[x])
+				}
+			}
+		}
+	}
+}
+
+// TestSlidingEvictionDropsBuckets exercises wholesale bucket expiry and
+// the merge path that bounds the forest size under tiny hops.
+func TestSlidingBucketBounds(t *testing.T) {
+	sl := NewSliding()
+	for i := 0; i < 4096; i++ {
+		sl.Push(int64(i), float64(i%17))
+		if i >= 64 {
+			sl.EvictBefore(int64(i - 63))
+		}
+		sl.Flush() // worst case: one-point buckets every push
+		if len(sl.buckets) > sl.maxBuckets {
+			t.Fatalf("bucket count %d exceeds bound %d", len(sl.buckets), sl.maxBuckets)
+		}
+	}
+	if got := sl.Len(); got != 64 {
+		t.Fatalf("Len=%d, want 64", got)
+	}
+}

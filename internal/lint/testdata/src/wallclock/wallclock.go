@@ -36,3 +36,47 @@ func okIgnoredLineAbove(t0 time.Time) time.Duration {
 	//cabd:lint-ignore wallclock fixture proves line-above suppression
 	return time.Since(t0)
 }
+
+// The shard-mailbox shape of the server's stream registry: goroutines
+// paced entirely by channels, with every timestamp injected by the
+// caller. Nothing here reads the clock, so nothing may be flagged —
+// select statements, bounded-channel admission, time.Time fields and
+// time.Duration comparisons are all clock-free.
+type mailboxCall struct {
+	fn   func()
+	done chan struct{}
+}
+
+type mailboxShard struct {
+	mailbox chan mailboxCall
+	stop    chan struct{}
+	last    time.Time
+}
+
+func (sh *mailboxShard) loop() {
+	for {
+		select {
+		case c := <-sh.mailbox:
+			c.fn()
+			close(c.done)
+		case <-sh.stop:
+			return
+		}
+	}
+}
+
+func (sh *mailboxShard) okSubmit(fn func(), now time.Time) bool {
+	c := mailboxCall{fn: fn, done: make(chan struct{})}
+	select {
+	case sh.mailbox <- c:
+	default:
+		return false // full mailbox sheds; no timer-based retry
+	}
+	<-c.done
+	sh.last = now // injected timestamp, never read here
+	return true
+}
+
+func (sh *mailboxShard) okIdle(now time.Time, ttl time.Duration) bool {
+	return now.Sub(sh.last) > ttl // Time.Sub is arithmetic, not a clock read
+}

@@ -109,6 +109,11 @@ const (
 	// CounterSessionLabels counts labels posted into interactive
 	// server-side labeling sessions.
 	CounterSessionLabels
+	// CounterStreamHopTimeouts counts streaming analyses abandoned
+	// because the per-hop deadline expired before the detector finished
+	// (the degraded-but-completed analyses count under
+	// CounterDegradations instead).
+	CounterStreamHopTimeouts
 	NumCounters
 )
 
@@ -123,6 +128,7 @@ var counterNames = [NumCounters]string{
 	"agent_forwarded_total", "agent_spilled_total", "agent_replayed_total",
 	"agent_spill_dropped_total", "agent_retries_total",
 	"session_labels_total",
+	"stream_hop_timeouts_total",
 }
 
 // String implements fmt.Stringer.

@@ -57,6 +57,23 @@ type Config struct {
 	// (defaults 64 and 256).
 	MaxSessions int
 	MaxStreams  int
+	// MaxStreamsPerTenant additionally caps the streams of one tenant —
+	// the stream-id prefix before the first '/' ("acme/sensor-17" →
+	// "acme"), or the whole id for unscoped names. Zero disables the
+	// per-tenant quota.
+	MaxStreamsPerTenant int
+	// StreamShards is the number of stream-registry shards: stream ids
+	// map onto shards by consistent hashing, and each shard runs its
+	// streams on a dedicated goroutine behind a bounded mailbox (default
+	// 8). StreamMailbox is that mailbox's depth (default 32); a full
+	// mailbox sheds the request with 429.
+	StreamShards  int
+	StreamMailbox int
+	// StreamEngine selects the per-hop analysis engine of streaming
+	// detectors (default incremental); StreamHopTimeout bounds one
+	// streaming analysis (zero: unbounded).
+	StreamEngine     cabd.StreamEngine
+	StreamHopTimeout time.Duration
 	// SessionTTL / StreamTTL are the idle-eviction horizons: a session
 	// or stream untouched for longer is reclaimed by the janitor
 	// (default 10m each).
@@ -114,6 +131,12 @@ func (c Config) defaults() Config {
 	if c.MaxStreams <= 0 {
 		c.MaxStreams = 256
 	}
+	if c.StreamShards <= 0 {
+		c.StreamShards = 8
+	}
+	if c.StreamMailbox <= 0 {
+		c.StreamMailbox = 32
+	}
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 10 * time.Minute
 	}
@@ -138,7 +161,7 @@ type Server struct {
 	pool  *pool
 	mux   *http.ServeMux
 
-	streams  *streamTable
+	streams  *streamRegistry
 	sessions *sessionTable
 	ingest   *ingestStore
 
@@ -162,10 +185,11 @@ func New(cfg Config) (*Server, error) {
 		clock: cfg.Recorder.Clock(),
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, s.rec)
-	s.streams = newStreamTable(s)
+	s.streams = newStreamRegistry(s)
 	s.sessions = newSessionTable(s)
 	ing, err := newIngestStore(cfg.CheckpointDir)
 	if err != nil {
+		s.streams.closeAll()
 		s.pool.close()
 		return nil, err
 	}
@@ -173,6 +197,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CheckpointDir != "" {
 		if err := s.sessions.restore(cfg.CheckpointDir); err != nil {
 			s.ingest.close()
+			s.streams.closeAll()
 			s.pool.close()
 			return nil, err
 		}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"cabd/internal/obs"
+)
+
+// registryServer builds a Server (janitor off) for direct registry
+// tests and tears it down with the test.
+func registryServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	cfg.JanitorEvery = -1
+	if cfg.Recorder == nil {
+		cfg.Recorder = obs.NewWithClock(obs.NewFakeClock(time.Unix(0, 0)))
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestShardMappingDeterministic: the consistent-hash ring maps every id
+// to the same shard across independently built registries.
+func TestShardMappingDeterministic(t *testing.T) {
+	a := registryServer(t, Config{StreamShards: 8})
+	b := registryServer(t, Config{StreamShards: 8})
+	ids := []string{"s", "acme/one", "acme/two", "zeta/17", "a/b/c", ""}
+	for i := 0; i < 50; i++ {
+		ids = append(ids, strings.Repeat("x", i)+"-stream")
+	}
+	hit := map[int]bool{}
+	for _, id := range ids {
+		sa, sb := a.streams.shardFor(id), b.streams.shardFor(id)
+		if sa.idx != sb.idx {
+			t.Fatalf("id %q maps to shard %d and %d across registries", id, sa.idx, sb.idx)
+		}
+		hit[sa.idx] = true
+	}
+	if len(hit) < 4 {
+		t.Fatalf("56 ids landed on only %d of 8 shards; ring is not spreading", len(hit))
+	}
+}
+
+func TestTenantOf(t *testing.T) {
+	cases := map[string]string{
+		"acme/sensor-17": "acme",
+		"acme/a/b":       "acme",
+		"bare":           "bare",
+		"/rooted":        "",
+		"":               "",
+	}
+	for id, want := range cases {
+		if got := tenantOf(id); got != want {
+			t.Errorf("tenantOf(%q) = %q, want %q", id, got, want)
+		}
+	}
+}
+
+// TestTenantQuota: one tenant saturating its quota sheds without
+// touching other tenants or the global cap.
+func TestTenantQuota(t *testing.T) {
+	s := registryServer(t, Config{MaxStreams: 16, MaxStreamsPerTenant: 2})
+	now := s.clock.Now()
+	for _, id := range []string{"acme/a", "acme/b"} {
+		if _, err := s.streams.push(id, []float64{1}, now); err != nil {
+			t.Fatalf("push %s: %v", id, err)
+		}
+	}
+	if _, err := s.streams.push("acme/c", []float64{1}, now); !errors.Is(err, errTenantQuota) {
+		t.Fatalf("third acme stream: err=%v, want tenant quota", err)
+	}
+	if _, err := s.streams.push("other/x", []float64{1}, now); err != nil {
+		t.Fatalf("other tenant blocked by acme's quota: %v", err)
+	}
+	// Closing one frees the slot.
+	if _, err := s.streams.close("acme/a"); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, err := s.streams.push("acme/c", []float64{1}, now); err != nil {
+		t.Fatalf("push after freeing quota: %v", err)
+	}
+}
+
+// TestStreamCapSheds: the global cap sheds creation across shards.
+func TestStreamCapSheds(t *testing.T) {
+	s := registryServer(t, Config{MaxStreams: 3})
+	now := s.clock.Now()
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := s.streams.push(id, []float64{1}, now); err != nil {
+			t.Fatalf("push %s: %v", id, err)
+		}
+	}
+	if _, err := s.streams.push("d", []float64{1}, now); !errors.Is(err, errStreamsFull) {
+		t.Fatalf("over-cap create: err=%v, want streams full", err)
+	}
+	// Existing streams keep working at the cap.
+	if _, err := s.streams.push("a", []float64{2}, now); err != nil {
+		t.Fatalf("push to existing stream at cap: %v", err)
+	}
+}
+
+// TestMailboxSheds: with the shard goroutine wedged and the mailbox
+// full, admission sheds immediately instead of queueing.
+func TestMailboxSheds(t *testing.T) {
+	s := registryServer(t, Config{StreamShards: 1, StreamMailbox: 1})
+	sh := s.streams.shards[0]
+	block := make(chan struct{})
+	running := make(chan struct{})
+	go func() { _ = sh.submit(func(*streamShard) { close(running); <-block }, true) }()
+	<-running // the shard goroutine is now wedged inside a call
+	filled := make(chan struct{})
+	go func() { _ = sh.submit(func(*streamShard) {}, true); close(filled) }()
+	for len(sh.mailbox) == 0 { // the blocking submit above owns the one slot
+		runtime.Gosched()
+	}
+	if _, err := s.streams.push("x", []float64{1}, s.clock.Now()); !errors.Is(err, errStreamMailboxFull) {
+		t.Fatalf("push into full mailbox: err=%v, want mailbox full", err)
+	}
+	before := s.rec.Count(obs.CounterHTTPShed)
+	if before == 0 {
+		t.Fatal("mailbox shed not counted")
+	}
+	close(block)
+	<-filled
+	if _, err := s.streams.push("x", []float64{1}, s.clock.Now()); err != nil {
+		t.Fatalf("push after unwedging: %v", err)
+	}
+}
+
+// TestShardPanicContained: a panicking call poisons only itself — the
+// shard goroutine and its other streams survive, and the panic is
+// counted.
+func TestShardPanicContained(t *testing.T) {
+	s := registryServer(t, Config{StreamShards: 1})
+	now := s.clock.Now()
+	if _, err := s.streams.push("healthy", []float64{1, 2, 3}, now); err != nil {
+		t.Fatalf("setup push: %v", err)
+	}
+	err := s.streams.shards[0].submit(func(*streamShard) { panic("boom") }, true)
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("panicking call returned err=%v, want contained panic", err)
+	}
+	if got := s.rec.Count(obs.CounterPanicsContained); got != 1 {
+		t.Fatalf("panics_contained = %d, want 1", got)
+	}
+	if _, err := s.streams.push("healthy", []float64{4}, now); err != nil {
+		t.Fatalf("shard dead after contained panic: %v", err)
+	}
+}
+
+// TestRegistryEvictIdleDeterministic: idle eviction frees quota and
+// counts once per stream.
+func TestRegistryEvictIdle(t *testing.T) {
+	clk := obs.NewFakeClock(time.Unix(1000, 0))
+	s := registryServer(t, Config{Recorder: obs.NewWithClock(clk), MaxStreams: 8})
+	now := clk.Now()
+	for _, id := range []string{"a", "b", "c"} {
+		if _, err := s.streams.push(id, []float64{1}, now); err != nil {
+			t.Fatalf("push %s: %v", id, err)
+		}
+	}
+	s.streams.evictIdle(now.Add(11*time.Minute), 10*time.Minute)
+	if got := s.rec.Count(obs.CounterIdleEvictions); got != 3 {
+		t.Fatalf("idle evictions = %d, want 3", got)
+	}
+	s.streams.quotaMu.Lock()
+	total := s.streams.total
+	s.streams.quotaMu.Unlock()
+	if total != 0 {
+		t.Fatalf("quota total = %d after full eviction", total)
+	}
+	if _, err := s.streams.close("a"); !errors.Is(err, errStreamNotFound) {
+		t.Fatalf("evicted stream still closeable: %v", err)
+	}
+}

@@ -6,118 +6,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
-	"sync"
-	"time"
 
 	"cabd"
 	"cabd/httpapi"
-	"cabd/internal/obs"
 )
-
-// streamEntry is one live streaming detector. Its mutex serializes
-// pushes (cabd.StreamDetector is not safe for concurrent use); the
-// table's mutex only guards the map.
-type streamEntry struct {
-	id      string
-	srv     *Server
-	created time.Time
-
-	mu   sync.Mutex
-	det  *cabd.StreamDetector
-	last time.Time
-}
-
-// streamTable holds the live streams keyed by caller-chosen id.
-type streamTable struct {
-	srv *Server
-	mu  sync.Mutex
-	m   map[string]*streamEntry
-}
-
-func newStreamTable(s *Server) *streamTable {
-	return &streamTable{srv: s, m: map[string]*streamEntry{}}
-}
-
-// errStreamsFull sheds stream creation at the cap.
-var errStreamsFull = errors.New("server saturated: stream cap reached")
-
-// getOrCreate returns the stream for id, creating it on first use.
-func (t *streamTable) getOrCreate(id string) (*streamEntry, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if e, ok := t.m[id]; ok {
-		return e, nil
-	}
-	if len(t.m) >= t.srv.cfg.MaxStreams {
-		t.srv.rec.Add(obs.CounterHTTPShed, 1)
-		return nil, errStreamsFull
-	}
-	opts := t.srv.cfg.Options
-	opts.Obs = t.srv.rec
-	e := &streamEntry{
-		id:      id,
-		srv:     t.srv,
-		created: t.srv.clock.Now(),
-		det:     cabd.NewStream(cabd.StreamConfig{BadValue: opts.Sanitize, Options: opts}),
-		last:    t.srv.clock.Now(),
-	}
-	t.m[id] = e
-	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
-	return e, nil
-}
-
-// lookup returns the stream for id, or nil.
-func (t *streamTable) lookup(id string) *streamEntry {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.m[id]
-}
-
-// remove drops id from the table.
-func (t *streamTable) remove(id string) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.m, id)
-	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
-}
-
-// evictIdle reclaims streams idle past ttl, in deterministic id order.
-func (t *streamTable) evictIdle(now time.Time, ttl time.Duration) {
-	t.mu.Lock()
-	var expired []*streamEntry
-	for _, e := range t.m {
-		e.mu.Lock()
-		idle := now.Sub(e.last) > ttl
-		e.mu.Unlock()
-		if idle {
-			expired = append(expired, e)
-		}
-	}
-	sort.Slice(expired, func(a, b int) bool { return expired[a].id < expired[b].id })
-	for _, e := range expired {
-		delete(t.m, e.id)
-		t.srv.rec.Add(obs.CounterIdleEvictions, 1)
-	}
-	t.srv.rec.SetGauge(obs.GaugeStreamsActive, int64(len(t.m)))
-	t.mu.Unlock()
-	for _, e := range expired {
-		e.mu.Lock()
-		idleFor := now.Sub(e.last)
-		e.mu.Unlock()
-		t.srv.logf("cabd-serve: stream %s evicted after idle timeout (age %s, idle %s)",
-			e.id, now.Sub(e.created), idleFor)
-	}
-}
-
-// closeAll empties the table (drain path; in-flight pushes finish on
-// their own entry references).
-func (t *streamTable) closeAll() {
-	t.mu.Lock()
-	t.m = map[string]*streamEntry{}
-	t.srv.rec.SetGauge(obs.GaugeStreamsActive, 0)
-	t.mu.Unlock()
-}
 
 // streamObservation is one NDJSON ingest line: either a bare number or
 // {"v": number}.
@@ -129,18 +21,14 @@ type streamObservation struct {
 // the path id, creating it on first use, and answers with the
 // detections confirmed during this request. The body is parsed as a
 // sequence of JSON values (newline-delimited or whitespace-separated),
-// capped by MaxBytesReader.
+// capped by MaxBytesReader; parsing happens on the request goroutine so
+// only the detector work crosses into the owning shard.
 func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	id := r.PathValue("id")
-	e, err := s.streams.getOrCreate(id)
-	if err != nil {
-		s.writeShed(w, err.Error())
-		return
-	}
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	defer body.Close()
 	dec := json.NewDecoder(body)
@@ -169,21 +57,17 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 		values = append(values, v)
 	}
 
-	e.mu.Lock()
-	var dets []cabd.StreamDetection
-	for _, v := range values {
-		dets = append(dets, e.det.Push(v)...)
+	res, err := s.streams.push(id, values, s.clock.Now())
+	if err != nil {
+		s.writeStreamError(w, err)
+		return
 	}
-	e.last = s.clock.Now()
-	total, bad := e.det.Total(), e.det.Bad()
-	e.mu.Unlock()
-
 	s.writeJSON(w, http.StatusOK, httpapi.StreamIngestResponse{
 		ID:         id,
-		Accepted:   len(values),
-		Total:      total,
-		Bad:        bad,
-		Detections: wireStreamDetections(dets),
+		Accepted:   res.accepted,
+		Total:      res.total,
+		Bad:        res.bad,
+		Detections: wireStreamDetections(res.dets),
 	})
 }
 
@@ -191,23 +75,37 @@ func (s *Server) handleStreamPush(w http.ResponseWriter, r *http.Request) {
 // margin), returns the remaining detections and evicts it.
 func (s *Server) handleStreamClose(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	e := s.streams.lookup(id)
-	if e == nil {
-		s.writeError(w, http.StatusNotFound, fmt.Sprintf("stream %q not found", id))
+	res, err := s.streams.close(id)
+	if err != nil {
+		if errors.Is(err, errStreamNotFound) {
+			s.writeError(w, http.StatusNotFound, fmt.Sprintf("stream %q not found", id))
+			return
+		}
+		s.writeStreamError(w, err)
 		return
 	}
-	s.streams.remove(id)
-	e.mu.Lock()
-	dets := e.det.Flush()
-	total, bad := e.det.Total(), e.det.Bad()
-	e.mu.Unlock()
 	s.writeJSON(w, http.StatusOK, httpapi.StreamIngestResponse{
 		ID:         id,
-		Total:      total,
-		Bad:        bad,
-		Detections: wireStreamDetections(dets),
+		Total:      res.total,
+		Bad:        res.bad,
+		Detections: wireStreamDetections(res.dets),
 		Flushed:    true,
 	})
+}
+
+// writeStreamError maps registry errors to HTTP: capacity and mailbox
+// saturation shed with 429, a stopped shard means the server is
+// draining, anything else (a contained shard panic) is a 500.
+func (s *Server) writeStreamError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errStreamsFull), errors.Is(err, errStreamMailboxFull),
+		errors.Is(err, errTenantQuota):
+		s.writeShed(w, err.Error())
+	case errors.Is(err, errShardStopped):
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+	default:
+		s.writeError(w, http.StatusInternalServerError, err.Error())
+	}
 }
 
 // parseObservation accepts a bare JSON number or {"v": number}.
@@ -230,6 +128,7 @@ func wireStreamDetections(dets []cabd.StreamDetection) []httpapi.Detection {
 			Index:      d.Index,
 			Subtype:    d.Subtype.String(),
 			Confidence: d.Confidence,
+			Degraded:   d.Degraded,
 		})
 	}
 	return out

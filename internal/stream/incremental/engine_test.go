@@ -1,0 +1,162 @@
+package incremental
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cabd/internal/core"
+	"cabd/internal/series"
+	"cabd/internal/stats"
+)
+
+// TestTreapMatchesStats slides a window of seeded values (with heavy
+// duplicates and a flat stretch) and checks the treap's median and MAD
+// against the brute-force stats helpers at every step.
+func TestTreapMatchesStats(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tr := newOrderTreap(3)
+	const window = 57 // odd and even sizes both exercised during ramp-up
+	var buf []float64
+	var gs []int64
+	for g := int64(0); g < 600; g++ {
+		var v float64
+		switch {
+		case g > 200 && g < 260: // flat stretch: MAD collapses to 0
+			v = 4
+		case g%5 == 0: // duplicates: exact value ties
+			v = float64(int(g) % 7)
+		default:
+			v = rng.NormFloat64() * 10
+		}
+		tr.Insert(v, g)
+		buf = append(buf, v)
+		gs = append(gs, g)
+		if len(buf) > window {
+			tr.Remove(buf[0], gs[0])
+			buf, gs = buf[1:], gs[1:]
+		}
+		if tr.Len() != len(buf) {
+			t.Fatalf("g=%d: treap Len=%d buf=%d", g, tr.Len(), len(buf))
+		}
+		wantMed := stats.Median(buf)
+		gotMed := tr.Median()
+		if gotMed != wantMed { //cabd:lint-ignore floateq the treap contract is bit-identity with stats.Median
+			t.Fatalf("g=%d: median treap=%v stats=%v", g, gotMed, wantMed)
+		}
+		wantMAD := stats.MAD(buf)
+		gotMAD := tr.MAD(gotMed)
+		if gotMAD != wantMAD { //cabd:lint-ignore floateq the treap contract is bit-identity with stats.MAD
+			t.Fatalf("g=%d: MAD treap=%v stats=%v", g, gotMAD, wantMAD)
+		}
+	}
+}
+
+// TestTreapDescendOrder checks that descending-rank traversal yields
+// (value descending, index ascending) — the topDeviations selection
+// order — under exact value ties.
+func TestTreapDescendOrder(t *testing.T) {
+	tr := newOrderTreap(5)
+	vals := []float64{3, 1, 3, 2, 3, 1, 2}
+	for g, v := range vals {
+		tr.Insert(v, int64(g))
+	}
+	var got [][2]int64
+	tr.DescendRanks(func(v float64, g int64) bool {
+		got = append(got, [2]int64{int64(v), g})
+		return true
+	})
+	want := [][2]int64{{3, 0}, {3, 2}, {3, 4}, {2, 3}, {2, 6}, {1, 1}, {1, 5}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("descend order:\n got %v\nwant %v", got, want)
+	}
+}
+
+// streamSignal is the seeded test stream: sinusoid + noise with spikes,
+// a level shift, a flat (MAD-collapsing) stretch, and near-duplicate
+// ties — every regime the candidate and neighborhood stages branch on.
+func streamSignal(rng *rand.Rand, i int) float64 {
+	switch {
+	case i > 150 && i < 190: // flat stretch
+		return 2.5
+	case i%83 == 0: // spikes
+		return 30 + rng.NormFloat64()
+	case i%47 == 0: // near-duplicates
+		return rng.NormFloat64() * 1e-9
+	default:
+		base := math.Sin(float64(i) / 11)
+		if i > 260 {
+			base += 8 // level shift
+		}
+		return base + rng.NormFloat64()*0.4
+	}
+}
+
+// TestIncrementalMatchesFull is the differential oracle: at every hop of
+// a seeded stream, the incremental engine's DetectEnvCtx result must be
+// bit-identical — detections, candidates, scores, query counts — to a
+// full DetectCtx rerun over the same window.
+func TestIncrementalMatchesFull(t *testing.T) {
+	const window, hop, total = 64, 7, 400
+	opts := core.Options{Seed: 42}
+	full := core.NewDetector(opts)
+	inc := core.NewDetector(opts)
+	eng := New(FromOptions(inc.Options()))
+
+	rng := rand.New(rand.NewSource(99))
+	var buf []float64
+	start := 0
+	analyses := 0
+	for i := 0; i < total; i++ {
+		v := streamSignal(rng, i)
+		eng.Observe(i, v)
+		buf = append(buf, v)
+		if len(buf) > window {
+			drop := len(buf) - window
+			buf = buf[drop:]
+			start += drop
+			eng.SlideTo(start)
+		}
+		if i%hop != hop-1 || len(buf) < 8 {
+			continue
+		}
+		analyses++
+		s := series.New("stream", buf)
+		want, err := full.DetectCtx(context.Background(), s)
+		if err != nil {
+			t.Fatalf("start=%d: full detect: %v", start, err)
+		}
+		env := eng.BuildEnv(buf, start)
+		got, err := inc.DetectEnvCtx(context.Background(), s, env)
+		if err != nil {
+			t.Fatalf("start=%d: incremental detect: %v", start, err)
+		}
+		compareResults(t, start, got, want)
+	}
+	if analyses < 40 {
+		t.Fatalf("only %d analyses ran; stream setup is wrong", analyses)
+	}
+}
+
+func compareResults(t *testing.T, start int, got, want *core.Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Anomalies, want.Anomalies) {
+		t.Fatalf("start=%d: anomalies\n inc %+v\nfull %+v", start, got.Anomalies, want.Anomalies)
+	}
+	if !reflect.DeepEqual(got.ChangePoints, want.ChangePoints) {
+		t.Fatalf("start=%d: change points\n inc %+v\nfull %+v", start, got.ChangePoints, want.ChangePoints)
+	}
+	if got.Queries != want.Queries {
+		t.Fatalf("start=%d: queries inc=%d full=%d", start, got.Queries, want.Queries)
+	}
+	if len(got.Candidates) != len(want.Candidates) {
+		t.Fatalf("start=%d: candidate count inc=%d full=%d", start, len(got.Candidates), len(want.Candidates))
+	}
+	for i := range got.Candidates {
+		if !reflect.DeepEqual(got.Candidates[i], want.Candidates[i]) {
+			t.Fatalf("start=%d: candidate %d\n inc %+v\nfull %+v", start, i, got.Candidates[i], want.Candidates[i])
+		}
+	}
+}

@@ -1,0 +1,285 @@
+// rollstats.go maintains the rolling order statistics of the candidate
+// estimation stage: a treap over the window's Δ″ (absolute second
+// difference) multiset, keyed (value, global index), supporting insert
+// and remove in O(log w) and rank/selection queries that reproduce the
+// batch stats.Median / stats.MAD / stats.RobustZ computations bit for
+// bit. The batch path sorts the window's Δ″ slice from scratch on every
+// hop; the treap pays O(log w) per arriving and per expiring point
+// instead, which is the "recompute only around touched points" half of
+// the rolling MAD pipeline.
+package incremental
+
+import (
+	"math"
+	"math/rand"
+)
+
+// otNode is one treap node. The heap priority comes from the engine's
+// seeded generator, so the tree shape — though never observable in
+// results — is deterministic per stream.
+type otNode struct {
+	v    float64
+	g    int64
+	pri  int64
+	l, r int32
+	sz   int32
+}
+
+// orderTreap is an order-statistic treap over (value, global index)
+// pairs, ordered by value ascending with global index DESCENDING as the
+// tie-break. That orientation makes a descending-rank traversal yield
+// (value descending, index ascending) — exactly the deterministic
+// selection order of core's topDeviations flood fallback.
+type orderTreap struct {
+	rng   *rand.Rand
+	nodes []otNode
+	free  []int32
+	root  int32
+}
+
+func newOrderTreap(seed int64) *orderTreap {
+	return &orderTreap{rng: rand.New(rand.NewSource(seed)), root: -1}
+}
+
+// keyLess orders (v1, g1) before (v2, g2): value ascending, index
+// descending on ties.
+func keyLess(v1 float64, g1 int64, v2 float64, g2 int64) bool {
+	//cabd:lint-ignore floateq order-statistic keys need exact value ties to fall through to the index
+	if v1 != v2 {
+		return v1 < v2
+	}
+	return g1 > g2
+}
+
+func (t *orderTreap) size(id int32) int32 {
+	if id < 0 {
+		return 0
+	}
+	return t.nodes[id].sz
+}
+
+func (t *orderTreap) pull(id int32) {
+	t.nodes[id].sz = 1 + t.size(t.nodes[id].l) + t.size(t.nodes[id].r)
+}
+
+// Len returns the number of stored entries.
+func (t *orderTreap) Len() int { return int(t.size(t.root)) }
+
+func (t *orderTreap) alloc(v float64, g int64) int32 {
+	if n := len(t.free); n > 0 {
+		id := t.free[n-1]
+		t.free = t.free[:n-1]
+		t.nodes[id] = otNode{v: v, g: g, pri: t.rng.Int63(), l: -1, r: -1, sz: 1}
+		return id
+	}
+	t.nodes = append(t.nodes, otNode{v: v, g: g, pri: t.rng.Int63(), l: -1, r: -1, sz: 1})
+	return int32(len(t.nodes) - 1)
+}
+
+// splitLT splits by key: left holds entries ordering strictly before
+// (v, g), right the rest.
+func (t *orderTreap) splitLT(id int32, v float64, g int64) (int32, int32) {
+	if id < 0 {
+		return -1, -1
+	}
+	nd := &t.nodes[id]
+	if keyLess(nd.v, nd.g, v, g) {
+		l, r := t.splitLT(nd.r, v, g)
+		nd.r = l
+		t.pull(id)
+		return id, r
+	}
+	l, r := t.splitLT(nd.l, v, g)
+	nd.l = r
+	t.pull(id)
+	return l, id
+}
+
+func (t *orderTreap) merge(a, b int32) int32 {
+	if a < 0 {
+		return b
+	}
+	if b < 0 {
+		return a
+	}
+	if t.nodes[a].pri > t.nodes[b].pri {
+		t.nodes[a].r = t.merge(t.nodes[a].r, b)
+		t.pull(a)
+		return a
+	}
+	t.nodes[b].l = t.merge(a, t.nodes[b].l)
+	t.pull(b)
+	return b
+}
+
+// Insert adds the entry (v, g). Global indices are unique, so keys are.
+func (t *orderTreap) Insert(v float64, g int64) {
+	id := t.alloc(v, g)
+	l, r := t.splitLT(t.root, v, g)
+	t.root = t.merge(t.merge(l, id), r)
+}
+
+// Remove deletes the entry with exact key (v, g); it must exist.
+func (t *orderTreap) Remove(v float64, g int64) {
+	l, rest := t.splitLT(t.root, v, g)
+	// The target is now the leftmost entry of rest.
+	var detach func(id int32) int32
+	detach = func(id int32) int32 {
+		nd := &t.nodes[id]
+		if nd.l < 0 {
+			if nd.g != g {
+				panic("incremental: Remove of absent treap key")
+			}
+			r := nd.r
+			t.free = append(t.free, id)
+			return r
+		}
+		nd.l = detach(nd.l)
+		t.pull(id)
+		return id
+	}
+	if rest < 0 {
+		panic("incremental: Remove from empty treap side")
+	}
+	rest = detach(rest)
+	t.root = t.merge(l, rest)
+}
+
+// Kth returns the entry with ascending rank k (0-based).
+func (t *orderTreap) Kth(k int) (v float64, g int64) {
+	id := t.root
+	for id >= 0 {
+		ls := int(t.size(t.nodes[id].l))
+		switch {
+		case k < ls:
+			id = t.nodes[id].l
+		case k == ls:
+			return t.nodes[id].v, t.nodes[id].g
+		default:
+			k -= ls + 1
+			id = t.nodes[id].r
+		}
+	}
+	panic("incremental: Kth rank out of range")
+}
+
+// KthVal returns just the value at ascending rank k.
+func (t *orderTreap) KthVal(k int) float64 {
+	v, _ := t.Kth(k)
+	return v
+}
+
+// CountLEValue returns how many entries have value <= x (any index).
+func (t *orderTreap) CountLEValue(x float64) int {
+	count := 0
+	id := t.root
+	for id >= 0 {
+		if t.nodes[id].v <= x {
+			count += int(t.size(t.nodes[id].l)) + 1
+			id = t.nodes[id].r
+		} else {
+			id = t.nodes[id].l
+		}
+	}
+	return count
+}
+
+// Median reproduces stats.Median over the stored multiset: the middle
+// value for odd sizes, the midpoint of the two central values for even
+// sizes.
+func (t *orderTreap) Median() float64 {
+	n := t.Len()
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return t.KthVal(n / 2)
+	}
+	return (t.KthVal(n/2-1) + t.KthVal(n/2)) / 2
+}
+
+// MAD reproduces stats.MAD over the stored multiset: the median of the
+// absolute deviations |v - med|. The deviations are not materialized —
+// sorted by value, the entries below and above the median form two
+// deviation-sorted runs, and the k-th smallest deviation comes from the
+// classic two-sorted-sequences selection with O(log w) random access per
+// probe: O(log² w) total instead of the batch path's O(w log w) sort.
+func (t *orderTreap) MAD(med float64) float64 {
+	n := t.Len()
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return t.kthDeviation(med, n/2)
+	}
+	return (t.kthDeviation(med, n/2-1) + t.kthDeviation(med, n/2)) / 2
+}
+
+// kthDeviation returns the 0-based k-th smallest |v - med| over the
+// stored entries.
+func (t *orderTreap) kthDeviation(med float64, k int) float64 {
+	cntLE := t.CountLEValue(med)
+	n := t.Len()
+	// Deviation run A: entries at ranks cntLE-1 .. 0 (values <= med,
+	// walking away from the median) — nondecreasing deviations. Run B:
+	// ranks cntLE .. n-1 (values > med) — also nondecreasing.
+	lenA, lenB := cntLE, n-cntLE
+	a := func(i int) float64 { return math.Abs(t.KthVal(cntLE-1-i) - med) }
+	b := func(i int) float64 { return math.Abs(t.KthVal(cntLE+i) - med) }
+	// Partition search: take ta elements from A and k+1-ta from B as the
+	// k+1 smallest; the k-th deviation is the max of the last taken from
+	// each side. Sentinels make the boundary conditions uniform.
+	aAt := func(i int) float64 {
+		if i < 0 {
+			return math.Inf(-1)
+		}
+		if i >= lenA {
+			return math.Inf(1)
+		}
+		return a(i)
+	}
+	bAt := func(i int) float64 {
+		if i < 0 {
+			return math.Inf(-1)
+		}
+		if i >= lenB {
+			return math.Inf(1)
+		}
+		return b(i)
+	}
+	lo := k + 1 - lenB
+	if lo < 0 {
+		lo = 0
+	}
+	hi := k + 1
+	if hi > lenA {
+		hi = lenA
+	}
+	for lo < hi {
+		ta := (lo + hi) / 2
+		if aAt(ta) < bAt(k-ta) {
+			lo = ta + 1
+		} else {
+			hi = ta
+		}
+	}
+	ta := lo
+	av, bv := aAt(ta-1), bAt(k-ta)
+	if av > bv {
+		return av
+	}
+	return bv
+}
+
+// DescendRanks calls fn for entries at descending ranks n-1, n-2, ...
+// until fn returns false — the (value descending, index ascending)
+// iteration order of the flood fallback.
+func (t *orderTreap) DescendRanks(fn func(v float64, g int64) bool) {
+	n := t.Len()
+	for k := n - 1; k >= 0; k-- {
+		v, g := t.Kth(k)
+		if !fn(v, g) {
+			return
+		}
+	}
+}

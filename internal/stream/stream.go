@@ -4,15 +4,39 @@
 // the detector re-analyzes a sliding window and emits the detections that
 // have left the window's trailing uncertainty zone, with global indices
 // and cross-window deduplication.
+//
+// Two analysis engines are available. The default incremental engine
+// maintains the pipeline's per-window substrates (Δ″ order statistics,
+// KD-tree, SAX corpus) across slides, so a hop costs O(touched) instead
+// of O(window) rebuild work; the full engine reruns the batch pipeline
+// per hop. Both emit bit-identical detections — the full path is kept as
+// the differential oracle for the incremental one.
 package stream
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"cabd/internal/core"
 	"cabd/internal/obs"
 	"cabd/internal/sanitize"
 	"cabd/internal/series"
+	"cabd/internal/stream/incremental"
+)
+
+// EngineMode selects the per-hop analysis engine.
+type EngineMode int
+
+const (
+	// EngineIncremental (the default) maintains rolling pipeline state
+	// across window slides and recomputes only around arrived/evicted
+	// points each hop.
+	EngineIncremental EngineMode = iota
+	// EngineFull reruns the batch pipeline over the whole window every
+	// hop. Slower, but zero extra state — and the differential oracle
+	// the incremental engine is tested against.
+	EngineFull
 )
 
 // Config parameterizes the streaming wrapper.
@@ -22,11 +46,13 @@ type Config struct {
 	// and memory.
 	Window int
 	// Hop is how many new observations trigger a re-analysis (default
-	// Window/8). Detection latency is at most Hop + Margin points.
+	// Window/8, floored at 1). Detection latency is at most Hop + Margin
+	// points.
 	Hop int
 	// Margin is the number of trailing points considered unstable (a
 	// fresh level shift looks like an anomaly until its segment grows;
-	// default 16). Detections inside the margin wait for the next hop.
+	// default 16, clamped strictly below Window/2 so detections can
+	// always leave the unstable zone).
 	Margin int
 	// BadValue selects how Push treats NaN, ±Inf and out-of-range
 	// observations: sanitize.Interpolate (default) imputes the last good
@@ -35,6 +61,16 @@ type Config struct {
 	// entirely — indices then refer to the accepted substream. Bad()
 	// reports how many observations were intercepted either way.
 	BadValue sanitize.Policy
+	// Engine selects the analysis engine (default EngineIncremental).
+	Engine EngineMode
+	// HopTimeout bounds one analysis. Zero means no bound. The deadline
+	// arms the detector's graceful degradation (FixedKNN scoring when
+	// headroom runs short — the emitted detections carry Degraded); an
+	// analysis that still overruns is abandoned for this hop, counted
+	// under obs.CounterStreamHopTimeouts, and retried at the next hop
+	// over the slid window. Deadlines are measured on Options.Obs's
+	// injected clock.
+	HopTimeout time.Duration
 	// Detector options.
 	Options core.Options
 }
@@ -45,12 +81,27 @@ func (c *Config) defaults() {
 	}
 	if c.Hop <= 0 {
 		c.Hop = c.Window / 8
+		if c.Hop < 1 {
+			// Window < 8 used to leave Hop = 0: Push then triggered an
+			// analysis on every observation once the window was half
+			// full, and a configured Hop of 0 meant "analyze never
+			// advances sinceRun past the threshold" — analyze every push.
+			// Floor at one observation per hop.
+			c.Hop = 1
+		}
 	}
 	if c.Margin <= 0 {
 		c.Margin = 16
 	}
 	if c.Margin >= c.Window/2 {
-		c.Margin = c.Window / 2
+		// Strictly below half the window — assigning Window/2 itself
+		// (the old behavior) kept the value the guard was rejecting, and
+		// with Hop ≥ len(buf)-cut every detection could sit in the
+		// unstable zone forever on tiny windows.
+		c.Margin = c.Window/2 - 1
+		if c.Margin < 0 {
+			c.Margin = 0
+		}
 	}
 }
 
@@ -60,17 +111,24 @@ type Detection struct {
 	Class      core.Class
 	Subtype    series.Label
 	Confidence float64
+	// Degraded is set when the analysis that confirmed this detection
+	// ran under graceful degradation (FixedKNN fallback on candidate
+	// floods or deadline pressure) — the detection is real but its
+	// scores came from the cheaper neighborhood strategy.
+	Degraded bool
 }
 
 // Detector is the streaming wrapper. Not safe for concurrent use.
 type Detector struct {
 	cfg      Config
 	det      *core.Detector
-	buf      []float64 // sliding window
-	start    int       // global index of buf[0]
-	total    int       // observations seen
-	sinceRun int       // observations since the last analysis
+	eng      *incremental.Engine // nil under EngineFull
+	buf      []float64           // sliding window
+	start    int                 // global index of buf[0]
+	total    int                 // observations seen
+	sinceRun int                 // observations since the last analysis
 	emitted  map[int]bool
+	clk      obs.Clock
 
 	lastGood float64 // most recent finite observation
 	hasGood  bool
@@ -80,11 +138,16 @@ type Detector struct {
 // New returns a streaming detector.
 func New(cfg Config) *Detector {
 	cfg.defaults()
-	return &Detector{
+	d := &Detector{
 		cfg:     cfg,
 		det:     core.NewDetector(cfg.Options),
 		emitted: map[int]bool{},
 	}
+	d.clk = cfg.Options.Obs.Clock()
+	if cfg.Engine == EngineIncremental {
+		d.eng = incremental.New(incremental.FromOptions(d.det.Options()))
+	}
+	return d
 }
 
 // State is the serializable snapshot of a streaming detector — the
@@ -120,7 +183,12 @@ func (d *Detector) State() State {
 		HasGood:  d.hasGood,
 	}
 	for idx := range d.emitted {
-		st.Emitted = append(st.Emitted, idx)
+		// Eviction of stale indices is deferred to hop boundaries, so
+		// filter here: the canonical wire form carries only indices
+		// still inside the window.
+		if idx >= d.start {
+			st.Emitted = append(st.Emitted, idx)
+		}
 	}
 	sort.Ints(st.Emitted)
 	return st
@@ -128,7 +196,10 @@ func (d *Detector) State() State {
 
 // Resume rebuilds a detector from a checkpointed State under cfg. The
 // configuration is not part of the state — a resumed agent applies its
-// (possibly reloaded) config to the restored stream position.
+// (possibly reloaded) config to the restored stream position. The
+// incremental engine's rolling state is rebuilt by replaying the window,
+// which reproduces the continuously-run state exactly (every substrate
+// is a function of the live window alone).
 func Resume(cfg Config, st State) *Detector {
 	d := New(cfg)
 	d.buf = append(d.buf, st.Window...)
@@ -138,6 +209,11 @@ func Resume(cfg Config, st State) *Detector {
 	d.bad = st.Bad
 	d.lastGood = st.LastGood
 	d.hasGood = st.HasGood
+	if d.eng != nil {
+		for i, v := range st.Window {
+			d.eng.Observe(st.Start+i, v)
+		}
+	}
 	for _, idx := range st.Emitted {
 		d.emitted[idx] = true
 	}
@@ -162,15 +238,15 @@ func (d *Detector) Push(v float64) []Detection {
 		d.lastGood, d.hasGood = v, true
 	}
 	d.buf = append(d.buf, v)
+	if d.eng != nil {
+		d.eng.Observe(d.start+len(d.buf)-1, v)
+	}
 	if len(d.buf) > d.cfg.Window {
 		drop := len(d.buf) - d.cfg.Window
 		d.buf = d.buf[drop:]
 		d.start += drop
-		// Forget emitted indices that fell out of the window.
-		for idx := range d.emitted {
-			if idx < d.start {
-				delete(d.emitted, idx)
-			}
+		if d.eng != nil {
+			d.eng.SlideTo(d.start)
 		}
 	}
 	d.total++
@@ -205,7 +281,38 @@ func (d *Detector) analyzeWithMargin(margin int) []Detection {
 	if len(d.buf) < 8 {
 		return nil
 	}
-	res := d.det.Detect(series.New("stream", d.buf))
+	// Forget emitted indices that fell out of the window. Deferred from
+	// Push to the analysis boundary: scanning the map per observation
+	// made the steady-state Push O(|emitted|) per point; here the scan
+	// amortizes over the hop.
+	for idx := range d.emitted {
+		if idx < d.start {
+			delete(d.emitted, idx)
+		}
+	}
+	ctx := context.Background()
+	if d.cfg.HopTimeout > 0 {
+		// The deadline is computed on the injected clock so tests drive
+		// it deterministically; the detector's degradation pilot reads
+		// the same clock. A pathological window used to stall Push
+		// forever here (plain Detect has no way out); now the analysis
+		// degrades, and past the deadline is abandoned until next hop.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, d.clk.Now().Add(d.cfg.HopTimeout))
+		defer cancel()
+	}
+	s := series.New("stream", d.buf)
+	var res *core.Result
+	var err error
+	if d.eng != nil {
+		res, err = d.det.DetectEnvCtx(ctx, s, d.eng.BuildEnv(d.buf, d.start))
+	} else {
+		res, err = d.det.DetectCtx(ctx, s)
+	}
+	if err != nil {
+		d.cfg.Options.Obs.Add(obs.CounterStreamHopTimeouts, 1)
+		return nil
+	}
 	cut := len(d.buf) - margin
 	var out []Detection
 	report := func(dets []core.Detection) {
@@ -221,6 +328,7 @@ func (d *Detector) analyzeWithMargin(margin int) []Detection {
 			out = append(out, Detection{
 				Index: g, Class: det.Class,
 				Subtype: det.Subtype, Confidence: det.Confidence,
+				Degraded: res.Degraded,
 			})
 		}
 	}

@@ -1,6 +1,24 @@
 package cabd
 
-import "cabd/internal/stream"
+import (
+	"time"
+
+	"cabd/internal/stream"
+)
+
+// StreamEngine selects the per-hop analysis engine of a StreamDetector.
+type StreamEngine int
+
+const (
+	// StreamEngineIncremental (the default) maintains rolling pipeline
+	// state across window slides — per-hop cost scales with the points
+	// that arrived or expired, not the window length.
+	StreamEngineIncremental StreamEngine = StreamEngine(stream.EngineIncremental)
+	// StreamEngineFull reruns the batch pipeline over the whole window
+	// every hop; it is the differential oracle for the incremental
+	// engine and emits bit-identical detections.
+	StreamEngineFull StreamEngine = StreamEngine(stream.EngineFull)
+)
 
 // StreamConfig parameterizes a streaming detector.
 type StreamConfig struct {
@@ -18,6 +36,14 @@ type StreamConfig struct {
 	// discards the observation — indices then refer to the accepted
 	// substream. Bad() reports how many observations were intercepted.
 	BadValue SanitizePolicy
+	// Engine selects the analysis engine (default
+	// StreamEngineIncremental).
+	Engine StreamEngine
+	// HopTimeout bounds one per-hop analysis. Zero means no bound. An
+	// analysis under deadline pressure degrades to the cheaper scoring
+	// strategy (emitted detections carry Degraded); one that still
+	// overruns is abandoned for the hop and retried on the next.
+	HopTimeout time.Duration
 	// Options configures the underlying detector.
 	Options Options
 }
@@ -28,6 +54,9 @@ type StreamDetection struct {
 	Index      int
 	Subtype    Label
 	Confidence float64
+	// Degraded is set when the confirming analysis ran under graceful
+	// degradation (candidate flood or deadline pressure).
+	Degraded bool
 }
 
 // StreamDetector runs CABD online: push observations one at a time and
@@ -43,11 +72,13 @@ func NewStream(cfg StreamConfig) *StreamDetector {
 
 func streamConfig(cfg StreamConfig) stream.Config {
 	return stream.Config{
-		Window:   cfg.Window,
-		Hop:      cfg.Hop,
-		Margin:   cfg.Margin,
-		BadValue: cfg.BadValue,
-		Options:  cfg.Options,
+		Window:     cfg.Window,
+		Hop:        cfg.Hop,
+		Margin:     cfg.Margin,
+		BadValue:   cfg.BadValue,
+		Engine:     stream.EngineMode(cfg.Engine),
+		HopTimeout: cfg.HopTimeout,
+		Options:    cfg.Options,
 	}
 }
 
@@ -95,6 +126,7 @@ func convertStream(dets []stream.Detection) []StreamDetection {
 			Index:      det.Index,
 			Subtype:    Label(det.Subtype),
 			Confidence: det.Confidence,
+			Degraded:   det.Degraded,
 		})
 	}
 	return out
