@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check cover fuzz bench serve-smoke agent-smoke stream-smoke
+.PHONY: all build vet lint test race check cover fuzz bench bench-guard serve-smoke agent-smoke stream-smoke
 
 all: check
 
@@ -50,6 +50,10 @@ OBS_COVER_FLOOR := 90
 # Coverage floor for the lint engine: an analyzer whose branches go
 # untested silently stops enforcing its invariant.
 LINT_COVER_FLOOR := 85
+# Coverage floor for the forest: the classifier's batch/parallel fast
+# paths are promised bit-identical to their sequential oracles, and an
+# untested branch there is an unverified promise.
+FOREST_COVER_FLOOR := 85
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/obs
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { \
@@ -65,11 +69,26 @@ cover:
 			printf "internal/lint coverage %s%% is below the $(LINT_COVER_FLOOR)%% floor\n", $$3; exit 1 \
 		} \
 		printf "internal/lint coverage %s%% (floor $(LINT_COVER_FLOOR)%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover-forest.out ./internal/ml/forest
+	@$(GO) tool cover -func=cover-forest.out | awk '/^total:/ { \
+		sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(FOREST_COVER_FLOOR)) { \
+			printf "internal/ml/forest coverage %s%% is below the $(FOREST_COVER_FLOOR)%% floor\n", $$3; exit 1 \
+		} \
+		printf "internal/ml/forest coverage %s%% (floor $(FOREST_COVER_FLOOR)%%)\n", $$3 }'
 
 # Short native fuzzing campaigns against the sanitizing entry points.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDetect -fuzztime 30s .
 	$(GO) test -run '^$$' -fuzz FuzzStreamPush -fuzztime 30s .
+
+# Raw-speed regression gate: run the scale sweep (optimized pass vs the
+# sequential row-major oracle), then hold its speedup rows to the
+# checked-in per-core tolerances. Exits non-zero on any detection
+# divergence or a >20% speedup regression.
+bench-guard:
+	$(GO) run ./cmd/cabd-bench -exp scale -json BENCH_runtime.json
+	$(GO) run ./cmd/cabd-benchguard -json BENCH_runtime.json -tol scripts/bench_tolerances.json
 
 # -run '^$$' keeps the unit-test suite out of benchmark runs (without it
 # every `make bench` pays the full test suite first).

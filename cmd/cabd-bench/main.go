@@ -8,11 +8,16 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// table2 fig12 fig13 fig14 multi chaos inn obs serve stream load.
+// scale table2 fig12 fig13 fig14 multi chaos inn obs serve stream load.
 //
-// The runtime experiments (fig11, inn, obs) additionally write their rows
-// to a machine-readable snapshot (-json, default BENCH_runtime.json; empty
-// string disables). With -metrics the obs experiment also merges its
+// The runtime experiments (fig11, inn, obs, scale) additionally write
+// their rows to a machine-readable snapshot (-json, default
+// BENCH_runtime.json; empty string disables). The scale experiment
+// sweeps the optimized detection pass (SoA features, parallel forest
+// training, tree-major batch inference) against the sequential
+// row-major oracle across series length x GOMAXPROCS x candidate
+// threshold, fails the run on any detection divergence, and feeds
+// scripts/bench_guard (make bench-guard). With -metrics the obs experiment also merges its
 // recorder snapshot — counters, degrade reasons, stage histograms — into
 // the JSON. The serve experiment benchmarks the HTTP serving layer
 // (throughput/latency quantiles, saturation shedding, one auto-labeled
@@ -124,6 +129,22 @@ func main() {
 				snap.Obs = osnap
 			}
 			experiments.PrintStageProfile(out, rows)
+		}},
+		{"scale", "raw-speed scaling: optimized pass vs sequential oracle", func(sc experiments.Scale) {
+			sizes := []int{2000}
+			if *full {
+				sizes = []int{2000, 5000, 10000}
+			}
+			snap.Scale = experiments.ScaleSweep(sizes, nil, nil)
+			experiments.PrintScale(out, snap.Scale)
+			for _, p := range snap.Scale {
+				if !p.Equal {
+					fmt.Fprintf(os.Stderr,
+						"cabd-bench: scale experiment: n=%d procs=%d cand_z=%.1f detections DIVERGED from the sequential oracle\n",
+						p.N, p.Procs, p.CandZ)
+					os.Exit(1)
+				}
+			}
 		}},
 		{"table2", "active-learning accuracy/confidence trace", func(sc experiments.Scale) {
 			experiments.PrintTable2(out, experiments.Table2(sc))

@@ -1,0 +1,138 @@
+// Command cabd-benchguard gates the raw-speed scaling sweep: it reads
+// the scale rows of a BENCH_runtime.json snapshot (cabd-bench -exp
+// scale) and fails when any row regresses past the checked-in
+// tolerances, so a perf regression breaks the build the same way a
+// failing test does.
+//
+//	cabd-benchguard -json BENCH_runtime.json -tol scripts/bench_tolerances.json
+//
+// The tolerance file pins a baseline speedup per effective core count
+// (min(GOMAXPROCS, NumCPU) — an 8-proc request on a 1-core container is
+// still one core) and a relative margin; a row fails when its measured
+// speedup drops below baseline*(1-margin). Rows whose core count has no
+// exact entry use the largest entry not exceeding it. Any row whose
+// detections diverged from the sequential oracle (equal=false) fails
+// unconditionally: speed means nothing if the answers changed.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"cabd/internal/experiments"
+)
+
+// Tolerances is the checked-in regression budget for the scale sweep.
+type Tolerances struct {
+	// Margin is the allowed relative drop below baseline (0.2 = 20%).
+	Margin float64 `json:"margin"`
+	// BaselineSpeedupByCores maps effective core count (as a string, the
+	// JSON object key) to the baseline oracle/fast speedup at that
+	// parallelism.
+	BaselineSpeedupByCores map[string]float64 `json:"baseline_speedup_by_cores"`
+}
+
+func main() {
+	jsonPath := flag.String("json", "BENCH_runtime.json", "runtime snapshot to check")
+	tolPath := flag.String("tol", "scripts/bench_tolerances.json", "tolerance file")
+	flag.Parse()
+
+	snap, err := readSnapshot(*jsonPath)
+	if err != nil {
+		fail("reading %s: %v", *jsonPath, err)
+	}
+	if len(snap.Scale) == 0 {
+		fail("%s holds no scale rows; run `cabd-bench -exp scale -json %s` first", *jsonPath, *jsonPath)
+	}
+	tol, err := readTolerances(*tolPath)
+	if err != nil {
+		fail("reading %s: %v", *tolPath, err)
+	}
+
+	bad := 0
+	for _, p := range snap.Scale {
+		if !p.Equal {
+			fmt.Fprintf(os.Stderr,
+				"cabd-benchguard: n=%d procs=%d cand_z=%.1f: detections DIVERGED from the sequential oracle\n",
+				p.N, p.Procs, p.CandZ)
+			bad++
+			continue
+		}
+		base, ok := baselineFor(tol, p.Cores)
+		if !ok {
+			fmt.Fprintf(os.Stderr,
+				"cabd-benchguard: n=%d procs=%d: no tolerance entry covers %d cores\n",
+				p.N, p.Procs, p.Cores)
+			bad++
+			continue
+		}
+		floor := base * (1 - tol.Margin)
+		if p.Speedup < floor {
+			fmt.Fprintf(os.Stderr,
+				"cabd-benchguard: n=%d procs=%d cores=%d cand_z=%.1f: speedup %.2fx below floor %.2fx (baseline %.2fx, margin %.0f%%)\n",
+				p.N, p.Procs, p.Cores, p.CandZ, p.Speedup, floor, base, 100*tol.Margin)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fail("%d of %d scale rows regressed", bad, len(snap.Scale))
+	}
+	fmt.Printf("cabd-benchguard: %d scale rows within tolerance\n", len(snap.Scale))
+}
+
+func readSnapshot(path string) (experiments.RuntimeSnapshot, error) {
+	var snap experiments.RuntimeSnapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	err = json.Unmarshal(data, &snap)
+	return snap, err
+}
+
+func readTolerances(path string) (Tolerances, error) {
+	var tol Tolerances
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return tol, err
+	}
+	if err := json.Unmarshal(data, &tol); err != nil {
+		return tol, err
+	}
+	if tol.Margin < 0 || tol.Margin >= 1 {
+		return tol, fmt.Errorf("margin %v out of [0, 1)", tol.Margin)
+	}
+	if len(tol.BaselineSpeedupByCores) == 0 {
+		return tol, fmt.Errorf("no baseline entries")
+	}
+	for k := range tol.BaselineSpeedupByCores {
+		if _, err := strconv.Atoi(k); err != nil {
+			return tol, fmt.Errorf("non-integer cores key %q", k)
+		}
+	}
+	return tol, nil
+}
+
+// baselineFor returns the baseline speedup for an effective core count:
+// the exact entry when present, otherwise the entry of the largest core
+// count not exceeding it (a 3-core machine is held to the 2-core
+// baseline, never the 4-core one).
+func baselineFor(tol Tolerances, cores int) (float64, bool) {
+	bestK := -1
+	bestV := 0.0
+	for k, v := range tol.BaselineSpeedupByCores {
+		kc, _ := strconv.Atoi(k)
+		if kc <= cores && kc > bestK {
+			bestK, bestV = kc, v
+		}
+	}
+	return bestV, bestK >= 0
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "cabd-benchguard: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -71,14 +71,16 @@ func ExampleDetector_DetectInteractive() {
 }
 
 func ExampleMultiDetector_Detect() {
-	// Two synchronized sensors; a fault at t=200 hits both.
+	// Two synchronized sensors with measurement noise; a fault at t=200
+	// hits both.
 	n := 500
+	rng := rand.New(rand.NewSource(11))
 	temp := make([]float64, n)
 	vib := make([]float64, n)
 	for i := 0; i < n; i++ {
 		phase := 2 * math.Pi * float64(i) / 100
-		temp[i] = 60 + 8*math.Sin(phase) + 0.05*math.Cos(7*phase)
-		vib[i] = 2 + 0.5*math.Sin(phase) + 0.01*math.Sin(13*phase)
+		temp[i] = 60 + 8*math.Sin(phase) + 0.05*math.Cos(7*phase) + 0.2*rng.NormFloat64()
+		vib[i] = 2 + 0.5*math.Sin(phase) + 0.01*math.Sin(13*phase) + 0.02*rng.NormFloat64()
 	}
 	temp[200] += 30
 	vib[200] += 5
@@ -94,10 +96,11 @@ func ExampleMultiDetector_Detect() {
 }
 
 func ExampleStreamDetector() {
+	rng := rand.New(rand.NewSource(11))
 	det := cabd.NewStream(cabd.StreamConfig{Window: 300, Hop: 50})
 	for i := 0; i < 900; i++ {
 		v := 10 + 3*math.Sin(2*math.Pi*float64(i)/80) +
-			0.2*math.Sin(2*math.Pi*float64(i)/7)
+			0.2*math.Sin(2*math.Pi*float64(i)/7) + 0.15*rng.NormFloat64()
 		if i == 500 {
 			v += 25 // a glitch in the feed
 		}

@@ -163,6 +163,9 @@ func (d *Detector) run(ctx context.Context, s *series.Series, o Labeler, env *En
 	if env != nil && env.Frequency != nil {
 		sc.freq = env.Frequency
 	}
+	// The scorer's SoA feature matrix comes from a pool; hand it back
+	// once evaluation no longer reads the columns.
+	defer func() { putFeatMatrix(sc.feats) }()
 	var deadlineDegraded bool
 	var scoreErr error
 	t.Do(obs.StageINNScore, func() {
@@ -179,11 +182,11 @@ func (d *Detector) run(ctx context.Context, s *series.Series, o Labeler, env *En
 		degradeReason = "context deadline headroom too small for INN scoring"
 	}
 
-	res, err := d.evaluateCtx(ctx, cands, n, o, t)
+	res, err := d.evaluateCtx(ctx, cands, n, o, t, sc.feats)
 	if err != nil {
 		return nil, err
 	}
-	res.Strategy = sc.opts.Strategy
+	res.Strategy = sc.resolved
 	res.Degraded = degradeReason != ""
 	res.DegradeReason = degradeReason
 	if degradeReason != "" {
@@ -211,7 +214,7 @@ func (d *Detector) EvaluateCandidates(cands []Candidate, n int, o Labeler) *Resu
 // and between active-learning rounds.
 func (d *Detector) EvaluateCandidatesCtx(ctx context.Context, cands []Candidate, n int, o Labeler) (*Result, error) {
 	t := d.opts.Obs.NewTrace()
-	res, err := d.evaluateCtx(ctx, cands, n, o, t)
+	res, err := d.evaluateCtx(ctx, cands, n, o, t, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -221,8 +224,11 @@ func (d *Detector) EvaluateCandidatesCtx(ctx context.Context, cands []Candidate,
 
 // evaluateCtx is the trace-carrying core of EvaluateCandidatesCtx; run()
 // passes its own trace so the per-run StageTimings cover the whole
-// pipeline, while the exported entry point opens a fresh one.
-func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o Labeler, t *obs.Trace) (*Result, error) {
+// pipeline, while the exported entry point opens a fresh one. fm is the
+// SoA feature matrix the scoring workers filled; a nil fm (candidates
+// scored elsewhere, e.g. the multivariate extension) is assembled here
+// from the candidates' score fields.
+func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o Labeler, t *obs.Trace, fm *featMatrix) (*Result, error) {
 	res := &Result{Strategy: d.opts.Strategy}
 	if len(cands) == 0 {
 		return res, nil
@@ -230,6 +236,13 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if fm == nil {
+		fm = getFeatMatrix(len(cands))
+		fm.fillFromCandidates(cands, &d.opts)
+		defer putFeatMatrix(fm)
+	}
+	m := fm.matrix()
+	scr := &clsScratch{}
 	rng := rand.New(rand.NewSource(d.opts.Seed))
 
 	// Step 3: score evaluation — bootstrap pseudo-labels, then classify.
@@ -239,7 +252,7 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 	})
 	trueLabels := make(map[int]Class) // candidate position -> oracle class
 	t.Do(obs.StageClassify, func() {
-		res.Model = d.classify(cands, pseudo, trueLabels, rng)
+		res.Model = d.classify(m, cands, pseudo, trueLabels, rng, scr)
 	})
 	res.Rounds = append(res.Rounds, snapshot(0, 0, cands))
 
@@ -293,7 +306,7 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 					agreeStreak = 0
 				}
 				trueLabels[pos] = truth
-				res.Model = d.classify(cands, pseudo, trueLabels, rng)
+				res.Model = d.classify(m, cands, pseudo, trueLabels, rng, scr)
 			})
 			res.Rounds = append(res.Rounds, snapshot(queries, queries, cands))
 		}
@@ -307,6 +320,20 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 	return res, nil
 }
 
+// clsScratch carries the classification buffers of one evaluation run.
+// The interactive retraining loop calls classify once per
+// active-learning round; reusing the label, weight and batch-inference
+// buffers across rounds keeps the loop's steady state allocation-free
+// outside the forest itself.
+type clsScratch struct {
+	y      []int
+	w      []float64
+	counts []float64
+	full   []float64   // flat batch full-ensemble distributions
+	oob    []float64   // flat batch out-of-bag distributions
+	X      [][]float64 // row-major oracle rows (SeqOracle only)
+}
+
 // classify trains the random forest on the pseudo-labels overridden by
 // oracle answers (true labels carry LabelWeight sampling weight) and
 // refreshes every candidate's class and confidence weight. Confidence is
@@ -314,14 +341,26 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 // candidate's own training label; queried candidates keep their oracle
 // label with full confidence. The trained ensemble is returned so the
 // run's Result can expose the final model for checkpointing.
-func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[int]Class, rng *rand.Rand) *forest.Forest {
+//
+// The default path trains over the SoA feature matrix with per-tree
+// parallelism and classifies all candidates through one tree-major
+// batch pass; Options.SeqOracle selects the sequential row-major
+// reference path instead, which must produce bit-identical results.
+func (d *Detector) classify(m forest.Matrix, cands []Candidate, pseudo []Class, trueLabels map[int]Class, rng *rand.Rand, scr *clsScratch) *forest.Forest {
 	n := len(cands)
-	X := make([][]float64, n)
-	y := make([]int, n)
-	w := make([]float64, n)
-	counts := make([]float64, NumClasses)
+	if cap(scr.y) < n {
+		scr.y = make([]int, n)
+		scr.w = make([]float64, n)
+	}
+	y, w := scr.y[:n], scr.w[:n]
+	if scr.counts == nil {
+		scr.counts = make([]float64, NumClasses)
+	}
+	counts := scr.counts
+	for c := range counts {
+		counts[c] = 0
+	}
 	for i := range cands {
-		X[i] = cands[i].features(d.opts)
 		if cls, ok := trueLabels[i]; ok {
 			y[i] = int(cls)
 		} else {
@@ -339,11 +378,60 @@ func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[in
 			w[i] *= float64(d.opts.LabelWeight)
 		}
 	}
-	fr := forest.TrainWeighted(X, y, w, forest.Config{
+	cfg := forest.Config{
 		Trees:      d.opts.Trees,
 		MinLeaf:    3, // soft leaves: boundary candidates keep honest (<1) confidence
 		NumClasses: NumClasses,
-	}, rng)
+	}
+	if d.opts.SeqOracle {
+		return d.classifySeq(cands, y, w, cfg, trueLabels, rng, scr)
+	}
+	fr := forest.TrainMatrixWeighted(m, y, w, cfg, rng)
+	if fr == nil {
+		return nil
+	}
+	scr.full = fr.PredictProbaBatch(m, scr.full)
+	scr.oob = fr.PredictProbaOOBBatch(m, scr.oob)
+	for i := range cands {
+		if cls, ok := trueLabels[i]; ok {
+			cands[i].Class = cls
+			cands[i].Confidence = 1
+			continue
+		}
+		// Class from the full ensemble; confidence weight from the
+		// out-of-bag probability of that class. A candidate that is the
+		// lone example of its feature region keeps its hypothesis label
+		// but shows near-zero OOB support, making it the first point
+		// the active-learning loop asks the user about.
+		full := scr.full[i*NumClasses : (i+1)*NumClasses]
+		best, bi := -1.0, 0
+		for c, p := range full {
+			if p > best {
+				best, bi = p, c
+			}
+		}
+		cands[i].Class = Class(bi)
+		cands[i].Confidence = scr.oob[i*NumClasses+bi]
+	}
+	return fr
+}
+
+// classifySeq is the sequential row-major differential oracle: the
+// per-candidate feature rows the SoA columns replaced, single-goroutine
+// training, and per-row inference. Kept verbatim so the determinism
+// suite and the scale benchmark can prove the optimized path emits
+// bit-identical detections.
+func (d *Detector) classifySeq(cands []Candidate, y []int, w []float64, cfg forest.Config, trueLabels map[int]Class, rng *rand.Rand, scr *clsScratch) *forest.Forest {
+	n := len(cands)
+	cfg.Workers = 1
+	if len(scr.X) < n {
+		scr.X = make([][]float64, n)
+	}
+	X := scr.X[:n]
+	for i := range cands {
+		X[i] = cands[i].features(d.opts)
+	}
+	fr := forest.TrainWeighted(X, y, w, cfg, rng)
 	for i := range cands {
 		if cls, ok := trueLabels[i]; ok {
 			cands[i].Class = cls
@@ -353,11 +441,6 @@ func (d *Detector) classify(cands []Candidate, pseudo []Class, trueLabels map[in
 		if fr == nil {
 			continue
 		}
-		// Class from the full ensemble; confidence weight from the
-		// out-of-bag probability of that class. A candidate that is the
-		// lone example of its feature region keeps its hypothesis label
-		// but shows near-zero OOB support, making it the first point
-		// the active-learning loop asks the user about.
 		full := fr.PredictProba(X[i])
 		best, bi := -1.0, 0
 		for c, p := range full {

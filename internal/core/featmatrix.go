@@ -1,0 +1,82 @@
+package core
+
+import (
+	"sync"
+
+	"cabd/internal/ml/forest"
+)
+
+// numFeatures is the classifier feature-vector width: the paper's three
+// INN scores plus the asymmetry extension (see Candidate.features).
+const numFeatures = 4
+
+// featMatrix is the flat SoA classifier feature matrix: one
+// index-aligned []float64 per feature, filled in place by the scoreAll
+// workers (worker i writes only row i, so the fill is race-free without
+// locks). The forest trains and batch-infers directly over the columns;
+// Candidate.features stays as the row-major differential oracle.
+type featMatrix struct {
+	cols [numFeatures][]float64
+	n    int
+}
+
+// featPool recycles feature-matrix buffers across detection runs so the
+// steady-state scoring path keeps its zero-allocation property: a
+// long-lived stream re-analyzing every hop reuses the same columns.
+var featPool = sync.Pool{New: func() any { return new(featMatrix) }}
+
+// getFeatMatrix returns a zeroed n-row matrix from the pool.
+func getFeatMatrix(n int) *featMatrix {
+	m := featPool.Get().(*featMatrix)
+	m.n = n
+	for f := range m.cols {
+		if cap(m.cols[f]) < n {
+			m.cols[f] = make([]float64, n)
+			continue
+		}
+		m.cols[f] = m.cols[f][:n]
+		col := m.cols[f]
+		for i := range col {
+			col[i] = 0
+		}
+	}
+	return m
+}
+
+// putFeatMatrix returns m to the pool. The caller must not retain the
+// forest.Matrix view past this call.
+func putFeatMatrix(m *featMatrix) {
+	if m != nil {
+		featPool.Put(m)
+	}
+}
+
+// matrix returns the forest-facing column view.
+func (m *featMatrix) matrix() forest.Matrix {
+	return forest.Matrix{Cols: m.cols[:], N: m.n}
+}
+
+// fill writes candidate c's feature vector into row i under the
+// ablation switches of opts — the SoA mirror of Candidate.features.
+// Disabled features keep the zero the matrix was handed out with.
+func (m *featMatrix) fill(i int, c *Candidate, opts *Options) {
+	if !opts.DisableMagnitude {
+		m.cols[0][i] = c.Magnitude
+	}
+	if !opts.DisableCorrelation {
+		m.cols[1][i] = c.Correlation
+	}
+	if !opts.DisableVariance {
+		m.cols[2][i] = c.Variance
+	}
+	m.cols[3][i] = c.Asymmetry
+}
+
+// fillFromCandidates populates the whole matrix from already-scored
+// candidates — the entry path for EvaluateCandidates callers that hand
+// in candidates scored elsewhere (e.g. the multivariate extension).
+func (m *featMatrix) fillFromCandidates(cands []Candidate, opts *Options) {
+	for i := range cands {
+		m.fill(i, &cands[i], opts)
+	}
+}

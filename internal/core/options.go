@@ -98,6 +98,15 @@ type Options struct {
 	// recorded on the Result. Default 4096; negative disables.
 	DegradeCandidates int
 
+	// SeqOracle forces the sequential row-major reference paths the
+	// optimized pipeline is differentially tested against: one scoring
+	// worker, single-goroutine forest training, per-candidate row-major
+	// feature vectors and per-row forest inference. Detections are
+	// bit-identical to the default batched/parallel paths — that
+	// equivalence is what the determinism suite and the `-exp scale`
+	// benchmark enforce — just slower. Off by default.
+	SeqOracle bool
+
 	// Obs receives pipeline metrics: stage spans, candidate/query/
 	// degradation counters, rank-memo statistics. One recorder may be
 	// shared across detectors, batch workers and streaming pushes. Nil

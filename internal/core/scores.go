@@ -26,6 +26,18 @@ type scorer struct {
 	corpus   map[int][]string // sliding SAX words keyed by window length
 	corpusMu sync.Mutex
 
+	// resolved is the neighborhood strategy scoring actually ran with.
+	// scoreAll fixes it BEFORE the worker pool starts — the deadline
+	// pilot's downgrade decision must never mutate shared option state
+	// while workers are reading it — and run() reports it on the Result.
+	resolved Strategy
+
+	// feats is the flat SoA feature matrix the scoreAll workers fill
+	// index-aligned with the candidate slice (worker scoring candidate i
+	// writes only row i). The classifier trains and batch-infers over
+	// these columns; Candidate.features stays as the row-major oracle.
+	feats *featMatrix
+
 	// freq, when set, answers word-frequency lookups instead of the
 	// sliding-corpus cache — the streaming engine's rolling corpus hook
 	// (core.Env.Frequency). It must be safe for concurrent use: scoreAll
@@ -49,11 +61,12 @@ func newScorer(values []float64, comp *inn.Computer, opts Options) *scorer {
 		// Candidates in one series grow overlapping neighborhoods, and a
 		// pair's reverse probe is a later candidate's forward probe, so
 		// all scoreAll workers share one bounded rank memo.
-		comp:   comp.WithRankMemo(0),
-		values: values,
-		tlim:   comp.RangeLimit(opts.RangeFrac),
-		corpus: make(map[int][]string),
-		clk:    opts.Obs.Clock(),
+		comp:     comp.WithRankMemo(0),
+		values:   values,
+		tlim:     comp.RangeLimit(opts.RangeFrac),
+		corpus:   make(map[int][]string),
+		clk:      opts.Obs.Clock(),
+		resolved: opts.Strategy,
 	}
 }
 
@@ -63,10 +76,11 @@ func (sc *scorer) memoStats() (hits, misses int64) {
 	return sc.comp.MemoStats()
 }
 
-// neighborhood returns the INN (or KNN) members of index i under the
-// configured strategy.
-func (sc *scorer) neighborhood(i int) []int {
-	switch sc.opts.Strategy {
+// neighborhood returns the INN (or KNN) members of index i under
+// strategy. The strategy travels as an argument, not scorer state, so
+// the deadline pilot's downgrade can never race the worker pool.
+func (sc *scorer) neighborhood(i int, strategy Strategy) []int {
+	switch strategy {
 	case LinearINN:
 		return sc.comp.Minimal(i, sc.tlim)
 	case MutualSetINN:
@@ -96,9 +110,9 @@ func hull(i int, nb []int) (lo, hi int) {
 
 // score fills in the three INN scores of candidate c (Definitions 5, 8,
 // 9; see DESIGN.md for the interpretation notes).
-func (sc *scorer) score(c *Candidate) {
+func (sc *scorer) score(c *Candidate, strategy Strategy) {
 	n := len(sc.values)
-	c.INN = sc.neighborhood(c.Index)
+	c.INN = sc.neighborhood(c.Index, strategy)
 	ss := len(c.INN)
 
 	// Magnitude score (Definition 5): INN size over dataset size.
@@ -203,15 +217,24 @@ func (sc *scorer) corpusFor(w int) []string {
 // FixedKNN neighborhood for the remaining candidates. The return value
 // reports whether that happened.
 func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded bool, err error) {
+	sc.resolved = sc.opts.Strategy
 	if len(cands) == 0 {
 		return false, nil
 	}
+	sc.feats = getFeatMatrix(len(cands))
 	workers := runtime.GOMAXPROCS(0)
+	if sc.opts.SeqOracle {
+		workers = 1
+	}
 	if workers > len(cands) {
 		workers = len(cands)
 	}
+	// strategy is resolved completely — pilot measurement, downgrade
+	// decision, pilot re-score — before the worker pool starts. Workers
+	// receive the final value; nothing they read is written afterwards.
+	strategy := sc.opts.Strategy
 	start := 0
-	if deadline, ok := ctx.Deadline(); ok && sc.opts.Strategy != FixedKNN {
+	if deadline, ok := ctx.Deadline(); ok && strategy != FixedKNN {
 		pilot := 4
 		if pilot > len(cands) {
 			pilot = len(cands)
@@ -221,13 +244,14 @@ func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded boo
 			if err := ctx.Err(); err != nil {
 				return false, err
 			}
-			sc.score(&cands[i])
+			sc.score(&cands[i], strategy)
+			sc.feats.fill(i, &cands[i], &sc.opts)
 		}
 		per := sc.clk.Now().Sub(t0) / time.Duration(pilot)
 		rounds := (len(cands) - pilot + workers - 1) / workers
 		start = pilot
 		if projected := per * time.Duration(rounds); projected > deadline.Sub(sc.clk.Now())/2 || sc.forceDegrade {
-			sc.opts.Strategy = FixedKNN
+			strategy = FixedKNN
 			degraded = true
 			// Re-score the pilot batch under the degraded strategy:
 			// keeping its Binary-INN features would hand the classifier a
@@ -238,6 +262,7 @@ func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded boo
 			start = 0
 		}
 	}
+	sc.resolved = strategy
 	var wg sync.WaitGroup
 	ch := make(chan int, len(cands)-start)
 	for i := start; i < len(cands); i++ {
@@ -255,7 +280,8 @@ func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded boo
 					cancelled.Do(func() { ctxErr = e })
 					return
 				}
-				sc.score(&cands[i])
+				sc.score(&cands[i], strategy)
+				sc.feats.fill(i, &cands[i], &sc.opts)
 			}
 		}()
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math/rand"
+	"reflect"
 	"testing"
 	"time"
 
@@ -62,12 +63,55 @@ func TestDeadlinePilotDegradesOnFakeClock(t *testing.T) {
 		if !degraded {
 			t.Fatalf("run %d: pilot kept full strategy with a 10ms projection against a 5ms half-budget", run)
 		}
-		if sc.opts.Strategy != FixedKNN {
-			t.Fatalf("run %d: degraded strategy = %v, want FixedKNN", run, sc.opts.Strategy)
+		if sc.resolved != FixedKNN {
+			t.Fatalf("run %d: resolved strategy = %v, want FixedKNN", run, sc.resolved)
+		}
+		if sc.opts.Strategy != BinaryINN {
+			t.Fatalf("run %d: degradation mutated shared options (Strategy = %v)", run, sc.opts.Strategy)
 		}
 		for i := range cands {
 			if cands[i].Variance < 0 || cands[i].Variance > 1 {
 				t.Fatalf("run %d: candidate %d unscored after degradation (VS=%v)", run, i, cands[i].Variance)
+			}
+		}
+	}
+}
+
+// TestDeadlinePilotRescoreFakeClock drives the degradation trigger with
+// fake time (same 10ms-projection-vs-5ms-budget arithmetic as above) and
+// pins the re-score semantics: after a clock-driven downgrade every
+// candidate — the four pilot positions included — must carry the
+// FixedKNN neighborhood, and every SoA feature-matrix row must equal
+// the candidate's row-major feature vector. A pilot row left with its
+// Binary-INN features, or a matrix row filled before the re-score,
+// would hand the classifier mixed neighborhood semantics.
+func TestDeadlinePilotRescoreFakeClock(t *testing.T) {
+	deadline := time.Now().Add(time.Hour)
+	ctx, cancel := context.WithDeadline(context.Background(), deadline)
+	defer cancel()
+
+	clk := obs.NewFakeClock(deadline.Add(-90 * time.Millisecond))
+	clk.SetStep(40 * time.Millisecond)
+	sc, cands := clockScorer(t, clk)
+	degraded, err := sc.scoreAll(ctx, cands)
+	if err != nil {
+		t.Fatalf("scoreAll: %v", err)
+	}
+	if !degraded {
+		t.Fatal("fake-clock pilot did not degrade")
+	}
+	for pos := range cands {
+		want := sc.comp.KNN(cands[pos].Index, sc.opts.KNNK)
+		if !reflect.DeepEqual(cands[pos].INN, want) {
+			t.Errorf("candidate %d (index %d): INN = %v, want FixedKNN %v",
+				pos, cands[pos].Index, cands[pos].INN, want)
+		}
+		row := cands[pos].features(sc.opts)
+		for f := 0; f < numFeatures; f++ {
+			//cabd:lint-ignore floateq the SoA matrix contract is bit-identity with the row-major oracle
+			if sc.feats.cols[f][pos] != row[f] {
+				t.Errorf("candidate %d feature %d: matrix %v, row-major %v",
+					pos, f, sc.feats.cols[f][pos], row[f])
 			}
 		}
 	}
@@ -91,7 +135,7 @@ func TestDeadlinePilotKeepsStrategyWithHeadroom(t *testing.T) {
 	if degraded {
 		t.Fatal("pilot degraded despite an hour of fake headroom")
 	}
-	if sc.opts.Strategy != BinaryINN {
-		t.Fatalf("strategy = %v, want BinaryINN untouched", sc.opts.Strategy)
+	if sc.resolved != BinaryINN {
+		t.Fatalf("resolved strategy = %v, want BinaryINN untouched", sc.resolved)
 	}
 }

@@ -184,8 +184,14 @@ func TestDegradedPilotRescored(t *testing.T) {
 	if !degraded {
 		t.Fatal("forced pilot degradation did not report degraded")
 	}
-	if sc.opts.Strategy != FixedKNN {
-		t.Fatalf("degraded strategy = %v, want FixedKNN", sc.opts.Strategy)
+	if sc.resolved != FixedKNN {
+		t.Fatalf("resolved strategy = %v, want FixedKNN", sc.resolved)
+	}
+	// The downgrade decision must never write through to the shared
+	// Options value the worker pool reads — the race the resolved field
+	// exists to prevent.
+	if sc.opts.Strategy != BinaryINN {
+		t.Fatalf("degradation mutated shared options (Strategy = %v)", sc.opts.Strategy)
 	}
 	// Every candidate — pilot positions 0..3 included — must carry the
 	// FixedKNN neighborhood, not a leftover Binary-INN one.

@@ -57,6 +57,39 @@ func TestINNEnginesFakeClockExact(t *testing.T) {
 	}
 }
 
+// TestScaleSweepFakeClockExact: every scale measurement brackets one
+// detection with exactly two Now calls per rep, so under a stepping
+// clock each rep reads one step, the min-of-reps is one step, and every
+// speedup is exactly 1. It also requires every cell's differential
+// verdict to hold: the optimized pass must match the sequential oracle
+// on this workload at every proc setting.
+func TestScaleSweepFakeClockExact(t *testing.T) {
+	step := 125 * time.Millisecond
+	withFakeClock(t, step)
+	pts := ScaleSweep([]int{400}, []int{1, 2}, []float64{3})
+	if len(pts) != 2 {
+		t.Fatalf("ScaleSweep returned %d points, want 2", len(pts))
+	}
+	for _, p := range pts {
+		if p.OracleSeconds != step.Seconds() || p.FastSeconds != step.Seconds() {
+			t.Errorf("n=%d procs=%d: oracle %v fast %v, want exactly %v each",
+				p.N, p.Procs, p.OracleSeconds, p.FastSeconds, step.Seconds())
+		}
+		if p.Speedup != 1 {
+			t.Errorf("n=%d procs=%d: speedup %v, want exactly 1 under equal fake spans", p.N, p.Procs, p.Speedup)
+		}
+		if !p.Equal {
+			t.Errorf("n=%d procs=%d: detections diverged from the sequential oracle", p.N, p.Procs)
+		}
+		if p.Cands <= 0 {
+			t.Errorf("n=%d procs=%d: no candidates scored", p.N, p.Procs)
+		}
+		if p.Cores < 1 || p.Cores > p.Procs {
+			t.Errorf("n=%d procs=%d: effective cores %d out of range", p.N, p.Procs, p.Cores)
+		}
+	}
+}
+
 // TestChaosFakeClockExact: each chaos cell times the guarded detection
 // with one Now pair, so Elapsed is exactly one step for every row that
 // reached detection.

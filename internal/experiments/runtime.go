@@ -219,6 +219,10 @@ type RuntimeSnapshot struct {
 	Fig11  []Fig11Point   `json:"fig11,omitempty"`
 	INN    []INNEngineRow `json:"inn_engines,omitempty"`
 	Stages []StageRow     `json:"stage_profile,omitempty"`
+	// Scale is the raw-speed scaling sweep (optimized pass vs the
+	// sequential row-major oracle); scripts/bench_guard diffs these rows
+	// against checked-in tolerances.
+	Scale []ScalePoint `json:"scale,omitempty"`
 	// Obs is the metrics-recorder snapshot of the stage-profile sweep,
 	// merged in under -metrics.
 	Obs *obs.Snapshot `json:"obs,omitempty"`
@@ -226,7 +230,8 @@ type RuntimeSnapshot struct {
 
 // Empty reports whether the snapshot holds no measurements.
 func (s RuntimeSnapshot) Empty() bool {
-	return len(s.Fig11) == 0 && len(s.INN) == 0 && len(s.Stages) == 0 && s.Obs == nil
+	return len(s.Fig11) == 0 && len(s.INN) == 0 && len(s.Stages) == 0 &&
+		len(s.Scale) == 0 && s.Obs == nil
 }
 
 // WriteRuntimeJSON writes the snapshot to path as indented JSON.

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+
+	"cabd/internal/core"
+	"cabd/internal/synth"
+)
+
+// ScalePoint is one cell of the raw-speed scaling sweep: the optimized
+// pipeline (SoA feature matrix, parallel forest training, tree-major
+// batch inference) against the sequential row-major oracle, at one
+// (series length, GOMAXPROCS, candidate threshold) setting.
+type ScalePoint struct {
+	N     int `json:"n"`
+	Procs int `json:"procs"` // requested GOMAXPROCS
+	// Cores is the effective parallelism, min(Procs, NumCPU): requesting
+	// 8 procs on a 1-core container still runs one goroutine at a time,
+	// and regression tolerances are keyed by this number, not Procs.
+	Cores         int     `json:"cores"`
+	CandZ         float64 `json:"cand_z"` // candidate threshold (lower => more candidates)
+	Cands         int     `json:"cands"`  // candidates the fast run scored
+	OracleSeconds float64 `json:"oracle_seconds"`
+	FastSeconds   float64 `json:"fast_seconds"`
+	Speedup       float64 `json:"speedup"`
+	// Equal is the differential verdict: the fast run's detections
+	// (strategy, degradation, candidate indices, classes, confidences)
+	// are bit-identical to the sequential oracle's.
+	Equal bool `json:"equal"`
+}
+
+// scaleFingerprint serializes the deterministic detection surface of a
+// run for the sweep's differential check. Confidences are included at
+// full bit precision: the batch inference paths promise bit-identity,
+// not approximate agreement.
+func scaleFingerprint(res *core.Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "strategy=%s degraded=%v\n", res.Strategy, res.Degraded)
+	for i := range res.Candidates {
+		c := &res.Candidates[i]
+		fmt.Fprintf(&b, "%d %d %b\n", c.Index, c.Class, c.Confidence)
+	}
+	return b.String()
+}
+
+// scaleReps is how many times each configuration is timed; the reported
+// second count is the minimum (the least-perturbed run), which keeps the
+// bench-guard comparison stable on 20ms-scale measurements.
+const scaleReps = 3
+
+// ScaleSweep measures wall time of the optimized detection pass against
+// the Options.SeqOracle reference across series lengths, GOMAXPROCS
+// settings and candidate thresholds. The oracle is timed once per
+// (n, candZ) — it is single-threaded by construction, so proc settings
+// cannot change it — and every fast run is differentially compared
+// against its detections. Each timing is the minimum of scaleReps runs.
+// GOMAXPROCS is restored before returning.
+func ScaleSweep(sizes, procs []int, candZs []float64) []ScalePoint {
+	if len(sizes) == 0 {
+		sizes = []int{2000}
+	}
+	if len(procs) == 0 {
+		procs = []int{1, 2, 8}
+	}
+	if len(candZs) == 0 {
+		candZs = []float64{3, 2}
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	var out []ScalePoint
+	for _, n := range sizes {
+		s := synth.YahooLike(42, n)
+		for _, z := range candZs {
+			var oracleRes *core.Result
+			oracleSec := 0.0
+			for r := 0; r < scaleReps; r++ {
+				t0 := clk.Now()
+				oracleRes = core.NewDetector(core.Options{CandidateZ: z, SeqOracle: true}).Detect(s)
+				if sec := clk.Now().Sub(t0).Seconds(); r == 0 || sec < oracleSec {
+					oracleSec = sec
+				}
+			}
+			want := scaleFingerprint(oracleRes)
+			for _, p := range procs {
+				runtime.GOMAXPROCS(p)
+				var res *core.Result
+				fastSec := 0.0
+				for r := 0; r < scaleReps; r++ {
+					t0 := clk.Now()
+					res = core.NewDetector(core.Options{CandidateZ: z}).Detect(s)
+					if sec := clk.Now().Sub(t0).Seconds(); r == 0 || sec < fastSec {
+						fastSec = sec
+					}
+				}
+				runtime.GOMAXPROCS(prev)
+				pt := ScalePoint{
+					N:             n,
+					Procs:         p,
+					Cores:         effectiveCores(p),
+					CandZ:         z,
+					Cands:         len(res.Candidates),
+					OracleSeconds: oracleSec,
+					FastSeconds:   fastSec,
+					Equal:         scaleFingerprint(res) == want,
+				}
+				if fastSec > 0 {
+					pt.Speedup = oracleSec / fastSec
+				}
+				out = append(out, pt)
+			}
+		}
+	}
+	return out
+}
+
+// effectiveCores clamps a GOMAXPROCS request to the hardware.
+func effectiveCores(procs int) int {
+	if ncpu := runtime.NumCPU(); procs > ncpu {
+		return ncpu
+	}
+	return procs
+}
+
+// PrintScale renders the scaling sweep.
+func PrintScale(w io.Writer, pts []ScalePoint) {
+	fprintf(w, "Raw-speed scaling: optimized pass vs sequential row-major oracle\n")
+	fprintf(w, "%8s %6s %6s %7s %7s %11s %11s %9s %6s\n",
+		"n", "procs", "cores", "cand_z", "cands", "oracle_s", "fast_s", "speedup", "equal")
+	for _, p := range pts {
+		fprintf(w, "%8d %6d %6d %7.1f %7d %11.4f %11.4f %8.2fx %6v\n",
+			p.N, p.Procs, p.Cores, p.CandZ, p.Cands, p.OracleSeconds, p.FastSeconds, p.Speedup, p.Equal)
+	}
+}

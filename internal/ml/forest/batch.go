@@ -1,0 +1,105 @@
+package forest
+
+// PredictProbaBatch computes the class distribution of every row of m in
+// tree-major order: each tree's flat node array streams through all rows
+// while it is hot in cache, instead of every row re-walking every tree.
+// The result is one flat slice of m.N blocks of NumClasses probabilities
+// (row i occupies [i*k, (i+1)*k)); dst is reused when it has capacity.
+// Accumulation visits trees in index order per element, so every row is
+// bit-identical to PredictProba on that row.
+func (f *Forest) PredictProbaBatch(m Matrix, dst []float64) []float64 {
+	k := f.numClasses
+	need := m.N * k
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(f.trees) == 0 || m.N == 0 {
+		return dst
+	}
+	for _, t := range f.trees {
+		nodes := t.nodes
+		for i := 0; i < m.N; i++ {
+			at := 0
+			for nodes[at].Probs == nil {
+				nd := &nodes[at]
+				if m.Cols[nd.Feature][i] <= nd.Threshold {
+					at = nd.Left
+				} else {
+					at = nd.Right
+				}
+			}
+			out := dst[i*k : i*k+k]
+			for c, p := range nodes[at].Probs {
+				out[c] += p
+			}
+		}
+	}
+	inv := float64(len(f.trees))
+	for i := range dst {
+		dst[i] /= inv
+	}
+	return dst
+}
+
+// PredictProbaOOBBatch computes the out-of-bag distribution of every
+// training row of m (which must be the matrix the forest was trained on:
+// row i's votes come from the trees whose bootstrap excluded row i).
+// Rows that every tree saw fall back to the full-ensemble distribution,
+// exactly as PredictProbaOOB does per row. Layout and reuse semantics
+// match PredictProbaBatch.
+func (f *Forest) PredictProbaOOBBatch(m Matrix, dst []float64) []float64 {
+	k := f.numClasses
+	need := m.N * k
+	if cap(dst) < need {
+		dst = make([]float64, need)
+	}
+	dst = dst[:need]
+	for i := range dst {
+		dst[i] = 0
+	}
+	if len(f.trees) == 0 || m.N == 0 {
+		return dst
+	}
+	voters := make([]int, m.N)
+	for ti, t := range f.trees {
+		bag := f.inBag[ti]
+		nodes := t.nodes
+		for i := 0; i < m.N; i++ {
+			if bag[i] {
+				continue
+			}
+			at := 0
+			for nodes[at].Probs == nil {
+				nd := &nodes[at]
+				if m.Cols[nd.Feature][i] <= nd.Threshold {
+					at = nd.Left
+				} else {
+					at = nd.Right
+				}
+			}
+			out := dst[i*k : i*k+k]
+			for c, p := range nodes[at].Probs {
+				out[c] += p
+			}
+			voters[i]++
+		}
+	}
+	var row []float64
+	for i := 0; i < m.N; i++ {
+		out := dst[i*k : i*k+k]
+		if voters[i] == 0 {
+			row = m.Row(row, i)
+			copy(out, f.PredictProba(row))
+			continue
+		}
+		inv := float64(voters[i])
+		for c := range out {
+			out[c] /= inv
+		}
+	}
+	return dst
+}

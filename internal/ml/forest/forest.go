@@ -4,12 +4,24 @@
 // are averaged leaf distributions across trees; CABD uses them directly as
 // the confidence weights of Section IV and their complement as the
 // uncertainty driving active learning (Equation 13).
+//
+// Trees are stored as flat preorder node arrays — the same layout the
+// Snapshot wire form uses — so inference walks contiguous memory instead
+// of chasing heap pointers, and PredictProbaBatch streams each tree
+// through all rows of a column-major Matrix (tree-major order: the hot
+// node array stays cached while rows advance). Training fans the trees
+// out over per-tree goroutines; every tree draws from its own rand.Rand
+// seeded from the caller's stream before the fan-out, so the ensemble is
+// bit-identical at any worker count (Workers: 1 is the sequential
+// differential oracle).
 package forest
 
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Config controls forest training.
@@ -19,6 +31,12 @@ type Config struct {
 	MinLeaf    int // minimum samples per leaf (default 1)
 	MTry       int // features considered per split (default ceil(sqrt(d)))
 	NumClasses int // required: size of the label space
+
+	// Workers bounds the tree-building goroutines: 0 uses GOMAXPROCS,
+	// 1 is the sequential oracle. The trained ensemble is bit-identical
+	// at every setting — each tree owns a rand.Rand split off the
+	// caller's stream before any tree building starts.
+	Workers int
 }
 
 func (c *Config) defaults(d int) {
@@ -41,16 +59,29 @@ func (c *Config) defaults(d int) {
 
 // Forest is a trained ensemble.
 type Forest struct {
-	trees      []*node
+	trees      []tree
 	inBag      [][]bool // per tree: was training row i in the bootstrap sample
 	numClasses int
 }
 
-type node struct {
-	feature     int
-	threshold   float64
-	left, right *node
-	probs       []float64 // leaf class distribution (nil for internal)
+// tree is one CART tree as a flat preorder node array: nodes[0] is the
+// root, children sit strictly after their parent.
+type tree struct {
+	nodes []FlatNode
+}
+
+// leafFor walks x down to its leaf distribution.
+func (t tree) leafFor(x []float64) []float64 {
+	at := 0
+	for t.nodes[at].Probs == nil {
+		n := &t.nodes[at]
+		if x[n.Feature] <= n.Threshold {
+			at = n.Left
+		} else {
+			at = n.Right
+		}
+	}
+	return t.nodes[at].Probs
 }
 
 // Train fits a forest on X (rows are feature vectors) and y (class ids in
@@ -66,17 +97,28 @@ func Train(X [][]float64, y []int, cfg Config, rng *rand.Rand) *Forest {
 // replicating them would, while keeping one row per example so out-of-bag
 // estimates stay meaningful.
 func TrainWeighted(X [][]float64, y []int, weights []float64, cfg Config, rng *rand.Rand) *Forest {
-	n := len(X)
-	if n == 0 || len(y) != n || cfg.NumClasses <= 0 {
+	if len(X) == 0 {
+		return nil
+	}
+	return TrainMatrixWeighted(RowMajor(X), y, weights, cfg, rng)
+}
+
+// TrainMatrixWeighted is TrainWeighted over a column-major feature
+// matrix — the native form of the scoring hot path, which fills one
+// index-aligned column per feature. Training reads each split's
+// candidate feature as one contiguous column. Returns nil on empty or
+// inconsistent input.
+func TrainMatrixWeighted(m Matrix, y []int, weights []float64, cfg Config, rng *rand.Rand) *Forest {
+	n := m.N
+	if n == 0 || len(y) != n || cfg.NumClasses <= 0 || !m.valid() {
 		return nil
 	}
 	if weights != nil && len(weights) != n {
 		return nil
 	}
-	d := len(X[0])
+	d := len(m.Cols)
 	cfg.defaults(d)
-	f := &Forest{numClasses: cfg.NumClasses}
-	// Cumulative weights for sampling.
+	// Cumulative weights for sampling (shared, read-only across trees).
 	var cum []float64
 	if weights != nil {
 		cum = make([]float64, n)
@@ -92,23 +134,52 @@ func TrainWeighted(X [][]float64, y []int, weights []float64, cfg Config, rng *r
 			cum = nil
 		}
 	}
-	idx := make([]int, n)
-	for t := 0; t < cfg.Trees; t++ {
-		bag := make([]bool, n)
-		for i := range idx {
-			var pick int
-			if cum != nil {
-				pick = searchCum(cum, rng.Float64()*cum[n-1])
-			} else {
-				pick = rng.Intn(n)
-			}
-			idx[i] = pick
-			bag[pick] = true
-		}
-		boot := append([]int(nil), idx...)
-		f.trees = append(f.trees, buildTree(X, y, boot, cfg, rng, 0))
-		f.inBag = append(f.inBag, bag)
+	// Split one deterministic rand stream per tree off the caller's rng
+	// BEFORE any tree building: tree t's draws depend only on seeds[t],
+	// never on scheduling, so parallel training is bit-identical to the
+	// sequential oracle at any GOMAXPROCS.
+	seeds := make([]int64, cfg.Trees)
+	for t := range seeds {
+		seeds[t] = rng.Int63()
 	}
+	f := &Forest{
+		numClasses: cfg.NumClasses,
+		trees:      make([]tree, cfg.Trees),
+		inBag:      make([][]bool, cfg.Trees),
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	if workers <= 1 {
+		b := newBuilder(m, y, cfg)
+		for t := 0; t < cfg.Trees; t++ {
+			f.trees[t], f.inBag[t] = b.train(cum, rand.New(rand.NewSource(seeds[t])))
+		}
+		return f
+	}
+	ch := make(chan int, cfg.Trees)
+	for t := 0; t < cfg.Trees; t++ {
+		ch <- t
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			b := newBuilder(m, y, cfg)
+			for t := range ch {
+				// Each slot is written by exactly one goroutine; the
+				// deterministic merge is the tree index itself.
+				f.trees[t], f.inBag[t] = b.train(cum, rand.New(rand.NewSource(seeds[t])))
+			}
+		}()
+	}
+	wg.Wait()
 	return f
 }
 
@@ -126,106 +197,183 @@ func searchCum(cum []float64, v float64) int {
 	return lo
 }
 
-func buildTree(X [][]float64, y []int, idx []int, cfg Config, rng *rand.Rand, depth int) *node {
-	if depth >= cfg.MaxDepth || len(idx) <= cfg.MinLeaf || pure(y, idx) {
-		return leaf(y, idx, cfg.NumClasses)
-	}
-	feat, thr, ok := bestSplit(X, y, idx, cfg, rng)
-	if !ok {
-		return leaf(y, idx, cfg.NumClasses)
-	}
-	var li, ri []int
-	for _, i := range idx {
-		if X[i][feat] <= thr {
-			li = append(li, i)
-		} else {
-			ri = append(ri, i)
-		}
-	}
-	if len(li) == 0 || len(ri) == 0 {
-		return leaf(y, idx, cfg.NumClasses)
-	}
-	return &node{
-		feature:   feat,
-		threshold: thr,
-		left:      buildTree(X, y, li, cfg, rng, depth+1),
-		right:     buildTree(X, y, ri, cfg, rng, depth+1),
+// splitPair is one (feature value, class) pair of the sorted split sweep.
+type splitPair struct {
+	v float64
+	y int32
+}
+
+// builder holds the per-goroutine scratch of tree construction so the
+// training loop allocates only the nodes and leaf distributions that
+// outlive it.
+type builder struct {
+	m   Matrix
+	y   []int
+	cfg Config
+
+	nodes []FlatNode  // current tree under construction (preorder)
+	boot  []int       // bootstrap row indices
+	part  []int       // stable-partition spill buffer
+	pairs []splitPair // per-feature sorted (value, class) sweep
+	lc    []int       // left class counts of the sweep
+	tc    []int       // total class counts of the node under split
+}
+
+func newBuilder(m Matrix, y []int, cfg Config) *builder {
+	return &builder{
+		m: m, y: y, cfg: cfg,
+		lc: make([]int, cfg.NumClasses),
+		tc: make([]int, cfg.NumClasses),
 	}
 }
 
-func pure(y []int, idx []int) bool {
+// train grows one tree: bootstrap-sample the rows with rng, then build
+// the preorder node array. The returned tree owns its nodes.
+func (b *builder) train(cum []float64, rng *rand.Rand) (tree, []bool) {
+	n := b.m.N
+	bag := make([]bool, n)
+	if cap(b.boot) < n {
+		b.boot = make([]int, n)
+	}
+	idx := b.boot[:n]
+	for i := range idx {
+		var pick int
+		if cum != nil {
+			pick = searchCum(cum, rng.Float64()*cum[n-1])
+		} else {
+			pick = rng.Intn(n)
+		}
+		idx[i] = pick
+		bag[pick] = true
+	}
+	b.nodes = make([]FlatNode, 0, 64)
+	b.build(idx, rng, 0)
+	return tree{nodes: b.nodes}, bag
+}
+
+// build appends the subtree over idx to b.nodes in preorder and returns
+// its root index. idx is partitioned in place down the recursion.
+func (b *builder) build(idx []int, rng *rand.Rand, depth int) int {
+	at := len(b.nodes)
+	if depth >= b.cfg.MaxDepth || len(idx) <= b.cfg.MinLeaf || b.pure(idx) {
+		b.nodes = append(b.nodes, b.leaf(idx))
+		return at
+	}
+	feat, thr, ok := b.bestSplit(idx, rng)
+	if !ok {
+		b.nodes = append(b.nodes, b.leaf(idx))
+		return at
+	}
+	li, ri := b.partition(idx, feat, thr)
+	if len(li) == 0 || len(ri) == 0 {
+		b.nodes = append(b.nodes, b.leaf(idx))
+		return at
+	}
+	b.nodes = append(b.nodes, FlatNode{Left: -1, Right: -1})
+	l := b.build(li, rng, depth+1)
+	r := b.build(ri, rng, depth+1)
+	nd := &b.nodes[at]
+	nd.Feature, nd.Threshold, nd.Left, nd.Right = feat, thr, l, r
+	return at
+}
+
+func (b *builder) pure(idx []int) bool {
 	if len(idx) == 0 {
 		return true
 	}
-	first := y[idx[0]]
+	first := b.y[idx[0]]
 	for _, i := range idx[1:] {
-		if y[i] != first {
+		if b.y[i] != first {
 			return false
 		}
 	}
 	return true
 }
 
-func leaf(y []int, idx []int, k int) *node {
-	probs := make([]float64, k)
+func (b *builder) leaf(idx []int) FlatNode {
+	probs := make([]float64, b.cfg.NumClasses)
 	if len(idx) == 0 {
 		for c := range probs {
-			probs[c] = 1 / float64(k)
+			probs[c] = 1 / float64(b.cfg.NumClasses)
 		}
-		return &node{probs: probs}
+		return FlatNode{Left: -1, Right: -1, Probs: probs}
 	}
 	for _, i := range idx {
-		probs[y[i]]++
+		probs[b.y[i]]++
 	}
 	for c := range probs {
 		probs[c] /= float64(len(idx))
 	}
-	return &node{probs: probs}
+	return FlatNode{Left: -1, Right: -1, Probs: probs}
+}
+
+// partition splits idx in place into (<= thr, > thr) halves, preserving
+// relative order on both sides (a stable partition keeps the build
+// deterministic and independent of the spill buffer's capacity).
+func (b *builder) partition(idx []int, feat int, thr float64) (li, ri []int) {
+	col := b.m.Cols[feat]
+	spill := b.part[:0]
+	k := 0
+	for _, i := range idx {
+		if col[i] <= thr {
+			idx[k] = i
+			k++
+		} else {
+			spill = append(spill, i)
+		}
+	}
+	copy(idx[k:], spill)
+	b.part = spill[:0]
+	return idx[:k], idx[k:]
 }
 
 // bestSplit searches cfg.MTry random features for the Gini-optimal
-// threshold over the candidate midpoints.
-func bestSplit(X [][]float64, y []int, idx []int, cfg Config, rng *rand.Rand) (int, float64, bool) {
-	d := len(X[0])
-	feats := rng.Perm(d)[:cfg.MTry]
+// threshold. Per feature it sorts the node's (value, class) pairs once
+// and sweeps the class counts across the boundaries between distinct
+// values — O(k log k) per feature instead of the naive O(k^2) recount —
+// computing the exact same Gini (integer counts, identical float
+// expressions) and therefore selecting the exact same split as the
+// quadratic scan it replaces.
+func (b *builder) bestSplit(idx []int, rng *rand.Rand) (int, float64, bool) {
+	d := len(b.m.Cols)
+	feats := rng.Perm(d)[:b.cfg.MTry]
 	bestGini := math.Inf(1)
 	bestFeat, bestThr, found := 0, 0.0, false
-	vals := make([]float64, 0, len(idx))
+	for c := range b.tc {
+		b.tc[c] = 0
+	}
+	for _, i := range idx {
+		b.tc[b.y[i]]++
+	}
+	if cap(b.pairs) < len(idx) {
+		b.pairs = make([]splitPair, len(idx))
+	}
+	pairs := b.pairs[:len(idx)]
 	for _, feat := range feats {
-		vals = vals[:0]
-		for _, i := range idx {
-			vals = append(vals, X[i][feat])
+		col := b.m.Cols[feat]
+		for p, i := range idx {
+			pairs[p] = splitPair{v: col[i], y: int32(b.y[i])}
 		}
-		sort.Float64s(vals)
-		for v := 1; v < len(vals); v++ {
+		sort.Slice(pairs, func(a, c int) bool { return pairs[a].v < pairs[c].v })
+		for c := range b.lc {
+			b.lc[c] = 0
+		}
+		ln := 0
+		for v := 1; v < len(pairs); v++ {
+			b.lc[pairs[v-1].y]++
+			ln++
 			//cabd:lint-ignore floateq adjacent sorted feature values: only bit-identical ones admit no threshold between them
-			if vals[v] == vals[v-1] {
+			if pairs[v].v == pairs[v-1].v {
 				continue
 			}
-			thr := (vals[v] + vals[v-1]) / 2
-			g := splitGini(X, y, idx, feat, thr, cfg.NumClasses)
+			thr := (pairs[v].v + pairs[v-1].v) / 2
+			g := weightedGini(b.lc, ln) + weightedGiniRest(b.tc, b.lc, len(pairs)-ln)
 			if g < bestGini {
 				bestGini, bestFeat, bestThr, found = g, feat, thr, true
 			}
 		}
 	}
 	return bestFeat, bestThr, found
-}
-
-func splitGini(X [][]float64, y []int, idx []int, feat int, thr float64, k int) float64 {
-	lc := make([]int, k)
-	rc := make([]int, k)
-	var ln, rn int
-	for _, i := range idx {
-		if X[i][feat] <= thr {
-			lc[y[i]]++
-			ln++
-		} else {
-			rc[y[i]]++
-			rn++
-		}
-	}
-	return weightedGini(lc, ln) + weightedGini(rc, rn)
 }
 
 func weightedGini(counts []int, n int) float64 {
@@ -240,23 +388,31 @@ func weightedGini(counts []int, n int) float64 {
 	return float64(n) * (1 - s)
 }
 
+// weightedGiniRest is weightedGini over the complement counts
+// (total[c] - left[c]) without materializing them.
+func weightedGiniRest(total, left []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	var s float64
+	for c := range total {
+		p := float64(total[c]-left[c]) / float64(n)
+		s += p * p
+	}
+	return float64(n) * (1 - s)
+}
+
 // PredictProba returns the class probability distribution for x, averaged
-// over all trees.
+// over all trees. It is the per-row differential oracle for
+// PredictProbaBatch.
 func (f *Forest) PredictProba(x []float64) []float64 {
 	probs := make([]float64, f.numClasses)
 	if len(f.trees) == 0 {
 		return probs
 	}
 	for _, t := range f.trees {
-		n := t
-		for n.probs == nil {
-			if x[n.feature] <= n.threshold {
-				n = n.left
-			} else {
-				n = n.right
-			}
-		}
-		for c, p := range n.probs {
+		leaf := t.leafFor(x)
+		for c, p := range leaf {
 			probs[c] += p
 		}
 	}
@@ -270,23 +426,17 @@ func (f *Forest) PredictProba(x []float64) []float64 {
 // row i with features x: only trees whose bootstrap sample excluded row i
 // vote, so the estimate is not self-fulfilling. When every tree saw the
 // row (possible for heavily weighted rows), it falls back to the full
-// ensemble.
+// ensemble. It is the per-row differential oracle for
+// PredictProbaOOBBatch.
 func (f *Forest) PredictProbaOOB(i int, x []float64) []float64 {
 	probs := make([]float64, f.numClasses)
 	voters := 0
-	for t, tree := range f.trees {
+	for t, tr := range f.trees {
 		if f.inBag[t][i] {
 			continue
 		}
-		n := tree
-		for n.probs == nil {
-			if x[n.feature] <= n.threshold {
-				n = n.left
-			} else {
-				n = n.right
-			}
-		}
-		for c, p := range n.probs {
+		leaf := tr.leafFor(x)
+		for c, p := range leaf {
 			probs[c] += p
 		}
 		voters++
@@ -314,3 +464,6 @@ func (f *Forest) Predict(x []float64) int {
 
 // NumClasses returns the size of the label space the forest was trained on.
 func (f *Forest) NumClasses() int { return f.numClasses }
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }

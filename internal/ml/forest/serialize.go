@@ -2,11 +2,13 @@ package forest
 
 import "fmt"
 
-// FlatNode is one serialized tree node. Internal nodes carry the split
-// (Feature, Threshold) and the indices of their children inside the
-// tree's node array; leaves carry the class distribution and children
-// of -1. The flat layout keeps the wire form free of recursion so a
-// hostile checkpoint cannot stack-overflow the decoder.
+// FlatNode is one tree node, in the layout shared by the in-memory
+// forest and the wire form. Internal nodes carry the split (Feature,
+// Threshold) and the indices of their children inside the tree's node
+// array; leaves carry the class distribution and children of -1. The
+// flat layout keeps the wire form free of recursion so a hostile
+// checkpoint cannot stack-overflow the decoder, and lets inference walk
+// a contiguous array instead of chasing heap pointers.
 type FlatNode struct {
 	Feature   int       `json:"f"`
 	Threshold float64   `json:"t"`
@@ -30,16 +32,22 @@ type Snapshot struct {
 	InBag      [][]bool       `json:"in_bag,omitempty"`
 }
 
-// Snapshot flattens the forest into its serializable form. Nil forests
-// snapshot to nil.
+// Snapshot copies the forest into its serializable form. The in-memory
+// trees already hold the preorder flat arrays, so this is a deep copy,
+// not a traversal. Nil forests snapshot to nil.
 func (f *Forest) Snapshot() *Snapshot {
 	if f == nil {
 		return nil
 	}
 	s := &Snapshot{NumClasses: f.numClasses, Trees: make([]TreeSnapshot, len(f.trees))}
-	for i, root := range f.trees {
-		var nodes []FlatNode
-		flatten(root, &nodes)
+	for i, t := range f.trees {
+		nodes := make([]FlatNode, len(t.nodes))
+		copy(nodes, t.nodes)
+		for j := range nodes {
+			if nodes[j].Probs != nil {
+				nodes[j].Probs = append([]float64(nil), nodes[j].Probs...)
+			}
+		}
 		s.Trees[i] = TreeSnapshot{Nodes: nodes}
 	}
 	for _, bag := range f.inBag {
@@ -48,28 +56,12 @@ func (f *Forest) Snapshot() *Snapshot {
 	return s
 }
 
-// flatten appends n's subtree to nodes in preorder and returns n's
-// index.
-func flatten(n *node, nodes *[]FlatNode) int {
-	at := len(*nodes)
-	*nodes = append(*nodes, FlatNode{Left: -1, Right: -1})
-	if n.probs != nil {
-		(*nodes)[at].Probs = append([]float64(nil), n.probs...)
-		return at
-	}
-	(*nodes)[at].Feature = n.feature
-	(*nodes)[at].Threshold = n.threshold
-	l := flatten(n.left, nodes)
-	r := flatten(n.right, nodes)
-	(*nodes)[at].Left = l
-	(*nodes)[at].Right = r
-	return at
-}
-
 // FromSnapshot rebuilds a Forest from its serialized form, validating
 // the node graph (indices in range, acyclic by forward reference, leaf
 // distributions sized to NumClasses) so a corrupted checkpoint fails
-// loudly instead of predicting garbage. A nil snapshot returns nil.
+// loudly instead of predicting garbage. Only nodes reachable from the
+// root are kept, re-packed in preorder, so a round trip through
+// Snapshot is byte-stable. A nil snapshot returns nil.
 func FromSnapshot(s *Snapshot) (*Forest, error) {
 	if s == nil {
 		return nil, nil
@@ -82,11 +74,11 @@ func FromSnapshot(s *Snapshot) (*Forest, error) {
 	}
 	f := &Forest{numClasses: s.NumClasses}
 	for ti, ts := range s.Trees {
-		root, err := unflatten(ts.Nodes, 0, s.NumClasses)
-		if err != nil {
+		nodes := make([]FlatNode, 0, len(ts.Nodes))
+		if _, err := unflatten(ts.Nodes, 0, s.NumClasses, &nodes); err != nil {
 			return nil, fmt.Errorf("forest snapshot: tree %d: %w", ti, err)
 		}
-		f.trees = append(f.trees, root)
+		f.trees = append(f.trees, tree{nodes: nodes})
 	}
 	for _, bag := range s.InBag {
 		f.inBag = append(f.inBag, append([]bool(nil), bag...))
@@ -94,30 +86,37 @@ func FromSnapshot(s *Snapshot) (*Forest, error) {
 	return f, nil
 }
 
-// unflatten rebuilds the subtree rooted at index at. Children must sit
-// strictly after their parent (the preorder invariant), which rules out
+// unflatten validates and copies the subtree rooted at src index at into
+// dst (preorder), returning its dst index. Children must sit strictly
+// after their parent in src (the preorder invariant), which rules out
 // cycles without a visited set.
-func unflatten(nodes []FlatNode, at, numClasses int) (*node, error) {
-	if at < 0 || at >= len(nodes) {
-		return nil, fmt.Errorf("node index %d out of range [0, %d)", at, len(nodes))
+func unflatten(src []FlatNode, at, numClasses int, dst *[]FlatNode) (int, error) {
+	if at < 0 || at >= len(src) {
+		return 0, fmt.Errorf("node index %d out of range [0, %d)", at, len(src))
 	}
-	fn := nodes[at]
+	fn := src[at]
+	out := len(*dst)
 	if fn.Probs != nil {
 		if len(fn.Probs) != numClasses {
-			return nil, fmt.Errorf("leaf %d has %d probs, want %d", at, len(fn.Probs), numClasses)
+			return 0, fmt.Errorf("leaf %d has %d probs, want %d", at, len(fn.Probs), numClasses)
 		}
-		return &node{probs: append([]float64(nil), fn.Probs...)}, nil
+		*dst = append(*dst, FlatNode{Left: -1, Right: -1,
+			Probs: append([]float64(nil), fn.Probs...)})
+		return out, nil
 	}
 	if fn.Left <= at || fn.Right <= at {
-		return nil, fmt.Errorf("node %d children (%d, %d) not strictly after parent", at, fn.Left, fn.Right)
+		return 0, fmt.Errorf("node %d children (%d, %d) not strictly after parent", at, fn.Left, fn.Right)
 	}
-	left, err := unflatten(nodes, fn.Left, numClasses)
+	*dst = append(*dst, FlatNode{Feature: fn.Feature, Threshold: fn.Threshold, Left: -1, Right: -1})
+	l, err := unflatten(src, fn.Left, numClasses, dst)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	right, err := unflatten(nodes, fn.Right, numClasses)
+	r, err := unflatten(src, fn.Right, numClasses, dst)
 	if err != nil {
-		return nil, err
+		return 0, err
 	}
-	return &node{feature: fn.Feature, threshold: fn.Threshold, left: left, right: right}, nil
+	(*dst)[out].Left = l
+	(*dst)[out].Right = r
+	return out, nil
 }

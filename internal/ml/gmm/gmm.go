@@ -263,9 +263,18 @@ func FitBestK(data [][]float64, maxK int, cfg Config, rng *rand.Rand) (*Model, i
 		if m == nil {
 			continue
 		}
-		if bic := m.BIC(data); bic < bestBIC {
+		if bic := m.BIC(data); betterBIC(bic, bestBIC) {
 			best, bestK, bestBIC = m, k, bic
 		}
 	}
 	return best, bestK
+}
+
+// betterBIC is FitBestK's model-selection rule: candidate wins only on a
+// strictly lower BIC. K ascends through the search, so an exact tie
+// keeps the incumbent — the model with fewer components — matching
+// BIC's own parsimony preference. NaN (a degenerate likelihood) never
+// wins, not even against +Inf.
+func betterBIC(candidate, best float64) bool {
+	return candidate < best
 }

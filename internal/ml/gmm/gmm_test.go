@@ -159,3 +159,31 @@ func TestBICPenalizesOverfit(t *testing.T) {
 			m1.BIC(data), m5.BIC(data))
 	}
 }
+
+// TestBetterBICTieBreak pins FitBestK's model-selection rule at its
+// edges: an exact BIC tie keeps the incumbent (K ascends, so ties
+// resolve to the fewest components — the parsimony choice a strict <
+// encodes), a NaN BIC from a degenerate likelihood never wins (not even
+// against the +Inf sentinel), and anything finite beats the sentinel.
+func TestBetterBICTieBreak(t *testing.T) {
+	cases := []struct {
+		name            string
+		candidate, best float64
+		want            bool
+	}{
+		{"strictly lower wins", 10, 11, true},
+		{"strictly higher loses", 11, 10, false},
+		{"exact tie keeps incumbent (smaller K)", 10, 10, false},
+		{"finite beats the +Inf sentinel", 1e300, math.Inf(1), true},
+		{"NaN never wins", math.NaN(), math.Inf(1), false},
+		// A NaN incumbent is unreachable (NaN never wins above), and the
+		// comparison stays false-safe if one ever appeared.
+		{"NaN incumbent: comparison stays false", 10, math.NaN(), false},
+	}
+	for _, tc := range cases {
+		if got := betterBIC(tc.candidate, tc.best); got != tc.want {
+			t.Errorf("%s: betterBIC(%v, %v) = %v, want %v",
+				tc.name, tc.candidate, tc.best, got, tc.want)
+		}
+	}
+}
