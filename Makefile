@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint test race check cover fuzz bench bench-guard serve-smoke agent-smoke stream-smoke
+.PHONY: all build vet lint lint-bench test race check cover fuzz bench bench-guard serve-smoke agent-smoke stream-smoke
 
 all: check
 
@@ -14,10 +14,22 @@ test:
 	$(GO) test ./...
 
 # The repo's own static analysis: cabd-lint enforces the determinism,
-# panic-isolation, and clock-injection invariants (see DESIGN.md). A
-# reintroduced time.Now() in library code fails this target.
+# panic-isolation, clock-injection, lock-balance, cancel-leak, goroutine-
+# leak, and hot-path-allocation invariants (see DESIGN.md). A reintroduced
+# time.Now() or a leaked Lock in library code fails this target. The
+# driver lints GOMAXPROCS packages concurrently by default; output is
+# byte-identical at any -parallel width.
 lint:
 	$(GO) run ./cmd/cabd-lint ./...
+
+# Smoke benchmark of the linter itself: one timed full-tree lint, so a
+# rule that regresses the edit-lint loop (an analyzer gone quadratic, a
+# CFG blowup) is visible in CI logs before anyone feels it locally.
+lint-bench:
+	@start=$$(date +%s%N); \
+	$(GO) run ./cmd/cabd-lint ./... || exit $$?; \
+	end=$$(date +%s%N); \
+	printf 'lint-bench: full-tree cabd-lint took %d ms\n' $$(( (end - start) / 1000000 ))
 
 # Race-enabled run of the full suite, including the fault-injection
 # harness (internal/faultgen) — the robustness gate.
@@ -47,8 +59,9 @@ check: vet build lint race serve-smoke agent-smoke stream-smoke
 # Coverage floor for the observability layer: pure bookkeeping code with a
 # deterministic fake clock has no excuse for untested branches.
 OBS_COVER_FLOOR := 90
-# Coverage floor for the lint engine: an analyzer whose branches go
-# untested silently stops enforcing its invariant.
+# Coverage floor for the lint engine (the analyzers plus the cfg and
+# dataflow packages backing the path-sensitive rules): an analyzer whose
+# branches go untested silently stops enforcing its invariant.
 LINT_COVER_FLOOR := 85
 # Coverage floor for the forest: the classifier's batch/parallel fast
 # paths are promised bit-identical to their sequential oracles, and an
@@ -62,7 +75,7 @@ cover:
 			printf "internal/obs coverage %s%% is below the $(OBS_COVER_FLOOR)%% floor\n", $$3; exit 1 \
 		} \
 		printf "internal/obs coverage %s%% (floor $(OBS_COVER_FLOOR)%%)\n", $$3 }'
-	$(GO) test -coverprofile=cover-lint.out ./internal/lint
+	$(GO) test -coverprofile=cover-lint.out ./internal/lint/...
 	@$(GO) tool cover -func=cover-lint.out | awk '/^total:/ { \
 		sub(/%/, "", $$3); \
 		if ($$3 + 0 < $(LINT_COVER_FLOOR)) { \

@@ -26,6 +26,8 @@ type featMatrix struct {
 var featPool = sync.Pool{New: func() any { return new(featMatrix) }}
 
 // getFeatMatrix returns a zeroed n-row matrix from the pool.
+//
+//cabd:hotpath
 func getFeatMatrix(n int) *featMatrix {
 	m := featPool.Get().(*featMatrix)
 	m.n = n
@@ -59,6 +61,8 @@ func (m *featMatrix) matrix() forest.Matrix {
 // fill writes candidate c's feature vector into row i under the
 // ablation switches of opts — the SoA mirror of Candidate.features.
 // Disabled features keep the zero the matrix was handed out with.
+//
+//cabd:hotpath
 func (m *featMatrix) fill(i int, c *Candidate, opts *Options) {
 	if !opts.DisableMagnitude {
 		m.cols[0][i] = c.Magnitude
@@ -75,6 +79,8 @@ func (m *featMatrix) fill(i int, c *Candidate, opts *Options) {
 // fillFromCandidates populates the whole matrix from already-scored
 // candidates — the entry path for EvaluateCandidates callers that hand
 // in candidates scored elsewhere (e.g. the multivariate extension).
+//
+//cabd:hotpath
 func (m *featMatrix) fillFromCandidates(cands []Candidate, opts *Options) {
 	for i := range cands {
 		m.fill(i, &cands[i], opts)

@@ -109,7 +109,12 @@ func hull(i int, nb []int) (lo, hi int) {
 }
 
 // score fills in the three INN scores of candidate c (Definitions 5, 8,
-// 9; see DESIGN.md for the interpretation notes).
+// 9; see DESIGN.md for the interpretation notes). It runs once per
+// candidate inside the scoreAll worker pool and must not allocate: the
+// variance score views the pattern's flanks through stats.Std2 instead
+// of materializing the cut window.
+//
+//cabd:hotpath
 func (sc *scorer) score(c *Candidate, strategy Strategy) {
 	n := len(sc.values)
 	c.INN = sc.neighborhood(c.Index, strategy)
@@ -174,15 +179,13 @@ func (sc *scorer) score(c *Candidate, strategy Strategy) {
 		shi = n
 	}
 	spa := sc.values[slo:shi]
-	rest := make([]float64, 0, len(spa))
-	rest = append(rest, sc.values[slo:lo]...)
-	rest = append(rest, sc.values[hi+1:shi]...)
+	left, right := sc.values[slo:lo], sc.values[hi+1:shi]
 	sdAll := stats.Std(spa)
-	if sdAll == 0 || len(rest) < 2 {
+	if sdAll == 0 || len(left)+len(right) < 2 {
 		c.Variance = 0
 		return
 	}
-	vs := 1 - stats.Std(rest)/sdAll
+	vs := 1 - stats.Std2(left, right)/sdAll
 	if vs < 0 {
 		vs = 0
 	}

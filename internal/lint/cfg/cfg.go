@@ -1,0 +1,481 @@
+// Package cfg builds intraprocedural control-flow graphs over Go
+// function bodies for the path-sensitive lint rules (lockbalance,
+// ctxcancel). The graph is a list of basic blocks connected by successor
+// edges; every structured-control construct — if/else, the three for
+// forms, range, (type) switch with fallthrough, select, labeled
+// break/continue, goto — lowers to plain edges, so a forward dataflow
+// pass (internal/lint/dataflow) never needs to know Go syntax.
+//
+// Termination: `return` and a call to the builtin `panic` edge to the
+// single Exit block. `defer` statements stay in their block as ordinary
+// nodes (their position matters for facts like "the lock is held from
+// here on") and are additionally collected in Graph.Defers, because
+// deferred calls run at every function exit regardless of path.
+//
+// Statements after a terminator land in fresh blocks with no
+// predecessors; dataflow passes see them with the bottom fact and stay
+// silent about them, which matches the compiler's own unreachable-code
+// tolerance.
+//
+// Block indices and successor edges are assigned in source order, so the
+// graph — and everything derived from it, dumps and fixed-point sweeps
+// alike — is deterministic for a given file.
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Block is one basic block: a maximal run of nodes with a single entry
+// and single exit. Nodes holds statements and, for blocks that end in a
+// branch, the controlling expression (an if/for condition, a switch tag)
+// as its last entry — dataflow transfer functions walk Nodes in order.
+type Block struct {
+	Index int
+	Kind  string // construction-site label ("entry", "for.head", ...)
+	Nodes []ast.Node
+	Succs []*Block
+}
+
+// addSucc appends an edge b -> s once.
+func (b *Block) addSucc(s *Block) {
+	for _, have := range b.Succs {
+		if have == s {
+			return
+		}
+	}
+	b.Succs = append(b.Succs, s)
+}
+
+// Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block // index order; Blocks[0] = Entry, Blocks[1] = Exit
+	Defers []*ast.DeferStmt
+}
+
+// Preds returns the predecessor lists, index-aligned with Blocks.
+func (g *Graph) Preds() [][]*Block {
+	preds := make([][]*Block, len(g.Blocks))
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s.Index] = append(preds[s.Index], b)
+		}
+	}
+	return preds
+}
+
+// branchTarget is one enclosing construct a break or continue can reach.
+type branchTarget struct {
+	label string // "" for unlabeled constructs
+	block *Block
+}
+
+// pendingGoto is a goto awaiting its label block (labels may be defined
+// after the jump).
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	breaks []branchTarget
+	conts  []branchTarget
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// nextLabel carries the label of a LabeledStmt into the loop/switch
+	// /select it names, so `break L` / `continue L` resolve.
+	nextLabel string
+}
+
+// Build constructs the CFG of one function body.
+func Build(body *ast.BlockStmt) *Graph {
+	g := &Graph{}
+	b := &builder{g: g, labels: map[string]*Block{}}
+	g.Entry = b.newBlock("entry")
+	g.Exit = b.newBlock("exit")
+	first := b.newBlock("body")
+	g.Entry.addSucc(first)
+	b.cur = first
+	b.stmtList(body.List)
+	// Fall off the end of the body: implicit return.
+	if b.cur != nil {
+		b.cur.addSucc(g.Exit)
+	}
+	for _, pg := range b.gotos {
+		if target, ok := b.labels[pg.label]; ok {
+			pg.from.addSucc(target)
+		}
+	}
+	return g
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// startBlock finishes cur with an edge to next and makes next current.
+func (b *builder) startBlock(next *Block) {
+	if b.cur != nil {
+		b.cur.addSucc(next)
+	}
+	b.cur = next
+}
+
+// add appends a node to the current block (creating an unreachable block
+// when flow was terminated — code after return/panic/goto).
+func (b *builder) add(n ast.Node) {
+	if b.cur == nil {
+		b.cur = b.newBlock("unreachable")
+	}
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+// takeLabel consumes the pending label for a labeled construct.
+func (b *builder) takeLabel() string {
+	l := b.nextLabel
+	b.nextLabel = ""
+	return l
+}
+
+// pushLoop registers a loop's break/continue targets (label included).
+func (b *builder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, branchTarget{"", brk})
+	b.conts = append(b.conts, branchTarget{"", cont})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, brk})
+		b.conts = append(b.conts, branchTarget{label, cont})
+	}
+}
+
+func (b *builder) popLoop(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+	b.conts = b.conts[:len(b.conts)-n]
+}
+
+// pushBreakable registers a switch/select break target.
+func (b *builder) pushBreakable(label string, brk *Block) {
+	b.breaks = append(b.breaks, branchTarget{"", brk})
+	if label != "" {
+		b.breaks = append(b.breaks, branchTarget{label, brk})
+	}
+}
+
+func (b *builder) popBreakable(label string) {
+	n := 1
+	if label != "" {
+		n = 2
+	}
+	b.breaks = b.breaks[:len(b.breaks)-n]
+}
+
+func findTarget(stack []branchTarget, label string) *Block {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label {
+			return stack[i].block
+		}
+	}
+	return nil
+}
+
+// isPanicCall reports whether s is a call to the builtin panic.
+func isPanicCall(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch st := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(st.List)
+
+	case *ast.ReturnStmt:
+		b.add(st)
+		b.cur.addSucc(b.g.Exit)
+		b.cur = nil
+
+	case *ast.DeferStmt:
+		b.add(st)
+		b.g.Defers = append(b.g.Defers, st)
+
+	case *ast.BranchStmt:
+		b.branch(st)
+
+	case *ast.LabeledStmt:
+		// The label starts a fresh block so goto can target it.
+		target := b.newBlock("label." + st.Label.Name)
+		b.labels[st.Label.Name] = target
+		b.startBlock(target)
+		b.nextLabel = st.Label.Name
+		b.stmt(st.Stmt)
+		b.nextLabel = ""
+
+	case *ast.IfStmt:
+		b.ifStmt(st)
+
+	case *ast.ForStmt:
+		b.forStmt(st)
+
+	case *ast.RangeStmt:
+		b.rangeStmt(st)
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		if st.Tag != nil {
+			b.add(st.Tag)
+		}
+		b.switchBody(label, st.Body, nil)
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if st.Init != nil {
+			b.add(st.Init)
+		}
+		b.add(st.Assign)
+		b.switchBody(label, st.Body, nil)
+
+	case *ast.SelectStmt:
+		b.selectStmt(st)
+
+	default:
+		if isPanicCall(s) {
+			b.add(s)
+			b.cur.addSucc(b.g.Exit)
+			b.cur = nil
+			return
+		}
+		// Straight-line statements: assignments, declarations, calls,
+		// channel sends, inc/dec, go, empty.
+		b.add(s)
+	}
+}
+
+func (b *builder) branch(st *ast.BranchStmt) {
+	label := ""
+	if st.Label != nil {
+		label = st.Label.Name
+	}
+	switch st.Tok {
+	case token.BREAK:
+		b.add(st)
+		if t := findTarget(b.breaks, label); t != nil && b.cur != nil {
+			b.cur.addSucc(t)
+		}
+		b.cur = nil
+	case token.CONTINUE:
+		b.add(st)
+		if t := findTarget(b.conts, label); t != nil && b.cur != nil {
+			b.cur.addSucc(t)
+		}
+		b.cur = nil
+	case token.GOTO:
+		b.add(st)
+		if b.cur != nil {
+			b.gotos = append(b.gotos, pendingGoto{b.cur, label})
+		}
+		b.cur = nil
+	case token.FALLTHROUGH:
+		// Handled structurally by switchBody; as a plain statement it
+		// just ends the block (switchBody wires the edge).
+		b.add(st)
+	}
+}
+
+func (b *builder) ifStmt(st *ast.IfStmt) {
+	b.takeLabel() // labels on if only matter for goto, already wired
+	if st.Init != nil {
+		b.add(st.Init)
+	}
+	b.add(st.Cond)
+	head := b.cur
+	done := b.newBlock("if.done")
+
+	then := b.newBlock("if.then")
+	head.addSucc(then)
+	b.cur = then
+	b.stmtList(st.Body.List)
+	if b.cur != nil {
+		b.cur.addSucc(done)
+	}
+
+	if st.Else != nil {
+		els := b.newBlock("if.else")
+		head.addSucc(els)
+		b.cur = els
+		b.stmt(st.Else)
+		if b.cur != nil {
+			b.cur.addSucc(done)
+		}
+	} else {
+		head.addSucc(done)
+	}
+	b.cur = done
+}
+
+func (b *builder) forStmt(st *ast.ForStmt) {
+	label := b.takeLabel()
+	if st.Init != nil {
+		b.add(st.Init)
+	}
+	head := b.newBlock("for.head")
+	b.startBlock(head)
+	if st.Cond != nil {
+		b.add(st.Cond)
+	}
+	done := b.newBlock("for.done")
+	body := b.newBlock("for.body")
+	head.addSucc(body)
+	if st.Cond != nil {
+		head.addSucc(done)
+	}
+	// continue goes to the post statement when there is one.
+	cont := head
+	var post *Block
+	if st.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, st.Post)
+		post.addSucc(head)
+		cont = post
+	}
+	b.pushLoop(label, done, cont)
+	b.cur = body
+	b.stmtList(st.Body.List)
+	if b.cur != nil {
+		b.cur.addSucc(cont)
+	}
+	b.popLoop(label)
+	b.cur = done
+}
+
+func (b *builder) rangeStmt(st *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.startBlock(head)
+	b.add(st.X)
+	done := b.newBlock("range.done")
+	body := b.newBlock("range.body")
+	head.addSucc(body)
+	head.addSucc(done)
+	b.pushLoop(label, done, head)
+	b.cur = body
+	b.stmtList(st.Body.List)
+	if b.cur != nil {
+		b.cur.addSucc(head)
+	}
+	b.popLoop(label)
+	b.cur = done
+}
+
+// switchBody lowers the case clauses of a switch or type switch. The
+// head (current) block edges to every case block; an implicit "no case
+// matched" edge to done exists unless a default clause is present.
+// fallthrough edges connect a case body's end to the next case body.
+func (b *builder) switchBody(label string, body *ast.BlockStmt, _ []ast.Stmt) {
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("switch.done")
+	b.pushBreakable(label, done)
+
+	var caseBlocks []*Block
+	hasDefault := false
+	for _, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		kind := "case"
+		if clause.List == nil {
+			kind = "case.default"
+			hasDefault = true
+		}
+		cb := b.newBlock(kind)
+		head.addSucc(cb)
+		caseBlocks = append(caseBlocks, cb)
+	}
+	if !hasDefault {
+		head.addSucc(done)
+	}
+	for i, cc := range body.List {
+		clause := cc.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		for _, e := range clause.List {
+			b.add(e)
+		}
+		fellThrough := false
+		for _, cs := range clause.Body {
+			if br, ok := cs.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				if i+1 < len(caseBlocks) && b.cur != nil {
+					b.cur.addSucc(caseBlocks[i+1])
+				}
+				b.cur = nil
+				fellThrough = true
+				break
+			}
+			b.stmt(cs)
+		}
+		if !fellThrough && b.cur != nil {
+			b.cur.addSucc(done)
+		}
+	}
+	b.popBreakable(label)
+	b.cur = done
+}
+
+func (b *builder) selectStmt(st *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	if head == nil {
+		head = b.newBlock("unreachable")
+		b.cur = head
+	}
+	done := b.newBlock("select.done")
+	b.pushBreakable(label, done)
+	for _, cc := range st.Body.List {
+		clause := cc.(*ast.CommClause)
+		kind := "select.case"
+		if clause.Comm == nil {
+			kind = "select.default"
+		}
+		cb := b.newBlock(kind)
+		head.addSucc(cb)
+		b.cur = cb
+		if clause.Comm != nil {
+			b.stmt(clause.Comm)
+		}
+		b.stmtList(clause.Body)
+		if b.cur != nil {
+			b.cur.addSucc(done)
+		}
+	}
+	// A select with no cases blocks forever; the done block simply has
+	// no predecessor then.
+	b.popBreakable(label)
+	b.cur = done
+}

@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden CFG dumps")
+
+// dumpFile parses one fixture file and renders the CFG dump of every
+// top-level function, in source order.
+func dumpFile(t *testing.T, path string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse %s: %v", path, err)
+	}
+	var sb strings.Builder
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		g := Build(fn.Body)
+		sb.WriteString("func " + fn.Name.Name + "\n")
+		sb.WriteString(g.Dump(fset))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// TestGoldenDumps locks the lowering of every fixture to a checked-in
+// block-graph dump. Regenerate with `go test ./internal/lint/cfg -update`
+// after an intentional builder change — and read the diff.
+func TestGoldenDumps(t *testing.T) {
+	matches, err := filepath.Glob(filepath.Join("testdata", "*.go"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no fixtures: %v", err)
+	}
+	sort.Strings(matches)
+	for _, path := range matches {
+		name := strings.TrimSuffix(filepath.Base(path), ".go")
+		t.Run(name, func(t *testing.T) {
+			got := dumpFile(t, path)
+			golden := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("CFG dump mismatch for %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+			}
+		})
+	}
+}
+
+// build compiles a snippet's single function into a graph.
+func build(t *testing.T, body string) (*Graph, *token.FileSet) {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse snippet: %v", err)
+	}
+	fn := f.Decls[0].(*ast.FuncDecl)
+	return Build(fn.Body), fset
+}
+
+// TestStructuralInvariants: every graph has entry first, exit second,
+// and only terminator-created blocks may lack predecessors.
+func TestStructuralInvariants(t *testing.T) {
+	snippets := []string{
+		"x := 1\n_ = x",
+		"for i := 0; i < 3; i++ {\n if i == 1 { continue }\n if i == 2 { break }\n}",
+		"switch {\ncase true:\n return\n}",
+		"ch := make(chan int)\nselect {\ncase <-ch:\ndefault:\n}",
+		"panic(1)",
+		"return\nx := 1\n_ = x", // unreachable tail
+	}
+	for _, src := range snippets {
+		g, _ := build(t, src)
+		if g.Blocks[0] != g.Entry || g.Blocks[1] != g.Exit {
+			t.Fatalf("entry/exit not at indices 0/1 for %q", src)
+		}
+		for i, b := range g.Blocks {
+			if b.Index != i {
+				t.Fatalf("block index mismatch at %d for %q", i, src)
+			}
+			for _, s := range b.Succs {
+				if s.Index < 0 || s.Index >= len(g.Blocks) {
+					t.Fatalf("edge to out-of-range block for %q", src)
+				}
+			}
+		}
+		preds := g.Preds()
+		if len(preds[g.Exit.Index]) == 0 {
+			t.Errorf("exit unreachable for %q", src)
+		}
+	}
+}
+
+// TestDeferCollection: defers land both in their block and in Defers.
+func TestDeferCollection(t *testing.T) {
+	g, _ := build(t, "defer f()\nfor i := 0; i < 2; i++ {\n defer f()\n}")
+	if len(g.Defers) != 2 {
+		t.Fatalf("Defers = %d, want 2", len(g.Defers))
+	}
+	inBlocks := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				inBlocks++
+			}
+		}
+	}
+	if inBlocks != 2 {
+		t.Fatalf("defer nodes in blocks = %d, want 2", inBlocks)
+	}
+}
+
+// TestPanicEdgesToExit: a panic call terminates its block into exit.
+func TestPanicEdgesToExit(t *testing.T) {
+	g, _ := build(t, "if true {\n panic(\"x\")\n}\n_ = 1")
+	found := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			es, ok := n.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			if call, ok := es.X.(*ast.CallExpr); ok {
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					found = true
+					if len(b.Succs) != 1 || b.Succs[0] != g.Exit {
+						t.Fatalf("panic block succs = %v, want exit only", b.Succs)
+					}
+				}
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no panic block found")
+	}
+}
+
+// TestGotoResolution: backward goto creates a loop edge.
+func TestGotoResolution(t *testing.T) {
+	g, _ := build(t, "i := 0\nretry:\n i++\n if i < 3 { goto retry }")
+	var labelBlock *Block
+	for _, b := range g.Blocks {
+		if b.Kind == "label.retry" {
+			labelBlock = b
+		}
+	}
+	if labelBlock == nil {
+		t.Fatal("no label block")
+	}
+	preds := g.Preds()
+	if len(preds[labelBlock.Index]) < 2 {
+		t.Fatalf("label block preds = %d, want >= 2 (fallthrough + goto)", len(preds[labelBlock.Index]))
+	}
+}

@@ -1,0 +1,51 @@
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+)
+
+// Dump renders the graph in the golden-test text form, one block per
+// line:
+//
+//	b2 for.head: {i < n} -> b3 b1
+//
+// Node text is the printed source with whitespace collapsed, so the
+// dumps double as human-readable documentation of the lowering.
+func (g *Graph) Dump(fset *token.FileSet) string {
+	var sb strings.Builder
+	for _, b := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d %s:", b.Index, b.Kind)
+		if len(b.Nodes) > 0 {
+			sb.WriteString(" {")
+			for i, n := range b.Nodes {
+				if i > 0 {
+					sb.WriteString("; ")
+				}
+				sb.WriteString(nodeText(fset, n))
+			}
+			sb.WriteString("}")
+		}
+		if len(b.Succs) > 0 {
+			sb.WriteString(" ->")
+			for _, s := range b.Succs {
+				fmt.Fprintf(&sb, " b%d", s.Index)
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// nodeText prints one AST node as a single collapsed line.
+func nodeText(fset *token.FileSet, n ast.Node) string {
+	var buf strings.Builder
+	cfgPrint := printer.Config{Mode: printer.RawFormat}
+	if err := cfgPrint.Fprint(&buf, fset, n); err != nil {
+		return fmt.Sprintf("<%T>", n)
+	}
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

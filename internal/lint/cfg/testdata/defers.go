@@ -1,0 +1,36 @@
+// defers.go: defer in straight-line code, defer inside a loop, and
+// panic/recover exits.
+package fixtures
+
+func deferSimple(mu interface{ Lock() }, unlock func()) {
+	mu.Lock()
+	defer unlock()
+	work()
+}
+
+func deferInLoop(files []string, open func(string) func()) {
+	for _, f := range files {
+		closeFn := open(f)
+		defer closeFn()
+	}
+}
+
+func panicExit(v int) int {
+	if v < 0 {
+		panic("negative")
+	}
+	return v
+}
+
+func recoverExit(run func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = wrap(r)
+		}
+	}()
+	run()
+	return nil
+}
+
+func work()            {}
+func wrap(r any) error { return nil }

@@ -1,0 +1,23 @@
+// gotos.go: forward and backward goto, including a retry loop.
+package fixtures
+
+func forwardGoto(ok bool) int {
+	x := 1
+	if !ok {
+		goto fail
+	}
+	x = 2
+	return x
+fail:
+	return -1
+}
+
+func backwardGoto(n int) int {
+	tries := 0
+retry:
+	tries++
+	if tries < n {
+		goto retry
+	}
+	return tries
+}

@@ -1,0 +1,48 @@
+// labeled.go: labeled break and continue escaping nested loops.
+package fixtures
+
+func labeledBreak(xs [][]int) int {
+	total := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, v := range xs[i] {
+			if v < 0 {
+				break outer
+			}
+			total += v
+		}
+	}
+	return total
+}
+
+func labeledContinue(xs [][]int) int {
+	total := 0
+rows:
+	for i := 0; i < len(xs); i++ {
+		for _, v := range xs[i] {
+			if v == 0 {
+				continue rows
+			}
+			total += v
+		}
+		total++
+	}
+	return total
+}
+
+func labeledSwitchBreak(mode int) int {
+	r := 0
+pick:
+	switch mode {
+	case 0:
+		r = 1
+	case 1:
+		if r == 0 {
+			break pick
+		}
+		r = 2
+	default:
+		r = 3
+	}
+	return r
+}

@@ -1,0 +1,39 @@
+// selects.go: select with and without a default clause, and a
+// switch with fallthrough.
+package fixtures
+
+func selectDefault(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}
+
+func selectBlocking(ch chan int, stop chan struct{}) int {
+	for {
+		select {
+		case v := <-ch:
+			if v > 0 {
+				return v
+			}
+		case <-stop:
+			return -1
+		}
+	}
+}
+
+func switchFallthrough(n int) int {
+	r := 0
+	switch n {
+	case 0:
+		r++
+		fallthrough
+	case 1:
+		r += 2
+	case 2:
+		r += 4
+	}
+	return r
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"cabd/internal/lint/cfg"
+	"cabd/internal/lint/dataflow"
+)
+
+// Cancel-fact bits.
+const (
+	cancelPending uint8 = 1 << iota // context created, cancel not yet called on this path
+	cancelCalled
+)
+
+// ctxMakers are the context constructors whose second result is a
+// CancelFunc that must not leak.
+var ctxMakers = map[string]bool{
+	"WithCancel":        true,
+	"WithTimeout":       true,
+	"WithDeadline":      true,
+	"WithCancelCause":   true,
+	"WithTimeoutCause":  true,
+	"WithDeadlineCause": true,
+}
+
+var analyzerCtxcancel = &Analyzer{
+	Name: "ctxcancel",
+	Doc: "the cancel func returned by context.WithCancel/WithTimeout/" +
+		"WithDeadline must be called on every path to return (defer " +
+		"preferred) or handed off; a dropped cancel leaks the context's " +
+		"timer and its done-channel watchers until the parent ends",
+	Run: func(p *Pass) {
+		forEachFuncBody(p, func(name string, body *ast.BlockStmt) {
+			checkCtxCancel(p, body)
+		})
+	},
+}
+
+// cancelVar is one tracked cancel function variable.
+type cancelVar struct {
+	obj    types.Object
+	key    string
+	maker  string // constructor name, for the message
+	assign token.Pos
+}
+
+// ctxMakerCall reports whether call is one of the context constructors,
+// returning its name.
+func ctxMakerCall(p *Pass, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	fn, ok := p.useOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "context" || !ctxMakers[fn.Name()] {
+		return "", false
+	}
+	return fn.Name(), true
+}
+
+// collectCancelVars finds the cancel-func variables this function owns:
+// the second LHS of a `ctx, cancel := context.WithX(...)` assignment.
+// A blank second LHS is reported immediately — the cancel is lost at
+// birth. Non-ident LHS (a field, an index) is treated as handed off.
+func collectCancelVars(p *Pass, body *ast.BlockStmt) []cancelVar {
+	var out []cancelVar
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			// Nested literal bodies are their own analysis roots.
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 2 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		maker, ok := ctxMakerCall(p, call)
+		if !ok {
+			return true
+		}
+		id, ok := as.Lhs[1].(*ast.Ident)
+		if !ok {
+			return true // stored into a field etc.: ownership handed off
+		}
+		if id.Name == "_" {
+			p.Reportf(id.Pos(), "the cancel func from context.%s is discarded; its timer and watchers leak until the parent context ends — assign it and call it (defer preferred)", maker)
+			return true
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj == nil {
+			return true
+		}
+		out = append(out, cancelVar{
+			obj:    obj,
+			key:    fmt.Sprintf("%s@%d", id.Name, obj.Pos()),
+			maker:  maker,
+			assign: as.Pos(),
+		})
+		return true
+	})
+	return out
+}
+
+// cancelDisposition classifies how a cancel var is used in the body.
+type cancelDisposition struct {
+	deferred bool // defer cancel() or a deferred literal calling it
+	escapes  bool // passed on, stored, returned, or captured: managed elsewhere
+}
+
+func classifyCancelUse(p *Pass, body *ast.BlockStmt, v cancelVar) cancelDisposition {
+	var disp cancelDisposition
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.DeferStmt:
+			ast.Inspect(m.Call, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok && p.Info.Uses[id] == v.obj {
+					disp.deferred = true
+				}
+				return true
+			})
+			return false
+		case *ast.FuncLit:
+			ast.Inspect(m.Body, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok && p.Info.Uses[id] == v.obj {
+					// Captured by a goroutine or stored callback: the
+					// literal owns the call now.
+					disp.escapes = true
+				}
+				return true
+			})
+			return false
+		case *ast.CompositeLit:
+			// Stored into a struct/slice/map literal: whoever holds the
+			// value owns the call now (e.g. a session keeping its cancel).
+			ast.Inspect(m, func(k ast.Node) bool {
+				if id, ok := k.(*ast.Ident); ok && p.Info.Uses[id] == v.obj {
+					disp.escapes = true
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			// cancel() itself is fine; cancel as an *argument* escapes.
+			for _, arg := range m.Args {
+				escaped := false
+				ast.Inspect(arg, func(k ast.Node) bool {
+					if id, ok := k.(*ast.Ident); ok && p.Info.Uses[id] == v.obj {
+						escaped = true
+					}
+					return true
+				})
+				if escaped {
+					disp.escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			for i, r := range m.Rhs {
+				id, ok := r.(*ast.Ident)
+				if !ok || p.Info.Uses[id] != v.obj {
+					continue
+				}
+				// `_ = cancel` only silences the compiler; the cancel is
+				// still owned (and leakable) here.
+				if i < len(m.Lhs) {
+					if lhs, ok := m.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+						continue
+					}
+				}
+				disp.escapes = true // re-assigned somewhere else
+			}
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				ast.Inspect(r, func(k ast.Node) bool {
+					if id, ok := k.(*ast.Ident); ok && p.Info.Uses[id] == v.obj {
+						disp.escapes = true
+					}
+					return true
+				})
+			}
+		}
+		return true
+	})
+	return disp
+}
+
+func checkCtxCancel(p *Pass, body *ast.BlockStmt) {
+	vars := collectCancelVars(p, body)
+	if len(vars) == 0 {
+		return
+	}
+	var tracked []cancelVar
+	for _, v := range vars {
+		disp := classifyCancelUse(p, body, v)
+		if disp.deferred || disp.escapes {
+			continue
+		}
+		tracked = append(tracked, v)
+	}
+	if len(tracked) == 0 {
+		return
+	}
+
+	g := cfg.Build(body)
+	byObj := map[types.Object]cancelVar{}
+	for _, v := range tracked {
+		byObj[v.obj] = v
+	}
+	// Per-block event lists: assignment (pending) and call (called).
+	type cEvent struct {
+		pos  token.Pos
+		key  string
+		bits uint8
+	}
+	events := make([][]cEvent, len(g.Blocks))
+	for i, b := range g.Blocks {
+		for _, node := range b.Nodes {
+			ast.Inspect(node, func(n ast.Node) bool {
+				switch m := n.(type) {
+				case *ast.FuncLit:
+					return false
+				case *ast.AssignStmt:
+					if len(m.Lhs) == 2 {
+						if id, ok := m.Lhs[1].(*ast.Ident); ok {
+							obj := p.Info.Defs[id]
+							if obj == nil {
+								obj = p.Info.Uses[id]
+							}
+							if v, ok := byObj[obj]; ok {
+								events[i] = append(events[i], cEvent{m.Pos(), v.key, cancelPending})
+							}
+						}
+					}
+				case *ast.CallExpr:
+					if id, ok := m.Fun.(*ast.Ident); ok {
+						if v, ok := byObj[p.Info.Uses[id]]; ok {
+							events[i] = append(events[i], cEvent{m.Pos(), v.key, cancelCalled})
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	transfer := func(b *cfg.Block, in dataflow.Bits) dataflow.Bits {
+		out := in
+		for _, e := range events[b.Index] {
+			if e.bits == cancelPending {
+				out = out.With(e.key, cancelPending)
+			} else {
+				out = out.With(e.key, cancelCalled)
+			}
+		}
+		return out
+	}
+	res := dataflow.Forward[dataflow.Bits](g, dataflow.BitsLattice{}, dataflow.Bits{}, transfer)
+	exitFacts := res.In[g.Exit.Index]
+	for _, v := range tracked {
+		if exitFacts[v.key]&cancelPending != 0 {
+			p.Reportf(v.assign, "the cancel func from context.%s is not called on every path to return; `defer cancel()` right after this assignment (or cancel before each early return)", v.maker)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+// Package dataflow is a small forward dataflow framework over the CFGs
+// of internal/lint/cfg: an analyzer supplies a join-semilattice of facts
+// and a per-block transfer function (its gen/kill logic), and Forward
+// iterates to a fixed point. Blocks are swept in index order — the
+// deterministic construction order of the builder — so two runs over the
+// same file always converge through identical intermediate states and
+// diagnostics derived from the results are stable.
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"cabd/internal/lint/cfg"
+)
+
+// Lattice describes the fact domain of one analysis.
+type Lattice[F any] interface {
+	// Bottom is the identity of Join: the fact of an unreachable path.
+	Bottom() F
+	// Join merges the facts of two incoming paths.
+	Join(a, b F) F
+	// Equal reports fact equality (fixed-point detection).
+	Equal(a, b F) bool
+}
+
+// Transfer applies one block's gen/kill effects to its incoming fact and
+// returns the outgoing fact. It must not mutate in.
+type Transfer[F any] func(b *cfg.Block, in F) F
+
+// Result holds the fixed-point facts, index-aligned with g.Blocks.
+type Result[F any] struct {
+	In  []F
+	Out []F
+}
+
+// Forward runs the analysis to a fixed point and returns the per-block
+// facts. entry seeds the In fact of the entry block; every other block
+// starts at Bottom. The sweep is round-robin over blocks in index order
+// and stops when a full round changes nothing; for a monotone transfer
+// over a finite lattice this terminates, and a generous round budget
+// turns a non-monotone bug into a loud failure instead of a hang.
+func Forward[F any](g *cfg.Graph, lat Lattice[F], entry F, tr Transfer[F]) Result[F] {
+	n := len(g.Blocks)
+	res := Result[F]{In: make([]F, n), Out: make([]F, n)}
+	for i := 0; i < n; i++ {
+		res.In[i] = lat.Bottom()
+		res.Out[i] = lat.Bottom()
+	}
+	res.In[g.Entry.Index] = entry
+	preds := g.Preds()
+
+	// Unreachable blocks (code after a terminator) keep Bottom facts: a
+	// fall-off-the-end edge from dead code must not feed the exit block.
+	reachable := make([]bool, n)
+	var mark func(b *cfg.Block)
+	mark = func(b *cfg.Block) {
+		if reachable[b.Index] {
+			return
+		}
+		reachable[b.Index] = true
+		for _, s := range b.Succs {
+			mark(s)
+		}
+	}
+	mark(g.Entry)
+
+	maxRounds := 2*n + 4
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			panic(fmt.Sprintf("dataflow: no fixed point after %d rounds over %d blocks (non-monotone transfer?)", round, n))
+		}
+		changed := false
+		for i := 0; i < n; i++ {
+			if !reachable[i] {
+				continue
+			}
+			b := g.Blocks[i]
+			in := res.In[i]
+			if i != g.Entry.Index {
+				in = lat.Bottom()
+				for _, p := range preds[i] {
+					in = lat.Join(in, res.Out[p.Index])
+				}
+			}
+			out := tr(b, in)
+			if !lat.Equal(in, res.In[i]) || !lat.Equal(out, res.Out[i]) {
+				changed = true
+			}
+			res.In[i] = in
+			res.Out[i] = out
+		}
+		if !changed {
+			return res
+		}
+	}
+}
+
+// Bits is the shared concrete fact domain of the lint analyzers: a
+// string-keyed map of bit sets (one key per tracked object — a lock
+// expression, a cancel variable), where Join is the per-key union. The
+// nil map is Bottom. Bits values are treated as immutable; transfer
+// functions copy before writing (see With).
+type Bits map[string]uint8
+
+// BitsLattice is the Lattice instance for Bits facts.
+type BitsLattice struct{}
+
+// Bottom returns the unreachable fact (nil map).
+func (BitsLattice) Bottom() Bits { return nil }
+
+// Join unions the two fact maps per key.
+func (BitsLattice) Join(a, b Bits) Bits {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := make(Bits, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] |= v
+	}
+	return out
+}
+
+// Equal reports per-key equality of the two fact maps.
+func (BitsLattice) Equal(a, b Bits) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// With returns a copy of f with key's bits replaced by set — the
+// copy-on-write helper transfer functions use to stay non-mutating. A
+// zero set deletes the key.
+func (f Bits) With(key string, set uint8) Bits {
+	out := make(Bits, len(f)+1)
+	for k, v := range f {
+		out[k] = v
+	}
+	if set == 0 {
+		delete(out, key)
+	} else {
+		out[key] = set
+	}
+	return out
+}
+
+// Keys returns the tracked keys in sorted order — diagnostics that
+// enumerate facts must not leak map iteration order.
+func (f Bits) Keys() []string {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

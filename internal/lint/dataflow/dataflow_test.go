@@ -1,0 +1,164 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"cabd/internal/lint/cfg"
+)
+
+func buildSnippet(t *testing.T, body string) *cfg.Graph {
+	t.Helper()
+	src := "package p\nfunc f() {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "snippet.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return cfg.Build(f.Decls[0].(*ast.FuncDecl).Body)
+}
+
+const (
+	bitHeld uint8 = 1 << iota
+	bitFree
+)
+
+// lockTransfer is a toy lock tracker: lk() sets held, un() sets free,
+// modeling the lockbalance analyzer's core.
+func lockTransfer(b *cfg.Block, in Bits) Bits {
+	out := in
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch id.Name {
+			case "lk":
+				out = out.With("mu", bitHeld)
+			case "un":
+				out = out.With("mu", bitFree)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// TestForwardBranchJoin: a lock released on only one branch joins to
+// held|free at the merge point.
+func TestForwardBranchJoin(t *testing.T) {
+	g := buildSnippet(t, `
+lk()
+if cond() {
+	un()
+}
+done()`)
+	res := Forward[Bits](g, BitsLattice{}, Bits{}, lockTransfer)
+	exitIn := res.In[g.Exit.Index]
+	if exitIn["mu"] != bitHeld|bitFree {
+		t.Fatalf("exit fact = %b, want held|free", exitIn["mu"])
+	}
+}
+
+// TestForwardAllPathsReleased: releasing on both branches resolves the
+// fact cleanly.
+func TestForwardAllPathsReleased(t *testing.T) {
+	g := buildSnippet(t, `
+lk()
+if cond() {
+	un()
+} else {
+	un()
+}`)
+	res := Forward[Bits](g, BitsLattice{}, Bits{}, lockTransfer)
+	if got := res.In[g.Exit.Index]["mu"]; got != bitFree {
+		t.Fatalf("exit fact = %b, want free", got)
+	}
+}
+
+// TestForwardLoopFixedPoint: a lock/unlock cycle inside a loop converges
+// and does not poison the loop exit.
+func TestForwardLoopFixedPoint(t *testing.T) {
+	g := buildSnippet(t, `
+for i := 0; i < 3; i++ {
+	lk()
+	un()
+}
+done()`)
+	res := Forward[Bits](g, BitsLattice{}, Bits{}, lockTransfer)
+	if got := res.In[g.Exit.Index]["mu"]; got&bitHeld != 0 {
+		t.Fatalf("exit fact = %b; loop-balanced lock must not be held at exit", got)
+	}
+}
+
+// TestForwardEarlyReturn: the held state of a return-while-locked path
+// reaches the exit block.
+func TestForwardEarlyReturn(t *testing.T) {
+	g := buildSnippet(t, `
+lk()
+if cond() {
+	return
+}
+un()`)
+	res := Forward[Bits](g, BitsLattice{}, Bits{}, lockTransfer)
+	if got := res.In[g.Exit.Index]["mu"]; got&bitHeld == 0 {
+		t.Fatalf("exit fact = %b, want held bit (early return holds the lock)", got)
+	}
+}
+
+// TestForwardUnreachable: code after return stays at Bottom and cannot
+// contribute facts.
+func TestForwardUnreachable(t *testing.T) {
+	g := buildSnippet(t, `
+return
+lk()`)
+	res := Forward[Bits](g, BitsLattice{}, Bits{}, lockTransfer)
+	for i, b := range g.Blocks {
+		if b.Kind == "unreachable" {
+			if res.In[i] != nil {
+				t.Fatalf("unreachable block In = %v, want nil (bottom)", res.In[i])
+			}
+		}
+	}
+	if got := res.In[g.Exit.Index]["mu"]; got != 0 {
+		t.Fatalf("exit fact = %b, want empty (lk() unreachable)", got)
+	}
+}
+
+func TestBitsHelpers(t *testing.T) {
+	lat := BitsLattice{}
+	a := Bits{"x": 1}
+	b := Bits{"x": 2, "y": 4}
+	j := lat.Join(a, b)
+	if j["x"] != 3 || j["y"] != 4 {
+		t.Fatalf("join = %v", j)
+	}
+	if a["x"] != 1 {
+		t.Fatal("join mutated input")
+	}
+	if lat.Join(nil, a)["x"] != 1 || lat.Join(a, nil)["x"] != 1 {
+		t.Fatal("bottom is not the join identity")
+	}
+	if !lat.Equal(a, Bits{"x": 1}) || lat.Equal(a, b) {
+		t.Fatal("equality broken")
+	}
+	c := a.With("z", 8)
+	if c["z"] != 8 || len(a) != 1 {
+		t.Fatal("With broken or mutating")
+	}
+	if d := c.With("z", 0); len(d) != 1 {
+		t.Fatalf("With zero must delete: %v", d)
+	}
+	keys := strings.Join(Bits{"b": 1, "a": 1, "c": 1}.Keys(), ",")
+	if keys != "a,b,c" {
+		t.Fatalf("Keys = %s", keys)
+	}
+}

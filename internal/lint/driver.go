@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"io"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"sync"
 )
 
 // Exit codes of the cabd-lint driver.
@@ -21,7 +23,7 @@ const (
 // arguments after the program name; the return value is the process exit
 // code.
 //
-// Usage: cabd-lint [-C dir] [-rules r1,r2] [-json] [packages]
+// Usage: cabd-lint [-C dir] [-rules r1,r2] [-json] [-parallel n] [packages]
 // Packages default to ./... relative to the module root.
 func Main(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cabd-lint", flag.ContinueOnError)
@@ -30,6 +32,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	rules := fs.String("rules", "", "comma-separated rule subset to run (default: all)")
 	asJSON := fs.Bool("json", false, "emit diagnostics as a JSON array instead of text")
 	list := fs.Bool("list", false, "list registered rules and exit")
+	par := fs.Int("parallel", runtime.GOMAXPROCS(0), "packages linted concurrently (1 = sequential); output is identical at any width")
 	if err := fs.Parse(args); err != nil {
 		return ExitError
 	}
@@ -64,20 +67,19 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitError
 	}
 
+	results := lintPackages(loader, *dir, paths, analyzers, *par)
+
+	// Merge in path order: the output (and the error chosen when several
+	// packages fail) is byte-identical at any -parallel width.
 	var diags []Diagnostic
-	for _, path := range paths {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			fmt.Fprintf(stderr, "cabd-lint: %v\n", err)
-			return ExitError
-		}
-		if len(pkg.TypeErrors) > 0 {
-			for _, terr := range pkg.TypeErrors {
-				fmt.Fprintf(stderr, "cabd-lint: %s: %v\n", path, terr)
+	for _, r := range results {
+		if len(r.errs) > 0 {
+			for _, line := range r.errs {
+				fmt.Fprint(stderr, line)
 			}
 			return ExitError
 		}
-		diags = append(diags, RunPackage(pkg, analyzers)...)
+		diags = append(diags, r.diags...)
 	}
 
 	// Report paths relative to the linted module so output is stable
@@ -112,4 +114,81 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		return ExitDiags
 	}
 	return ExitClean
+}
+
+// pkgResult is one package's lint outcome, slotted by path index so the
+// merge happens in deterministic path order regardless of which worker
+// finished first.
+type pkgResult struct {
+	diags []Diagnostic
+	errs  []string // pre-formatted stderr lines; non-empty means ExitError
+}
+
+// lintPackages loads and lints every path, fanning the packages out
+// across par workers. The Loader is not safe for concurrent use (its
+// caches and the source importer are unsynchronized), so the first
+// worker reuses the caller's loader and every additional worker builds
+// its own over the same module root. Unlike the sequential walk, a
+// failing package does not short-circuit the others — the merge in Main
+// reports the first error in path order, so the visible output is
+// unchanged.
+func lintPackages(loader *Loader, dir string, paths []string, analyzers []*Analyzer, par int) []pkgResult {
+	if par < 1 {
+		par = 1
+	}
+	if par > len(paths) {
+		par = len(paths)
+	}
+	results := make([]pkgResult, len(paths))
+	idx := make(chan int, len(paths))
+	for i := range paths {
+		idx <- i
+	}
+	close(idx)
+
+	run := func(l *Loader) {
+		for i := range idx {
+			path := paths[i]
+			pkg, err := l.Load(path)
+			if err != nil {
+				results[i].errs = []string{fmt.Sprintf("cabd-lint: %v\n", err)}
+				continue
+			}
+			if len(pkg.TypeErrors) > 0 {
+				for _, terr := range pkg.TypeErrors {
+					results[i].errs = append(results[i].errs, fmt.Sprintf("cabd-lint: %s: %v\n", path, terr))
+				}
+				continue
+			}
+			results[i].diags = RunPackage(pkg, analyzers)
+		}
+	}
+
+	if par == 1 {
+		run(loader)
+		return results
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < par; w++ {
+		wg.Add(1)
+		go func(first bool) {
+			defer wg.Done()
+			l := loader
+			if !first {
+				var err error
+				if l, err = NewLoader(dir); err != nil {
+					// The caller's NewLoader over the same dir succeeded, so
+					// this is out-of-band (e.g. the module vanished mid-run);
+					// drain our share of the queue with the error attached.
+					for i := range idx {
+						results[i].errs = []string{fmt.Sprintf("cabd-lint: %v\n", err)}
+					}
+					return
+				}
+			}
+			run(l)
+		}(w == 0)
+	}
+	wg.Wait()
+	return results
 }

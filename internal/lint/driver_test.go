@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -115,6 +116,47 @@ func TestDriverList(t *testing.T) {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing %s", name)
 		}
+	}
+}
+
+// TestDriverParallelDeterministic: the parallel driver must emit
+// byte-identical stdout and stderr to the sequential one, at every
+// width, over a module whose packages mix clean, single-finding and
+// multi-finding shapes.
+func TestDriverParallelDeterministic(t *testing.T) {
+	base := []string{"-C", filepath.Join("testdata", "parmod")}
+	refCode, refOut, refErr := runMain(append(base, "-parallel", "1")...)
+	if refCode != ExitDiags {
+		t.Fatalf("sequential exit = %d, want %d (stderr: %s)", refCode, ExitDiags, refErr)
+	}
+	// Findings from alpha, delta and gamma, merged in package-path order
+	// with intra-package order intact.
+	wantOrder := []string{
+		"alpha/alpha.go:9: [wallclock]",
+		"delta/delta.go:15: [lockbalance]",
+		"gamma/gamma.go:9: [seededrand]",
+		"gamma/gamma.go:14: [floateq]",
+	}
+	lines := strings.Split(strings.TrimSpace(refOut), "\n")
+	if len(lines) != len(wantOrder) {
+		t.Fatalf("sequential output has %d lines, want %d:\n%s", len(lines), len(wantOrder), refOut)
+	}
+	for i, prefix := range wantOrder {
+		if !strings.HasPrefix(lines[i], prefix) {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], prefix)
+		}
+	}
+	for _, width := range []int{2, 4, 8} {
+		code, out, errs := runMain(append(base, "-parallel", fmt.Sprint(width))...)
+		if code != refCode || out != refOut || errs != refErr {
+			t.Errorf("-parallel %d diverged: exit %d vs %d\nstdout:\n%s\nvs\n%s\nstderr:\n%q vs %q",
+				width, code, refCode, out, refOut, errs, refErr)
+		}
+	}
+	// JSON mode must be deterministic too.
+	_, refJSON, _ := runMain(append(base, "-json", "-parallel", "1")...)
+	if _, gotJSON, _ := runMain(append(base, "-json", "-parallel", "8")...); gotJSON != refJSON {
+		t.Errorf("-json -parallel 8 diverged:\n%s\nvs\n%s", gotJSON, refJSON)
 	}
 }
 

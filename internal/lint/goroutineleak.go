@@ -1,0 +1,233 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+var analyzerGoroutineleak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "a goroutine that sends or receives on a locally-created " +
+		"unbuffered channel must have an escape route — a select with a " +
+		"default clause or a second case (ctx.Done/stop channel); a bare " +
+		"blocking op leaks the goroutine forever when its peer never " +
+		"arrives (the shard-mailbox and worker-pool shapes pass: bounded " +
+		"mailboxes are buffered and their loops select on a stop channel)",
+	Run: func(p *Pass) {
+		forEachFuncBody(p, func(name string, body *ast.BlockStmt) {
+			checkGoroutineLeak(p, body)
+		})
+	},
+}
+
+// unbufferedChans collects the objects of channels this body provably
+// creates unbuffered: `ch := make(chan T)` or `make(chan T, 0)`.
+// Channels received as parameters or fields have unknown capacity and
+// are not tracked — the rule only fires on locally-sealed shapes.
+func unbufferedChans(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "make" {
+			return
+		}
+		if len(call.Args) == 0 {
+			return
+		}
+		if t := p.Info.TypeOf(call.Args[0]); t == nil {
+			return
+		} else if _, isChan := t.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if len(call.Args) >= 2 {
+			tv, ok := p.Info.Types[call.Args[1]]
+			if !ok || tv.Value == nil {
+				return // non-constant capacity: assume buffered
+			}
+			if cap, ok := constant.Int64Val(tv.Value); !ok || cap != 0 {
+				return
+			}
+		}
+		obj := p.Info.Defs[id]
+		if obj == nil {
+			obj = p.Info.Uses[id]
+		}
+		if obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch m := n.(type) {
+		case *ast.FuncLit:
+			return false // separate analysis root
+		case *ast.AssignStmt:
+			if len(m.Lhs) == len(m.Rhs) {
+				for i := range m.Lhs {
+					record(m.Lhs[i], m.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(m.Names) == len(m.Values) {
+				for i := range m.Names {
+					record(m.Names[i], m.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// closedChans collects the channels this body closes anywhere (including
+// inside literals and goroutines). A close releases blocked receivers and
+// rangers, so the creator closing the channel is an escape route for them
+// — the start-gate pattern: workers park on <-gate, close(gate) fires all.
+func closedChans(p *Pass, body *ast.BlockStmt) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "close" {
+			return true
+		}
+		if _, isBuiltin := p.useOf(fn).(*types.Builtin); !isBuiltin {
+			return true
+		}
+		if obj := chanObjOf(p, call.Args[0]); obj != nil {
+			out[obj] = true
+		}
+		return true
+	})
+	return out
+}
+
+// chanObjOf resolves a channel expression to its object when it is a
+// plain identifier.
+func chanObjOf(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return p.Info.Uses[id]
+}
+
+// selectEscapes reports whether the select statement offers an escape
+// from a blocked comm: a default clause, or at least two comm cases
+// (one can be a stop/ctx.Done channel that releases the goroutine).
+func selectEscapes(sel *ast.SelectStmt) bool {
+	comms := 0
+	for _, cc := range sel.Body.List {
+		if cc.(*ast.CommClause).Comm == nil {
+			return true // default: never parks
+		}
+		comms++
+	}
+	return comms >= 2
+}
+
+func checkGoroutineLeak(p *Pass, body *ast.BlockStmt) {
+	unbuffered := unbufferedChans(p, body)
+	if len(unbuffered) == 0 {
+		return
+	}
+	closed := closedChans(p, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		lit, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true // opaque callee: capacity contract unknowable here
+		}
+		checkGoroutineBody(p, lit.Body, unbuffered, closed, nil)
+		return true
+	})
+}
+
+// checkGoroutineBody walks a goroutine literal's body, flagging blocking
+// ops on the tracked unbuffered channels that sit outside any escaping
+// select. Receives and ranges on channels the creator closes are exempt
+// (the close releases them). selStack carries the enclosing selects.
+func checkGoroutineBody(p *Pass, body ast.Node, unbuffered, closed map[types.Object]bool, selStack []*ast.SelectStmt) {
+	escaped := func() bool {
+		for _, s := range selStack {
+			if selectEscapes(s) {
+				return true
+			}
+		}
+		return false
+	}
+	report := func(pos ast.Node, op, name string) {
+		if escaped() {
+			return
+		}
+		p.Reportf(pos.Pos(), "goroutine %s on unbuffered channel %s has no select-with-default/second-case escape; if the other side never arrives the goroutine leaks forever — add a ctx.Done()/stop case or give the channel capacity", op, name)
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch m := n.(type) {
+		case nil:
+			return
+		case *ast.SelectStmt:
+			selStack = append(selStack, m)
+			for _, cc := range m.Body.List {
+				clause := cc.(*ast.CommClause)
+				if clause.Comm != nil {
+					walk(clause.Comm)
+				}
+				for _, s := range clause.Body {
+					walk(s)
+				}
+			}
+			selStack = selStack[:len(selStack)-1]
+			return
+		case *ast.SendStmt:
+			if obj := chanObjOf(p, m.Chan); obj != nil && unbuffered[obj] {
+				report(m, "sends", obj.Name())
+			}
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				if obj := chanObjOf(p, m.X); obj != nil && unbuffered[obj] && !closed[obj] {
+					report(m, "receives", obj.Name())
+				}
+			}
+		case *ast.RangeStmt:
+			if obj := chanObjOf(p, m.X); obj != nil && unbuffered[obj] && !closed[obj] {
+				// Ranging an unbuffered channel is fine only if someone
+				// closes it; without a close or an escape the goroutine
+				// parks forever.
+				report(m, "ranges", obj.Name())
+			}
+		}
+		// Generic descent (nested literals included: they still run
+		// inside this goroutine's lifetime w.r.t. the leak).
+		var children []ast.Node
+		ast.Inspect(n, func(k ast.Node) bool {
+			if k == nil || k == n {
+				return true
+			}
+			children = append(children, k)
+			return false
+		})
+		for _, c := range children {
+			walk(c)
+		}
+	}
+	walk(body)
+}

@@ -200,6 +200,10 @@ func All() []*Analyzer {
 		analyzerRecoverwrap,
 		analyzerCtxdiscipline,
 		analyzerHttpbody,
+		analyzerLockbalance,
+		analyzerCtxcancel,
+		analyzerGoroutineleak,
+		analyzerHotalloc,
 	}
 }
 

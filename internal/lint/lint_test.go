@@ -101,6 +101,10 @@ func TestFloateqFixture(t *testing.T)       { runFixture(t, "floateq", "floateq"
 func TestRecoverwrapFixture(t *testing.T)   { runFixture(t, "recoverwrap", "recoverwrap") }
 func TestCtxdisciplineFixture(t *testing.T) { runFixture(t, "ctxdiscipline", "ctxdiscipline") }
 func TestHttpbodyFixture(t *testing.T)      { runFixture(t, "httpbody", "httpbody") }
+func TestLockbalanceFixture(t *testing.T)   { runFixture(t, "lockbalance", "lockbalance") }
+func TestCtxcancelFixture(t *testing.T)     { runFixture(t, "ctxcancel", "ctxcancel") }
+func TestGoroutineleakFixture(t *testing.T) { runFixture(t, "goroutineleak", "goroutineleak") }
+func TestHotallocFixture(t *testing.T)      { runFixture(t, "hotalloc", "hotalloc") }
 
 // TestObsPackageExempt: the Clock's home package may read time.Now.
 func TestObsPackageExempt(t *testing.T) { runFixture(t, "internal/obs", "wallclock") }
@@ -176,7 +180,11 @@ func TestSelect(t *testing.T) {
 
 func TestNamesStable(t *testing.T) {
 	names := Names()
-	wantNames := []string{"wallclock", "maporder", "seededrand", "floateq", "recoverwrap", "ctxdiscipline", "httpbody"}
+	wantNames := []string{
+		"wallclock", "maporder", "seededrand", "floateq", "recoverwrap",
+		"ctxdiscipline", "httpbody", "lockbalance", "ctxcancel",
+		"goroutineleak", "hotalloc",
+	}
 	if strings.Join(names, ",") != strings.Join(wantNames, ",") {
 		t.Fatalf("Names() = %v, want %v", names, wantNames)
 	}

@@ -1,0 +1,346 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"cabd/internal/lint/cfg"
+	"cabd/internal/lint/dataflow"
+)
+
+// Lock-fact bits: which mode of the mutex is held.
+const (
+	lockWrite uint8 = 1 << iota // Lock .. Unlock
+	lockRead                    // RLock .. RUnlock
+)
+
+// lockEvent is one ordered occurrence inside a basic block that the
+// lockbalance transfer or reporting pass cares about.
+type lockEvent struct {
+	pos  token.Pos
+	kind lockEventKind
+	key  string // lock expression ("s.mu") for acquire/release
+	what string // human description for blocking/ctx-call events
+	bit  uint8  // lockWrite or lockRead for acquire/release
+}
+
+type lockEventKind int
+
+const (
+	evAcquire lockEventKind = iota
+	evRelease
+	evBlocking // channel send/receive/range that can park the goroutine
+	evCtxCall  // call into the DetectCtx family (unbounded work)
+)
+
+var analyzerLockbalance = &Analyzer{
+	Name: "lockbalance",
+	Doc: "every sync.Mutex/RWMutex Lock must be Unlocked on all paths to " +
+		"return (defer-aware, via the CFG dataflow pass), and no blocking " +
+		"channel operation or ...Ctx call may run while the lock is held — " +
+		"a parked or long-running critical section stalls every other " +
+		"goroutine on the mutex",
+	Run: func(p *Pass) {
+		forEachFuncBody(p, func(name string, body *ast.BlockStmt) {
+			checkLockBalance(p, body)
+		})
+	},
+}
+
+// forEachFuncBody visits every function body of the package: named
+// declarations and function literals, each as its own intraprocedural
+// analysis root (a literal's body is excluded from its enclosing
+// function's walk by the CFG builder treating it as a plain node).
+func forEachFuncBody(p *Pass, fn func(name string, body *ast.BlockStmt)) {
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Name.Name, d.Body)
+				}
+			case *ast.FuncLit:
+				fn("func literal", d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// mutexMethod resolves a call's callee to a sync.Mutex/RWMutex lock
+// method and the lock key it operates on; ok is false for anything else.
+func mutexMethod(p *Pass, call *ast.CallExpr) (key string, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := p.useOf(sel.Sel).(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	rt := recv.Type()
+	if ptr, isPtr := rt.(*types.Pointer); isPtr {
+		rt = ptr.Elem()
+	}
+	named, isNamed := rt.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	switch named.Obj().Name() {
+	case "Mutex", "RWMutex":
+	default:
+		return "", "", false
+	}
+	key = exprString(sel.X)
+	if key == "" {
+		return "", "", false // dynamic lock expression; not trackable
+	}
+	return key, fn.Name(), true
+}
+
+// posRange is a half-open source interval.
+type posRange struct{ lo, hi token.Pos }
+
+func (r posRange) contains(p token.Pos) bool { return p >= r.lo && p < r.hi }
+
+// nonBlockingComms collects the source ranges of comm statements that
+// belong to a select with a default clause — those operations never
+// park the goroutine.
+func nonBlockingComms(body *ast.BlockStmt) []posRange {
+	var out []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cc := range sel.Body.List {
+			if cc.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cc := range sel.Body.List {
+			if comm := cc.(*ast.CommClause).Comm; comm != nil {
+				out = append(out, posRange{comm.Pos(), comm.End()})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// lockEvents extracts the ordered lock-relevant events of one CFG block.
+// Function literals nested in the block run at some other time and are
+// skipped — they are separate analysis roots.
+func lockEvents(p *Pass, b *cfg.Block, exempt []posRange) []lockEvent {
+	var events []lockEvent
+	isExempt := func(pos token.Pos) bool {
+		for _, r := range exempt {
+			if r.contains(pos) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, node := range b.Nodes {
+		ast.Inspect(node, func(n ast.Node) bool {
+			switch m := n.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.DeferStmt:
+				// Deferred releases run at exit, not here; they are
+				// credited by deferredReleases instead.
+				return false
+			case *ast.CallExpr:
+				if key, name, ok := mutexMethod(p, m); ok {
+					switch name {
+					case "Lock":
+						events = append(events, lockEvent{m.Pos(), evAcquire, key, "", lockWrite})
+					case "RLock":
+						events = append(events, lockEvent{m.Pos(), evAcquire, key, "", lockRead})
+					case "Unlock":
+						events = append(events, lockEvent{m.Pos(), evRelease, key, "", lockWrite})
+					case "RUnlock":
+						events = append(events, lockEvent{m.Pos(), evRelease, key, "", lockRead})
+					}
+					return true
+				}
+				if name := calleeName(m); strings.HasSuffix(name, "Ctx") && name != "Ctx" {
+					events = append(events, lockEvent{m.Pos(), evCtxCall, "", name, 0})
+				}
+			case *ast.SendStmt:
+				if !isExempt(m.Pos()) {
+					events = append(events, lockEvent{m.Pos(), evBlocking, "", "channel send", 0})
+				}
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && !isExempt(m.Pos()) {
+					events = append(events, lockEvent{m.Pos(), evBlocking, "", "channel receive", 0})
+				}
+			}
+			return true
+		})
+		// A range.head block's node is the ranged expression; over a
+		// channel it parks until the channel closes.
+		if b.Kind == "range.head" {
+			if e, isExpr := node.(ast.Expr); isExpr {
+				if t := p.Info.TypeOf(e); t != nil {
+					if _, isChan := t.Underlying().(*types.Chan); isChan {
+						events = append(events, lockEvent{e.Pos(), evBlocking, "", "range over channel", 0})
+					}
+				}
+			}
+		}
+	}
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// calleeName returns the bare name of a call's callee ident/selector.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}
+
+// deferredReleases scans the function's defer statements (including
+// deferred function literals) for unlock calls, returning the released
+// bits per lock key — a deferred release runs at every exit.
+func deferredReleases(p *Pass, g *cfg.Graph) map[string]uint8 {
+	released := map[string]uint8{}
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, name, ok := mutexMethod(p, call); ok {
+				switch name {
+				case "Unlock":
+					released[key] |= lockWrite
+				case "RUnlock":
+					released[key] |= lockRead
+				}
+			}
+			return true
+		})
+	}
+	return released
+}
+
+func checkLockBalance(p *Pass, body *ast.BlockStmt) {
+	// Fast path: a function that never locks needs no CFG.
+	touches := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := mutexMethod(p, call); ok {
+				touches = true
+				return false
+			}
+		}
+		return !touches
+	})
+	if !touches {
+		return
+	}
+
+	g := cfg.Build(body)
+	exempt := nonBlockingComms(body)
+	events := make([][]lockEvent, len(g.Blocks))
+	for i, b := range g.Blocks {
+		events[i] = lockEvents(p, b, exempt)
+	}
+	transfer := func(b *cfg.Block, in dataflow.Bits) dataflow.Bits {
+		out := in
+		for _, e := range events[b.Index] {
+			switch e.kind {
+			case evAcquire:
+				out = out.With(e.key, out[e.key]|e.bit)
+			case evRelease:
+				out = out.With(e.key, out[e.key]&^e.bit)
+			}
+		}
+		return out
+	}
+	res := dataflow.Forward[dataflow.Bits](g, dataflow.BitsLattice{}, dataflow.Bits{}, transfer)
+
+	released := deferredReleases(p, g)
+
+	// Reporting pass 1: blocking operations and ...Ctx calls inside a
+	// critical section, replayed once over the fixed-point In facts.
+	for i, b := range g.Blocks {
+		cur := res.In[i]
+		if cur == nil && b != g.Entry {
+			continue // unreachable
+		}
+		for _, e := range events[i] {
+			switch e.kind {
+			case evAcquire:
+				cur = cur.With(e.key, cur[e.key]|e.bit)
+			case evRelease:
+				cur = cur.With(e.key, cur[e.key]&^e.bit)
+			case evBlocking, evCtxCall:
+				for _, key := range cur.Keys() {
+					if cur[key] == 0 {
+						continue
+					}
+					what := e.what
+					if e.kind == evCtxCall {
+						what = "call to " + e.what
+					}
+					p.Reportf(e.pos, "%s while %s is held can stall every goroutine contending for the lock; release it first (or hand the work to a channel outside the critical section)", what, key)
+				}
+			}
+		}
+	}
+
+	// Reporting pass 2: locks still held at function exit with no
+	// deferred release.
+	exitFacts := res.In[g.Exit.Index]
+	for _, key := range exitFacts.Keys() {
+		held := exitFacts[key] &^ released[key]
+		if held == 0 {
+			continue
+		}
+		pos := firstAcquirePos(events, key, held)
+		mode := "Lock"
+		if held&lockWrite == 0 {
+			mode = "RLock"
+		}
+		p.Reportf(pos, "%s.%s is not released on every path to return; unlock before each return or `defer %s.Unlock()` right after acquiring", key, mode, key)
+	}
+}
+
+// firstAcquirePos finds the earliest acquire of key with one of the
+// leaked bits, for diagnostic anchoring.
+func firstAcquirePos(events [][]lockEvent, key string, bits uint8) token.Pos {
+	best := token.Pos(0)
+	for _, evs := range events {
+		for _, e := range evs {
+			if e.kind == evAcquire && e.key == key && e.bit&bits != 0 {
+				if best == 0 || e.pos < best {
+					best = e.pos
+				}
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,10 @@
+// Package alpha carries one wallclock violation for the parallel-driver
+// determinism test.
+package alpha
+
+import "time"
+
+// Stamp reads the wall clock directly.
+func Stamp() time.Time {
+	return time.Now()
+}

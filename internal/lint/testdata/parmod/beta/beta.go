@@ -1,0 +1,9 @@
+// Package beta is clean: the parallel driver must not invent findings.
+package beta
+
+// Double is allocation- and violation-free.
+func Double(xs []float64) {
+	for i := range xs {
+		xs[i] *= 2
+	}
+}

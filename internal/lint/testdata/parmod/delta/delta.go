@@ -1,0 +1,23 @@
+// Package delta leaks a mutex on one path, exercising a CFG-backed rule
+// through the parallel driver.
+package delta
+
+import "sync"
+
+// Counter is a lock-guarded tally.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BumpIf leaks c.mu on the early-return path.
+func (c *Counter) BumpIf(ok bool) int {
+	c.mu.Lock()
+	if !ok {
+		return 0
+	}
+	c.n++
+	v := c.n
+	c.mu.Unlock()
+	return v
+}

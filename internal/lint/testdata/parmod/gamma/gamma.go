@@ -1,0 +1,15 @@
+// Package gamma carries two violations so the merge preserves intra-
+// package diagnostic order too.
+package gamma
+
+import "math/rand"
+
+// Roll draws from the global source.
+func Roll() float64 {
+	return rand.Float64()
+}
+
+// Same compares floats exactly.
+func Same(a, b float64) bool {
+	return a == b
+}

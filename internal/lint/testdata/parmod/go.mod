@@ -1,0 +1,3 @@
+module parmod
+
+go 1.22

@@ -1,0 +1,94 @@
+// Package ctxcancel is a lint fixture: cancel funcs from the context
+// constructors must run on every path.
+package ctxcancel
+
+import (
+	"context"
+	"time"
+)
+
+// okDefer: the canonical shape.
+func okDefer(parent context.Context) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second)
+	defer cancel()
+	return work(ctx)
+}
+
+// okDeferredLiteral: deferred closure calling cancel.
+func okDeferredLiteral(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer func() {
+		cancel()
+	}()
+	return work(ctx)
+}
+
+// okAllPaths: explicitly cancelled before each return.
+func okAllPaths(parent context.Context, fast bool) error {
+	ctx, cancel := context.WithCancel(parent)
+	if fast {
+		err := work(ctx)
+		cancel()
+		return err
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// okHandedOff: passing the cancel on transfers ownership.
+func okHandedOff(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	park(cancel)
+	return work(ctx)
+}
+
+// okCapturedByGoroutine: a goroutine literal owns the call now.
+func okCapturedByGoroutine(parent context.Context) error {
+	ctx, cancel := context.WithCancel(parent)
+	done := make(chan struct{}, 1)
+	go func() {
+		<-done
+		cancel()
+	}()
+	return work(ctx)
+}
+
+type job struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// okStoredInStruct: the literal that keeps the cancel owns the call now
+// (the server's session table stores its cancel this way).
+func okStoredInStruct(parent context.Context) *job {
+	ctx, cancel := context.WithCancel(parent)
+	return &job{ctx: ctx, cancel: cancel}
+}
+
+// badDiscarded: the cancel func is dropped at birth.
+func badDiscarded(parent context.Context) error {
+	ctx, _ := context.WithTimeout(parent, time.Second) // want ctxcancel "cancel func from context.WithTimeout is discarded"
+	return work(ctx)
+}
+
+// badEarlyReturn: the error path skips the cancel.
+func badEarlyReturn(parent context.Context, pre func() error) error {
+	ctx, cancel := context.WithTimeout(parent, time.Second) // want ctxcancel "cancel func from context.WithTimeout is not called on every path"
+	if err := pre(); err != nil {
+		return err
+	}
+	err := work(ctx)
+	cancel()
+	return err
+}
+
+// badNeverCalled: no path calls cancel at all.
+func badNeverCalled(parent context.Context) error {
+	ctx, cancel := context.WithDeadline(parent, time.Unix(0, 0)) // want ctxcancel "cancel func from context.WithDeadline is not called on every path"
+	_ = cancel
+	return work(ctx)
+}
+
+func work(ctx context.Context) error { return ctx.Err() }
+func park(fn context.CancelFunc)     { fn() }

@@ -1,0 +1,148 @@
+// Package goroutineleak is a lint fixture: goroutines blocked on
+// locally-created unbuffered channels with no escape route.
+package goroutineleak
+
+import "context"
+
+// badBareSend: nobody may ever receive; the goroutine leaks.
+func badBareSend(compute func() int) {
+	results := make(chan int)
+	go func() {
+		results <- compute() // want goroutineleak "goroutine sends on unbuffered channel results"
+	}()
+}
+
+// badBareRecv: the receive parks forever if the peer is gone.
+func badBareRecv(stop func()) {
+	ready := make(chan struct{})
+	go func() {
+		<-ready // want goroutineleak "goroutine receives on unbuffered channel ready"
+		stop()
+	}()
+}
+
+// badRangeUnbuffered: ranging an unbuffered channel with no escape.
+func badRangeUnbuffered(handle func(int)) {
+	jobs := make(chan int, 0)
+	go func() {
+		for j := range jobs { // want goroutineleak "goroutine ranges on unbuffered channel jobs"
+			handle(j)
+		}
+	}()
+}
+
+// okSelectCtx: the ctx.Done case releases the goroutine.
+func okSelectCtx(ctx context.Context, compute func() int) {
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- compute():
+		case <-ctx.Done():
+		}
+	}()
+}
+
+// okSelectDefault: the default clause makes the send non-blocking.
+func okSelectDefault(compute func() int) {
+	results := make(chan int)
+	go func() {
+		select {
+		case results <- compute():
+		default:
+		}
+	}()
+}
+
+// okBuffered: capacity decouples the send from the receiver.
+func okBuffered(compute func() int) {
+	results := make(chan int, 1)
+	go func() {
+		results <- compute()
+	}()
+}
+
+// okWorkerPool: the worker-pool shape — jobs channel with capacity,
+// workers range it, the pool closes it.
+func okWorkerPool(n int, handle func(int)) {
+	jobs := make(chan int, n)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for j := range jobs {
+				handle(j)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+}
+
+// okStartGate: workers park on an unbuffered gate that the creator
+// unconditionally closes — the close releases every receiver at once.
+func okStartGate(n int, work func()) {
+	gate := make(chan struct{})
+	for i := 0; i < n; i++ {
+		go func() {
+			<-gate
+			work()
+		}()
+	}
+	close(gate)
+}
+
+// mailboxCall mirrors the server's shard-mailbox shape: a bounded
+// (buffered) mailbox plus a stop channel, drained in a two-case select.
+type mailboxCall struct {
+	fn   func()
+	done chan struct{}
+}
+
+// okShardMailbox: the registry's per-shard goroutine must pass — its
+// mailbox is buffered and the stop case releases the loop. The inner
+// receive on c.done happens on a channel the rule does not track
+// (created per call, closed by the shard), and the submit side uses a
+// shedding select-with-default.
+func okShardMailbox(depth int) (submit func(func()) bool, stop func()) {
+	mailbox := make(chan mailboxCall, depth)
+	stopCh := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case c := <-mailbox:
+				c.fn()
+				close(c.done)
+			case <-stopCh:
+				return
+			}
+		}
+	}()
+	submit = func(fn func()) bool {
+		c := mailboxCall{fn: fn, done: make(chan struct{})}
+		select {
+		case mailbox <- c:
+		default:
+			return false // full mailbox sheds instead of blocking
+		}
+		<-c.done
+		return true
+	}
+	stop = func() { close(stopCh) }
+	return submit, stop
+}
+
+// badLeakyMailbox: the leaky variant — an unbuffered mailbox whose
+// drain loop has no stop case can never be released once submitters
+// stop arriving, and the bare send blocks producers forever.
+func badLeakyMailbox() func(func()) {
+	mailbox := make(chan func())
+	go func() {
+		for {
+			job := <-mailbox // want goroutineleak "goroutine receives on unbuffered channel mailbox"
+			job()
+		}
+	}()
+	return func(fn func()) {
+		mailbox <- fn // outside a goroutine: the caller blocks, not a leaked goroutine
+	}
+}

@@ -1,0 +1,97 @@
+// Package hotalloc is a lint fixture: //cabd:hotpath functions must not
+// allocate.
+package hotalloc
+
+import "sync"
+
+type scratch struct {
+	buf []float64
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+// okPooledFill draws scratch from the pool, grows it only under a cap
+// guard, writes by index, and compacts with the append(x[:0], ...)
+// reuse idiom — every exemption the rule grants, in one function.
+//
+//cabd:hotpath
+func okPooledFill(dst *scratch, src []float64, n int) {
+	if cap(dst.buf) < n {
+		dst.buf = make([]float64, n) // growth-guarded: cold by contract
+	}
+	dst.buf = dst.buf[:n]
+	for i := 0; i < n && i < len(src); i++ {
+		dst.buf[i] = 2 * src[i]
+	}
+	dst.buf = append(dst.buf[:0], dst.buf...)
+}
+
+// okPoolDraw: sync.Pool Get/Put are the sanctioned scratch source —
+// Put's interface parameter is exempt from the boxing check.
+//
+//cabd:hotpath
+func okPoolDraw(src []float64) float64 {
+	s := pool.Get().(*scratch)
+	total := 0.0
+	for _, v := range src {
+		total += v
+	}
+	pool.Put(s)
+	return total
+}
+
+// unannotated functions may allocate freely.
+func okUnannotated(n int) []float64 {
+	out := make([]float64, n)
+	return append(out, 1)
+}
+
+//cabd:hotpath
+func badMake(n int) []float64 {
+	return make([]float64, n) // want hotalloc "make in hot path badMake allocates"
+}
+
+//cabd:hotpath
+func badAppend(xs []float64, v float64) []float64 {
+	return append(xs, v) // want hotalloc "append in hot path badAppend may grow"
+}
+
+//cabd:hotpath
+func badClosure(xs []float64) func() float64 {
+	return func() float64 { // want hotalloc "closure literal in hot path badClosure allocates"
+		return xs[0]
+	}
+}
+
+//cabd:hotpath
+func badNew() *scratch {
+	return new(scratch) // want hotalloc "new in hot path badNew allocates"
+}
+
+//cabd:hotpath
+func badSliceLit() []float64 {
+	return []float64{1, 2, 3} // want hotalloc "composite literal in hot path badSliceLit allocates"
+}
+
+//cabd:hotpath
+func badGo(fn func()) {
+	go fn() // want hotalloc "goroutine spawn in hot path badGo"
+}
+
+func sink(v any) {}
+
+//cabd:hotpath
+func badBoxing(x float64) {
+	sink(x) // want hotalloc "boxes a float64 into an interface parameter in hot path badBoxing"
+}
+
+//cabd:hotpath
+func badStringConv(bs []byte) string {
+	return string(bs) // want hotalloc "conversion in hot path badStringConv copies"
+}
+
+//cabd:hotpath
+func okIgnored(n int) []float64 {
+	//cabd:lint-ignore hotalloc fixture proves the escape hatch applies here
+	return make([]float64, n)
+}

@@ -1,0 +1,133 @@
+// Package lockbalance is a lint fixture: mutexes must be released on
+// every exit path and critical sections must not park or run unbounded
+// work.
+package lockbalance
+
+import (
+	"context"
+	"sync"
+)
+
+type store struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	items map[string]int
+	ch    chan int
+}
+
+// okStraightLine: balanced lock/unlock.
+func (s *store) okStraightLine(k string, v int) {
+	s.mu.Lock()
+	s.items[k] = v
+	s.mu.Unlock()
+}
+
+// okDefer: the deferred unlock covers every path, including the early
+// return.
+func (s *store) okDefer(k string) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false
+	}
+	return v, true
+}
+
+// okDeferredLiteral: the unlock may live in a deferred closure.
+func (s *store) okDeferredLiteral(k string) int {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	return s.items[k]
+}
+
+// okBothBranches: released on the then and the else path.
+func (s *store) okBothBranches(k string, cond bool) int {
+	s.mu.Lock()
+	if cond {
+		v := s.items[k]
+		s.mu.Unlock()
+		return v
+	}
+	s.mu.Unlock()
+	return 0
+}
+
+// okReadLock: balanced RLock/RUnlock.
+func (s *store) okReadLock(k string) int {
+	s.rw.RLock()
+	v := s.items[k]
+	s.rw.RUnlock()
+	return v
+}
+
+// badEarlyReturn: the error path returns with the mutex still held.
+func (s *store) badEarlyReturn(k string) (int, bool) {
+	s.mu.Lock() // want lockbalance "s.mu.Lock is not released on every path"
+	v, ok := s.items[k]
+	if !ok {
+		return 0, false
+	}
+	s.mu.Unlock()
+	return v, true
+}
+
+// badReadLeak: the RLock leaks on the found path.
+func (s *store) badReadLeak(k string) int {
+	s.rw.RLock() // want lockbalance "s.rw.RLock is not released on every path"
+	if v, ok := s.items[k]; ok {
+		return v
+	}
+	s.rw.RUnlock()
+	return 0
+}
+
+// badSendWhileLocked: a blocking send inside the critical section.
+func (s *store) badSendWhileLocked(v int) {
+	s.mu.Lock()
+	s.ch <- v // want lockbalance "channel send while s.mu is held"
+	s.mu.Unlock()
+}
+
+// badRecvWhileLocked: a blocking receive inside the critical section.
+func (s *store) badRecvWhileLocked() int {
+	s.mu.Lock()
+	v := <-s.ch // want lockbalance "channel receive while s.mu is held"
+	s.mu.Unlock()
+	return v
+}
+
+// okSelectDefault: a non-blocking send (select with default) may run
+// under the lock.
+func (s *store) okSelectDefault(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// badDetectWhileLocked: unbounded ...Ctx work inside the critical
+// section.
+func (s *store) badDetectWhileLocked(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.detectCtx(ctx) // want lockbalance "call to detectCtx while s.mu is held"
+}
+
+// okDetectOutsideLock: the ...Ctx call runs after the release.
+func (s *store) okDetectOutsideLock(ctx context.Context) error {
+	s.mu.Lock()
+	s.items["pending"]++
+	s.mu.Unlock()
+	return s.detectCtx(ctx)
+}
+
+func (s *store) detectCtx(ctx context.Context) error {
+	return ctx.Err()
+}

@@ -7,6 +7,8 @@ package forest
 // (row i occupies [i*k, (i+1)*k)); dst is reused when it has capacity.
 // Accumulation visits trees in index order per element, so every row is
 // bit-identical to PredictProba on that row.
+//
+//cabd:hotpath
 func (f *Forest) PredictProbaBatch(m Matrix, dst []float64) []float64 {
 	k := f.numClasses
 	need := m.N * k

@@ -324,18 +324,26 @@ func (s *session) status() httpapi.SessionStatus {
 // query is pending or the index does not match the pending candidate.
 func (s *session) deliver(index int, lbl cabd.Label) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.state != httpapi.StateAwaitingLabel || s.pending == nil {
-		return fmt.Errorf("session %s has no pending query (state %s)", s.id, s.state)
+		state := s.state
+		s.mu.Unlock()
+		return fmt.Errorf("session %s has no pending query (state %s)", s.id, state)
 	}
 	if index != s.pending.index {
-		return fmt.Errorf("label is for index %d but the pending query is index %d", index, s.pending.index)
+		pending := s.pending.index
+		s.mu.Unlock()
+		return fmt.Errorf("label is for index %d but the pending query is index %d", index, pending)
 	}
-	s.pending.answer <- lbl // buffered; exactly one send per pending query
+	// Claim the pending query under the lock, send outside it: clearing
+	// s.pending guarantees exactly one sender, and the answer channel is
+	// buffered, so the send below can never park.
+	answer := s.pending.answer
 	s.pending = nil
 	s.state = httpapi.StateRunning
 	s.labels = append(s.labels, labelRecord{Index: index, Label: lbl.String()})
 	s.last = s.srv.clock.Now()
+	s.mu.Unlock()
+	answer <- lbl
 	return nil
 }
 

@@ -46,6 +46,43 @@ func Std(xs []float64) float64 {
 	return math.Sqrt(Variance(xs))
 }
 
+// Variance2 returns the population variance of the virtual concatenation
+// a++b without materializing it. Both passes (mean, then squared
+// deviations) visit a before b, so the accumulation order — and therefore
+// the float64 result — is bit-identical to Variance(append(a, b...)).
+// It exists for the scoring hot path, which needs the variance of a
+// window with its center span cut out.
+func Variance2(a, b []float64) float64 {
+	n := len(a) + len(b)
+	if n < 2 {
+		return 0
+	}
+	var s float64
+	for _, x := range a {
+		s += x
+	}
+	for _, x := range b {
+		s += x
+	}
+	m := s / float64(n)
+	s = 0
+	for _, x := range a {
+		d := x - m
+		s += d * d
+	}
+	for _, x := range b {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(n)
+}
+
+// Std2 returns the population standard deviation of the virtual
+// concatenation a++b, bit-identical to Std(append(a, b...)).
+func Std2(a, b []float64) float64 {
+	return math.Sqrt(Variance2(a, b))
+}
+
 // SampleVariance returns the unbiased sample variance (divide by n-1).
 func SampleVariance(xs []float64) float64 {
 	if len(xs) < 2 {

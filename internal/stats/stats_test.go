@@ -43,6 +43,35 @@ func TestVarianceAndStd(t *testing.T) {
 	}
 }
 
+// TestStd2BitIdentical: Variance2/Std2 over the split pair must match the
+// materialized concatenation bit for bit — the scoring hot path swaps one
+// for the other and results may not drift by even one ulp.
+func TestStd2BitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(40)
+		cut := 0
+		if n > 0 {
+			cut = rng.Intn(n + 1)
+		}
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * math.Exp(float64(rng.Intn(9)-4))
+		}
+		a, b := xs[:cut], xs[cut:]
+		concat := append(append([]float64{}, a...), b...)
+		if got, want := Variance2(a, b), Variance(concat); got != want {
+			t.Fatalf("trial %d: Variance2 = %v, Variance(concat) = %v", trial, got, want)
+		}
+		if got, want := Std2(a, b), Std(concat); got != want {
+			t.Fatalf("trial %d: Std2 = %v, Std(concat) = %v", trial, got, want)
+		}
+	}
+	if got := Std2(nil, []float64{3}); got != 0 {
+		t.Errorf("Std2 singleton = %v, want 0", got)
+	}
+}
+
 func TestMedian(t *testing.T) {
 	if got := Median([]float64{3, 1, 2}); got != 2 {
 		t.Errorf("odd median = %v", got)

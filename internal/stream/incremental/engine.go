@@ -158,6 +158,8 @@ func absDiff(a, b float64) float64 {
 // the new start, and the true Δ″ entries of indices entering the
 // sentinel zone leave the multiset — exactly the SecondDiff of the new
 // window.
+//
+//cabd:hotpath
 func (e *Engine) SlideTo(start int) {
 	if start <= e.start {
 		return

@@ -113,6 +113,8 @@ func (t *orderTreap) merge(a, b int32) int32 {
 }
 
 // Insert adds the entry (v, g). Global indices are unique, so keys are.
+//
+//cabd:hotpath
 func (t *orderTreap) Insert(v float64, g int64) {
 	id := t.alloc(v, g)
 	l, r := t.splitLT(t.root, v, g)
@@ -146,6 +148,8 @@ func (t *orderTreap) Remove(v float64, g int64) {
 }
 
 // Kth returns the entry with ascending rank k (0-based).
+//
+//cabd:hotpath
 func (t *orderTreap) Kth(k int) (v float64, g int64) {
 	id := t.root
 	for id >= 0 {
@@ -164,12 +168,16 @@ func (t *orderTreap) Kth(k int) (v float64, g int64) {
 }
 
 // KthVal returns just the value at ascending rank k.
+//
+//cabd:hotpath
 func (t *orderTreap) KthVal(k int) float64 {
 	v, _ := t.Kth(k)
 	return v
 }
 
 // CountLEValue returns how many entries have value <= x (any index).
+//
+//cabd:hotpath
 func (t *orderTreap) CountLEValue(x float64) int {
 	count := 0
 	id := t.root
@@ -187,6 +195,8 @@ func (t *orderTreap) CountLEValue(x float64) int {
 // Median reproduces stats.Median over the stored multiset: the middle
 // value for odd sizes, the midpoint of the two central values for even
 // sizes.
+//
+//cabd:hotpath
 func (t *orderTreap) Median() float64 {
 	n := t.Len()
 	if n == 0 {
@@ -204,6 +214,8 @@ func (t *orderTreap) Median() float64 {
 // deviation-sorted runs, and the k-th smallest deviation comes from the
 // classic two-sorted-sequences selection with O(log w) random access per
 // probe: O(log² w) total instead of the batch path's O(w log w) sort.
+//
+//cabd:hotpath
 func (t *orderTreap) MAD(med float64) float64 {
 	n := t.Len()
 	if n == 0 {
