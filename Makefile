@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet lint lint-bench test race check cover fuzz bench bench-guard serve-smoke agent-smoke stream-smoke
+.PHONY: all build vet lint lint-bench test race check cover fuzz bench bench-guard serve-smoke agent-smoke stream-smoke scenario-smoke
 
 all: check
 
@@ -54,7 +54,17 @@ agent-smoke:
 stream-smoke:
 	$(GO) run ./cmd/cabd-bench -exp stream -streamjson BENCH_stream.json
 
-check: vet build lint race serve-smoke agent-smoke stream-smoke
+# Smoke-scale run of the fault-taxonomy benchmark: every fault kind at
+# both channel counts on a short flat carrier. Proves the scenario
+# subsystem, the joint multivariate detector and every baseline still
+# drive end to end, and that the multivariate pass stays bit-identical
+# to the sequential row-major oracle (the experiment exits non-zero on
+# divergence). -scenjson '' keeps the checked-in full-grid
+# BENCH_scenarios.json intact.
+scenario-smoke:
+	$(GO) run ./cmd/cabd-bench -exp scenarios -smoke -scenjson ''
+
+check: vet build lint race serve-smoke agent-smoke stream-smoke scenario-smoke
 
 # Coverage floor for the observability layer: pure bookkeeping code with a
 # deterministic fake clock has no excuse for untested branches.
@@ -67,6 +77,10 @@ LINT_COVER_FLOOR := 85
 # paths are promised bit-identical to their sequential oracles, and an
 # untested branch there is an unverified promise.
 FOREST_COVER_FLOOR := 85
+# Coverage floor for the multivariate detector: its parallel scoring,
+# degradation and collective-merge paths all promise oracle equality,
+# so untested branches there are unverified promises too.
+MULTI_COVER_FLOOR := 85
 cover:
 	$(GO) test -coverprofile=cover.out ./internal/obs
 	@$(GO) tool cover -func=cover.out | awk '/^total:/ { \
@@ -89,6 +103,13 @@ cover:
 			printf "internal/ml/forest coverage %s%% is below the $(FOREST_COVER_FLOOR)%% floor\n", $$3; exit 1 \
 		} \
 		printf "internal/ml/forest coverage %s%% (floor $(FOREST_COVER_FLOOR)%%)\n", $$3 }'
+	$(GO) test -coverprofile=cover-multi.out ./internal/multi
+	@$(GO) tool cover -func=cover-multi.out | awk '/^total:/ { \
+		sub(/%/, "", $$3); \
+		if ($$3 + 0 < $(MULTI_COVER_FLOOR)) { \
+			printf "internal/multi coverage %s%% is below the $(MULTI_COVER_FLOOR)%% floor\n", $$3; exit 1 \
+		} \
+		printf "internal/multi coverage %s%% (floor $(MULTI_COVER_FLOOR)%%)\n", $$3 }'
 
 # Short native fuzzing campaigns against the sanitizing entry points.
 fuzz:

@@ -142,6 +142,18 @@ func (c *Client) Detect(ctx context.Context, series []float64, opts *httpapi.Det
 	return &out, nil
 }
 
+// DetectMulti runs one unsupervised multivariate detection over d
+// equal-length channels sampled on the same clock. Detection indices in
+// the reply are time steps into the submitted channels.
+func (c *Client) DetectMulti(ctx context.Context, channels [][]float64, opts *httpapi.DetectOptions) (*httpapi.DetectResponse, error) {
+	var out httpapi.DetectResponse
+	err := c.do(ctx, http.MethodPost, "/v1/detect/multi", httpapi.MultiDetectRequest{Channels: channels, Options: opts}, &out)
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
 // DetectBatch runs a whole series set in one request.
 func (c *Client) DetectBatch(ctx context.Context, seriesSet [][]float64, opts *httpapi.DetectOptions) (*httpapi.BatchDetectResponse, error) {
 	var out httpapi.BatchDetectResponse

@@ -8,7 +8,16 @@
 //	cabd-bench -exp fig11 -full       # paper-scale datasets (slow)
 //
 // Experiment ids: fig1 fig3 table1 fig5 fig6 fig7 fig8 fig9 fig10 fig11
-// scale table2 fig12 fig13 fig14 multi chaos inn obs serve stream load.
+// scale table2 fig12 fig13 fig14 multi chaos inn obs scenarios serve
+// stream load.
+//
+// The scenarios experiment sweeps the fault-taxonomy grid (fault kind x
+// series family x channel count x severity) with CABD's joint
+// multivariate detector against every univariate baseline (run
+// per-channel, detections unioned), writes -scenjson (default
+// BENCH_scenarios.json), replays every cell against the sequential
+// row-major oracle, and fails the run on any detection divergence.
+// -smoke shrinks it to the CI grid; -full widens to every family.
 //
 // The runtime experiments (fig11, inn, obs, scale) additionally write
 // their rows to a machine-readable snapshot (-json, default
@@ -65,6 +74,10 @@ func main() {
 		"collector-fleet benchmark output for the load experiment ('' disables)")
 	streamJSON := flag.String("streamjson", "BENCH_stream.json",
 		"streaming benchmark output for the stream experiment ('' disables)")
+	scenJSON := flag.String("scenjson", "BENCH_scenarios.json",
+		"taxonomy-grid benchmark output for the scenarios experiment ('' disables)")
+	smoke := flag.Bool("smoke", false,
+		"scenarios experiment only: CI smoke grid (one family, mild severity, short series)")
 	flag.Parse()
 
 	sc := experiments.Scale{}
@@ -163,6 +176,29 @@ func main() {
 		}},
 		{"chaos", "robustness: fault injection across families and datasets", func(sc experiments.Scale) {
 			experiments.PrintChaos(out, experiments.Chaos(sc))
+		}},
+		{"scenarios", "fault-taxonomy grid: CABD vs every baseline across kind x family x channels x severity", func(sc experiments.Scale) {
+			cfg := experiments.ScenarioConfig{}
+			if *smoke {
+				cfg = experiments.ScenarioSmokeConfig()
+			} else if *full {
+				cfg = experiments.ScenarioFullConfig()
+			}
+			res := experiments.ScenarioBench(cfg)
+			experiments.PrintScenarios(out, res)
+			if *scenJSON != "" {
+				if err := experiments.WriteScenariosJSON(*scenJSON, res); err != nil {
+					fmt.Fprintf(os.Stderr, "cabd-bench: writing %s: %v\n", *scenJSON, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(out, "taxonomy benchmark written to %s\n", *scenJSON)
+			}
+			if len(res.OracleDivergences) > 0 {
+				fmt.Fprintf(os.Stderr,
+					"cabd-bench: scenarios experiment: multivariate detections DIVERGED from the sequential oracle in %d cells: %v\n",
+					len(res.OracleDivergences), res.OracleDivergences)
+				os.Exit(1)
+			}
 		}},
 		{"serve", "HTTP serving layer: throughput, saturation shedding, session e2e", func(sc experiments.Scale) {
 			cfg := servebench.ServeConfig{}

@@ -10,10 +10,20 @@
 // exercising the sanitization layer:
 //
 //	cabd-gen -kind iot -faults nan,extreme -fault-seed 7
+//	cabd-gen -faults drift,levelshift,seasonalswing
 //	cabd-gen -faults all
 //
+// With -channels d (d >= 2) the output is instead a correlated
+// d-channel series over one carrier family (-family, -rho); faults are
+// injected with the same RNG seed in every channel, so the fault
+// footprint lines up across channels — the correlated-failure fixture
+// the multivariate detector consumes:
+//
+//	cabd-gen -channels 3 -family seasonal -faults gap -o multi.csv
+//
 // Output columns: index, value, label (normal / single-anomaly /
-// collective-anomaly / change-point), truth (clean value).
+// collective-anomaly / change-point), truth (clean value) — or
+// index,c0,c1,... for -channels d.
 package main
 
 import (
@@ -35,10 +45,21 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed")
 	anomaly := flag.Float64("anomaly", 0.04, "anomalous-point fraction (synthetic)")
 	change := flag.Float64("change", 0.01, "change-point fraction (synthetic)")
-	faults := flag.String("faults", "", "comma-separated fault families to inject: nan, flatline, extreme, dropout, or 'all'")
+	faults := flag.String("faults", "", "comma-separated fault families to inject (see internal/faultgen; 'all' for every family)")
 	faultSeed := flag.Int64("fault-seed", 1, "RNG seed for fault injection")
 	out := flag.String("o", "", "output file (default stdout)")
+	channels := flag.Int("channels", 1, "channel count; >= 2 emits a correlated multivariate CSV (index,c0,c1,...)")
+	family := flag.String("family", "seasonal", "carrier family for -channels >= 2: flat | trend | seasonal | ar")
+	rho := flag.Float64("rho", 0.8, "cross-channel correlation for -channels >= 2")
 	flag.Parse()
+
+	if *channels >= 2 {
+		if err := genMulti(*channels, *family, *seed, *n, *rho, *faults, *faultSeed, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "cabd-gen: %v\n", err)
+			os.Exit(2)
+		}
+		return
+	}
 
 	var s *series.Series
 	switch *kind {
@@ -98,11 +119,65 @@ func parseFaults(spec string) ([]faultgen.Kind, error) {
 	for _, field := range strings.Split(spec, ",") {
 		k := faultgen.Kind(strings.TrimSpace(field))
 		if !valid[k] {
-			return nil, fmt.Errorf("unknown fault family %q (have nan, flatline, extreme, dropout)", k)
+			return nil, fmt.Errorf("unknown fault family %q (have %s)", k, kindList())
 		}
 		kinds = append(kinds, k)
 	}
 	return kinds, nil
+}
+
+// kindList renders every fault family for the -faults error message.
+func kindList() string {
+	names := make([]string, 0, len(faultgen.Kinds()))
+	for _, k := range faultgen.Kinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+// genMulti emits the -channels >= 2 path: a correlated d-channel
+// carrier, optionally corrupted by the named fault families with one
+// shared RNG seed per (family, round) so the footprint repeats in every
+// channel.
+func genMulti(d int, family string, seed int64, n int, rho float64, faults string, faultSeed int64, out string) error {
+	fam := synth.Family(family)
+	ok := false
+	for _, f := range synth.Families() {
+		if f == fam {
+			ok = true
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown family %q (have flat, trend, seasonal, ar)", family)
+	}
+	dims := synth.CorrelatedDims(fam, seed, n, d, rho)
+	name := fmt.Sprintf("%s-d%d-s%d", family, d, seed)
+	if faults != "" {
+		kinds, err := parseFaults(faults)
+		if err != nil {
+			return err
+		}
+		for ki, kind := range kinds {
+			// One seed per fault family, shared across channels: every
+			// injector position draw is value-independent, so identical
+			// RNG streams put the fault at the same spots in each channel.
+			for k := range dims {
+				rng := rand.New(rand.NewSource(faultSeed + int64(ki)*7919))
+				dims[k], _ = faultgen.Inject(rng, dims[k], kind)
+			}
+		}
+		name += "+" + faults
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return dataio.WriteMulti(w, name, dims)
 }
 
 // inject corrupts the series in place, keeping labels and clean truth

@@ -62,6 +62,15 @@ type DetectRequest struct {
 	Options *DetectOptions `json:"options,omitempty"`
 }
 
+// MultiDetectRequest is the body of POST /v1/detect/multi: one
+// d-channel series as d equal-length value slices over the same clock.
+// A bad value in any channel is sanitized across the whole time step so
+// the channels stay aligned.
+type MultiDetectRequest struct {
+	Channels [][]float64    `json:"channels"`
+	Options  *DetectOptions `json:"options,omitempty"`
+}
+
 // BatchDetectRequest is the body of POST /v1/detect/batch.
 type BatchDetectRequest struct {
 	SeriesSet [][]float64    `json:"series_set"`

@@ -237,7 +237,7 @@ func (d *Detector) evaluateCtx(ctx context.Context, cands []Candidate, n int, o 
 		return nil, err
 	}
 	if fm == nil {
-		fm = getFeatMatrix(len(cands))
+		fm = getFeatMatrix(len(cands), featWidth(&d.opts))
 		fm.fillFromCandidates(cands, &d.opts)
 		defer putFeatMatrix(fm)
 	}

@@ -6,18 +6,35 @@ import (
 	"cabd/internal/ml/forest"
 )
 
-// numFeatures is the classifier feature-vector width: the paper's three
-// INN scores plus the asymmetry extension (see Candidate.features).
-const numFeatures = 4
+// Classifier feature-vector widths: the paper's three INN scores plus
+// the asymmetry extension (see Candidate.features) form the base
+// layout; Options.XChannelCorr appends the multivariate cross-channel
+// decorrelation column.
+const (
+	baseFeatures = 4
+	maxFeatures  = 5
+)
+
+// featWidth resolves the active feature-vector width of an option set.
+// The width changes the forest's RNG consumption, so it must be a pure
+// function of Options — never of the data.
+func featWidth(o *Options) int {
+	if o.XChannelCorr {
+		return maxFeatures
+	}
+	return baseFeatures
+}
 
 // featMatrix is the flat SoA classifier feature matrix: one
 // index-aligned []float64 per feature, filled in place by the scoreAll
 // workers (worker i writes only row i, so the fill is race-free without
 // locks). The forest trains and batch-infers directly over the columns;
-// Candidate.features stays as the row-major differential oracle.
+// Candidate.features stays as the row-major differential oracle. Only
+// the first `width` columns are active; matrix() exposes exactly those.
 type featMatrix struct {
-	cols [numFeatures][]float64
-	n    int
+	cols  [maxFeatures][]float64
+	n     int
+	width int
 }
 
 // featPool recycles feature-matrix buffers across detection runs so the
@@ -25,13 +42,15 @@ type featMatrix struct {
 // long-lived stream re-analyzing every hop reuses the same columns.
 var featPool = sync.Pool{New: func() any { return new(featMatrix) }}
 
-// getFeatMatrix returns a zeroed n-row matrix from the pool.
+// getFeatMatrix returns a zeroed n-row, width-column matrix from the
+// pool.
 //
 //cabd:hotpath
-func getFeatMatrix(n int) *featMatrix {
+func getFeatMatrix(n, width int) *featMatrix {
 	m := featPool.Get().(*featMatrix)
 	m.n = n
-	for f := range m.cols {
+	m.width = width
+	for f := 0; f < width; f++ {
 		if cap(m.cols[f]) < n {
 			m.cols[f] = make([]float64, n)
 			continue
@@ -53,9 +72,9 @@ func putFeatMatrix(m *featMatrix) {
 	}
 }
 
-// matrix returns the forest-facing column view.
+// matrix returns the forest-facing column view over the active width.
 func (m *featMatrix) matrix() forest.Matrix {
-	return forest.Matrix{Cols: m.cols[:], N: m.n}
+	return forest.Matrix{Cols: m.cols[:m.width], N: m.n}
 }
 
 // fill writes candidate c's feature vector into row i under the
@@ -74,6 +93,9 @@ func (m *featMatrix) fill(i int, c *Candidate, opts *Options) {
 		m.cols[2][i] = c.Variance
 	}
 	m.cols[3][i] = c.Asymmetry
+	if m.width > baseFeatures {
+		m.cols[4][i] = c.XCorr
+	}
 }
 
 // fillFromCandidates populates the whole matrix from already-scored

@@ -224,7 +224,7 @@ func (sc *scorer) scoreAll(ctx context.Context, cands []Candidate) (degraded boo
 	if len(cands) == 0 {
 		return false, nil
 	}
-	sc.feats = getFeatMatrix(len(cands))
+	sc.feats = getFeatMatrix(len(cands), featWidth(&sc.opts))
 	workers := runtime.GOMAXPROCS(0)
 	if sc.opts.SeqOracle {
 		workers = 1

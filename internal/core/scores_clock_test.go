@@ -107,7 +107,7 @@ func TestDeadlinePilotRescoreFakeClock(t *testing.T) {
 				pos, cands[pos].Index, cands[pos].INN, want)
 		}
 		row := cands[pos].features(sc.opts)
-		for f := 0; f < numFeatures; f++ {
+		for f := 0; f < baseFeatures; f++ {
 			//cabd:lint-ignore floateq the SoA matrix contract is bit-identity with the row-major oracle
 			if sc.feats.cols[f][pos] != row[f] {
 				t.Errorf("candidate %d feature %d: matrix %v, row-major %v",

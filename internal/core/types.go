@@ -72,6 +72,14 @@ type Candidate struct {
 	// asymmetry signal out of the magnitude score.
 	Asymmetry float64
 
+	// XCorr is the cross-channel decorrelation score of the multivariate
+	// extension: (1 - mean pairwise channel correlation over the local
+	// window)/2, in [0,1]. A fault in one channel of a correlated group
+	// breaks the local co-movement, so high XCorr is anomaly evidence.
+	// Zero (and excluded from the feature vector) unless
+	// Options.XChannelCorr is set.
+	XCorr float64
+
 	// SecondDiffZ is the robust z-score of the candidate's absolute
 	// second difference — how strongly the candidate-estimation step
 	// flagged it. Level shifts and spikes score far above noise blips.
@@ -87,7 +95,7 @@ type Candidate struct {
 // switches of opts. The asymmetry feature always rides along; the Fig. 13
 // ablation toggles only the paper's three scores.
 func (c *Candidate) features(o Options) []float64 {
-	f := make([]float64, 4)
+	f := make([]float64, featWidth(&o))
 	if !o.DisableMagnitude {
 		f[0] = c.Magnitude
 	}
@@ -98,6 +106,9 @@ func (c *Candidate) features(o Options) []float64 {
 		f[2] = c.Variance
 	}
 	f[3] = c.Asymmetry
+	if o.XChannelCorr {
+		f[4] = c.XCorr
+	}
 	return f
 }
 

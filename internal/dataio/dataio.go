@@ -130,6 +130,44 @@ func WriteLabeled(w io.Writer, s *series.Series) error {
 	return nil
 }
 
+// WriteMulti emits a d-channel series as CSV: one row per time step
+// with a leading index column, one value column per channel
+// (index,c0,c1,...). The layout round-trips through ReadMulti, which
+// detects and drops the index column. Channels must share one length.
+func WriteMulti(w io.Writer, name string, dims [][]float64) error {
+	if len(dims) == 0 {
+		return fmt.Errorf("no channels")
+	}
+	n := len(dims[0])
+	for k, dim := range dims {
+		if len(dim) != n {
+			return fmt.Errorf("channel %d has %d points, want %d", k, len(dim), n)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "# %s\n", name); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	sb.WriteString("index")
+	for k := range dims {
+		fmt.Fprintf(&sb, ",c%d", k)
+	}
+	if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		sb.Reset()
+		fmt.Fprintf(&sb, "%d", i)
+		for k := range dims {
+			fmt.Fprintf(&sb, ",%.6f", dims[k][i])
+		}
+		if _, err := fmt.Fprintln(w, sb.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 func parseLabel(s string) series.Label {
 	switch s {
 	case "single-anomaly":

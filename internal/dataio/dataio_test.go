@@ -126,3 +126,35 @@ func TestReadMultiRaggedRowsRejected(t *testing.T) {
 		t.Error("ragged rows accepted")
 	}
 }
+
+func TestWriteMultiRoundTrip(t *testing.T) {
+	dims := [][]float64{{1, 2.5, 3}, {-4, 0, 6.125}}
+	var buf bytes.Buffer
+	if err := WriteMulti(&buf, "pair", dims); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMulti(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0]) != 3 {
+		t.Fatalf("round-trip shape = %dx%d", len(got), len(got[0]))
+	}
+	for k := range dims {
+		for i := range dims[k] {
+			if got[k][i] != dims[k][i] {
+				t.Errorf("dims[%d][%d] = %v, want %v", k, i, got[k][i], dims[k][i])
+			}
+		}
+	}
+}
+
+func TestWriteMultiRaggedRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMulti(&buf, "bad", [][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("ragged channels accepted")
+	}
+	if err := WriteMulti(&buf, "empty", nil); err == nil {
+		t.Error("empty channel set accepted")
+	}
+}

@@ -16,7 +16,11 @@ import (
 // Kind names one fault family, for reports and CLI selection.
 type Kind string
 
-// Fault families.
+// Fault families. The first four are the original chaos harness; the
+// last four extend the taxonomy to the slow/structural failure modes of
+// the Blázquez-García et al. survey (drifts, outages, level shifts,
+// seasonal excursions) that real telemetry exhibits and the paper never
+// injects.
 const (
 	// KindNaNRun replaces runs of points with NaN (transmission loss).
 	KindNaNRun Kind = "nan"
@@ -28,10 +32,25 @@ const (
 	// KindDropout removes whole chunks of samples, shortening the series
 	// (gaps in an equally spaced feed).
 	KindDropout Kind = "dropout"
+	// KindDrift ramps the value away linearly over a stretch and holds
+	// the reached offset (sensor calibration drift).
+	KindDrift Kind = "drift"
+	// KindGap blanks one long contiguous stretch to NaN — a feed outage,
+	// the missing-timestamp shape of an equally spaced store.
+	KindGap Kind = "gap"
+	// KindLevelShift adds an abrupt persistent offset from one position
+	// onward (a spurious step that is an error, not an event).
+	KindLevelShift Kind = "levelshift"
+	// KindSeasonalSwing superimposes a transient oscillation burst — an
+	// out-of-season amplitude excursion.
+	KindSeasonalSwing Kind = "seasonalswing"
 )
 
 // Kinds lists every fault family.
-func Kinds() []Kind { return []Kind{KindNaNRun, KindFlatline, KindExtreme, KindDropout} }
+func Kinds() []Kind {
+	return []Kind{KindNaNRun, KindFlatline, KindExtreme, KindDropout,
+		KindDrift, KindGap, KindLevelShift, KindSeasonalSwing}
+}
 
 // Report says what one injector did.
 type Report struct {
@@ -48,7 +67,7 @@ func NaNRuns(rng *rand.Rand, values []float64, runs, maxLen int) ([]float64, Rep
 	out := clone(values)
 	rep := Report{Kind: KindNaNRun}
 	for r := 0; r < runs && len(out) > 0; r++ {
-		length := 1 + rng.Intn(maxInt(maxLen, 1))
+		length := 1 + rng.Intn(max(maxLen, 1))
 		start := rng.Intn(len(out))
 		for i := start; i < start+length && i < len(out); i++ {
 			if !math.IsNaN(out[i]) {
@@ -67,7 +86,7 @@ func Flatlines(rng *rand.Rand, values []float64, runs, maxLen int) ([]float64, R
 	out := clone(values)
 	rep := Report{Kind: KindFlatline}
 	for r := 0; r < runs && len(out) > 1; r++ {
-		length := 2 + rng.Intn(maxInt(maxLen-1, 1))
+		length := 2 + rng.Intn(max(maxLen-1, 1))
 		start := rng.Intn(len(out))
 		held := out[start]
 		for i := start + 1; i < start+length && i < len(out); i++ {
@@ -109,7 +128,7 @@ func Dropout(rng *rand.Rand, values []float64, chunks, maxLen int) ([]float64, R
 	}
 	drop := make([]bool, len(values))
 	for c := 0; c < chunks; c++ {
-		length := 1 + rng.Intn(maxInt(maxLen, 1))
+		length := 1 + rng.Intn(max(maxLen, 1))
 		start := rng.Intn(len(values))
 		for i := start; i < start+length && i < len(values); i++ {
 			drop[i] = true
@@ -126,32 +145,146 @@ func Dropout(rng *rand.Rand, values []float64, chunks, maxLen int) ([]float64, R
 	return out, rep
 }
 
+// Drifts adds `runs` slow linear ramps: over a stretch of 8..maxLen
+// points the value drifts away linearly until the deviation reaches
+// about scale robust standard deviations, then the reached offset holds
+// for the rest of the series — a transducer losing its calibration.
+// Report.Indices lists the ramp positions (where the deviation grows).
+func Drifts(rng *rand.Rand, values []float64, runs, maxLen int, scale float64) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindDrift}
+	sd := robustScale(out)
+	for r := 0; r < runs && len(out) > 8; r++ {
+		length := 8 + rng.Intn(max(maxLen-7, 1))
+		start := rng.Intn(len(out))
+		total := (scale + scale*rng.Float64()) * sd
+		if rng.Intn(2) == 0 {
+			total = -total
+		}
+		end := min(start+length, len(out))
+		for i := start; i < end; i++ {
+			out[i] += total * float64(i-start+1) / float64(length)
+			rep.Indices = append(rep.Indices, i)
+		}
+		// The drifted sensor stays miscalibrated past the ramp.
+		for i := end; i < len(out); i++ {
+			out[i] += total * float64(end-start) / float64(length)
+		}
+	}
+	return out, rep
+}
+
+// Gaps blanks `runs` long stretches of maxLen/2..maxLen points to NaN —
+// feed outages, an order of magnitude longer than the scattered
+// transmission-loss runs of KindNaNRun.
+func Gaps(rng *rand.Rand, values []float64, runs, maxLen int) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindGap}
+	if maxLen < 4 {
+		maxLen = 4
+	}
+	for r := 0; r < runs && len(out) > 0; r++ {
+		length := maxLen/2 + rng.Intn(max(maxLen-maxLen/2, 1))
+		start := rng.Intn(len(out))
+		for i := start; i < start+length && i < len(out); i++ {
+			if !math.IsNaN(out[i]) {
+				rep.Indices = append(rep.Indices, i)
+			}
+			out[i] = math.NaN()
+		}
+	}
+	return out, rep
+}
+
+// LevelShifts adds `shifts` abrupt persistent offsets of about scale
+// robust standard deviations, each from a random onset onward. Unlike a
+// change point — an event to preserve — these are spurious steps (a
+// re-zeroed sensor, a unit change upstream). Report.Indices lists the
+// onset positions only; everything after an onset is offset.
+func LevelShifts(rng *rand.Rand, values []float64, shifts int, scale float64) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindLevelShift}
+	sd := robustScale(out)
+	for r := 0; r < shifts && len(out) > 2; r++ {
+		pos := 1 + rng.Intn(len(out)-1)
+		delta := (scale + scale*rng.Float64()) * sd
+		if rng.Intn(2) == 0 {
+			delta = -delta
+		}
+		for i := pos; i < len(out); i++ {
+			out[i] += delta
+		}
+		rep.Indices = append(rep.Indices, pos)
+	}
+	return out, rep
+}
+
+// SeasonalSwings superimposes `runs` transient oscillation bursts of
+// 16..maxLen points: a sinusoid of about scale robust standard
+// deviations, faded in and out by a raised-cosine envelope so the burst
+// has no artificial edges — an out-of-season amplitude excursion.
+func SeasonalSwings(rng *rand.Rand, values []float64, runs, maxLen int, scale float64) ([]float64, Report) {
+	out := clone(values)
+	rep := Report{Kind: KindSeasonalSwing}
+	sd := robustScale(out)
+	for r := 0; r < runs && len(out) > 16; r++ {
+		length := 16 + rng.Intn(max(maxLen-15, 1))
+		start := rng.Intn(len(out))
+		period := float64(8 + rng.Intn(max(length/2-8, 1)))
+		amp := (scale + scale*rng.Float64()) * sd
+		end := min(start+length, len(out))
+		for i := start; i < end; i++ {
+			t := float64(i - start)
+			envelope := 0.5 - 0.5*math.Cos(2*math.Pi*t/float64(length-1))
+			delta := amp * envelope * math.Sin(2*math.Pi*t/period)
+			next := out[i] + delta
+			//cabd:lint-ignore floateq exact equality is the contract: an index is reported corrupted only when the float addition actually changes the stored value (envelope edges and sinusoid zero crossings produce deltas that vanish in the addition)
+			if next == out[i] {
+				continue
+			}
+			out[i] = next
+			rep.Indices = append(rep.Indices, i)
+		}
+	}
+	return out, rep
+}
+
 // Inject applies one fault family at a severity scaled to the series
 // length (about 2% of points per family).
 func Inject(rng *rand.Rand, values []float64, kind Kind) ([]float64, Report) {
 	n := len(values)
-	budget := maxInt(n/50, 2)
+	budget := max(n/50, 2)
 	switch kind {
 	case KindNaNRun:
-		return NaNRuns(rng, values, maxInt(budget/4, 1), 8)
+		return NaNRuns(rng, values, max(budget/4, 1), 8)
 	case KindFlatline:
-		return Flatlines(rng, values, maxInt(budget/8, 1), 16)
+		return Flatlines(rng, values, max(budget/8, 1), 16)
 	case KindExtreme:
 		return Extremes(rng, values, budget)
 	case KindDropout:
-		return Dropout(rng, values, maxInt(budget/4, 1), 8)
+		return Dropout(rng, values, max(budget/4, 1), 8)
+	case KindDrift:
+		return Drifts(rng, values, max(budget/16, 1), 64, 4)
+	case KindGap:
+		return Gaps(rng, values, max(budget/16, 1), 32)
+	case KindLevelShift:
+		return LevelShifts(rng, values, max(budget/16, 1), 4)
+	case KindSeasonalSwing:
+		return SeasonalSwings(rng, values, max(budget/16, 1), 64, 3)
 	default:
 		return clone(values), Report{Kind: kind}
 	}
 }
 
-// Chaos applies every fault family in sequence (dropout last, so the
-// index bookkeeping of the earlier reports stays meaningful for the
-// pre-dropout layout) and returns the corrupted series with all reports.
+// Chaos applies every fault family in sequence (gap second to last and
+// dropout last, so the index bookkeeping of the earlier reports stays
+// meaningful for the pre-dropout layout) and returns the corrupted
+// series with all reports.
 func Chaos(rng *rand.Rand, values []float64) ([]float64, []Report) {
 	var reports []Report
 	out := clone(values)
-	for _, kind := range []Kind{KindFlatline, KindExtreme, KindNaNRun, KindDropout} {
+	for _, kind := range []Kind{KindFlatline, KindExtreme, KindNaNRun,
+		KindDrift, KindLevelShift, KindSeasonalSwing, KindGap, KindDropout} {
 		var rep Report
 		out, rep = Inject(rng, out, kind)
 		reports = append(reports, rep)
@@ -163,9 +296,27 @@ func clone(values []float64) []float64 {
 	return append([]float64(nil), values...)
 }
 
-func maxInt(a, b int) int {
-	if a > b {
-		return a
+// robustScale estimates the spread of the finite values (for sizing
+// drift/shift/swing magnitudes); hostile input already full of NaN runs
+// or flatlines must not zero the injected deviation, so the floor is 1.
+func robustScale(values []float64) float64 {
+	var mean, m2 float64
+	n := 0
+	for _, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		n++
+		d := v - mean
+		mean += d / float64(n)
+		m2 += d * (v - mean)
 	}
-	return b
+	if n < 2 {
+		return 1
+	}
+	sd := math.Sqrt(m2 / float64(n))
+	if sd == 0 || math.IsNaN(sd) || math.IsInf(sd, 0) {
+		return 1
+	}
+	return sd
 }

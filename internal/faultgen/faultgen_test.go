@@ -114,8 +114,15 @@ func TestCABDSurvivesEveryFaultFamily(t *testing.T) {
 			if err != nil {
 				t.Fatalf("sanitize: %v", err)
 			}
-			if kind != faultgen.KindDropout && kind != faultgen.KindFlatline && rep.Bad() == 0 {
-				t.Fatalf("sanitize found nothing to repair after %s", kind)
+			// Only the bad-value families (NaN runs, hostile floats, feed
+			// outages) leave something for sanitize to repair; the finite
+			// families (flatline, drift, levelshift, seasonalswing) and
+			// dropout pass through value-clean.
+			switch kind {
+			case faultgen.KindNaNRun, faultgen.KindExtreme, faultgen.KindGap:
+				if rep.Bad() == 0 {
+					t.Fatalf("sanitize found nothing to repair after %s", kind)
+				}
 			}
 			var res *core.Result
 			run(t, "core.Detect", func() {

@@ -1,0 +1,99 @@
+// Exhaustive golden-report coverage of Inject: every kind in Kinds()
+// must be wired through the Inject switch and reproduce a pinned report
+// shape under a fixed seed. Adding a kind without wiring it (the
+// default branch returns an empty report) fails here.
+package faultgen_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cabd/internal/faultgen"
+)
+
+// injectGolden pins, per kind, the output length and the report summary
+// (corruption count, first and last corrupted index) for seed 7 over the
+// fixture below. Regenerate by logging the actual values if an injector
+// legitimately changes.
+var injectGolden = map[faultgen.Kind]struct {
+	outLen, count, first, last int
+}{
+	faultgen.KindNaNRun:        {outLen: 400, count: 13, first: 270, last: 68},
+	faultgen.KindFlatline:      {outLen: 400, count: 12, first: 271, last: 282},
+	faultgen.KindExtreme:       {outLen: 400, count: 8, first: 286, last: 391},
+	faultgen.KindDropout:       {outLen: 387, count: 13, first: 63, last: 276},
+	faultgen.KindDrift:         {outLen: 400, count: 37, first: 270, last: 306},
+	faultgen.KindGap:           {outLen: 400, count: 30, first: 270, last: 299},
+	faultgen.KindLevelShift:    {outLen: 400, count: 1, first: 315, last: 315},
+	faultgen.KindSeasonalSwing: {outLen: 400, count: 46, first: 271, last: 317},
+}
+
+func injectFixture() []float64 {
+	base := make([]float64, 400)
+	for i := range base {
+		base[i] = math.Sin(2*math.Pi*float64(i)/40) + 0.01*float64(i)
+	}
+	return base
+}
+
+// TestInjectGoldenReports table-tests Inject over every kind against the
+// pinned report summaries.
+func TestInjectGoldenReports(t *testing.T) {
+	base := injectFixture()
+	if len(injectGolden) != len(faultgen.Kinds()) {
+		t.Fatalf("golden table has %d kinds, Kinds() has %d — add the new kind's golden entry",
+			len(injectGolden), len(faultgen.Kinds()))
+	}
+	for _, kind := range faultgen.Kinds() {
+		kind := kind
+		t.Run(string(kind), func(t *testing.T) {
+			want, ok := injectGolden[kind]
+			if !ok {
+				t.Fatalf("no golden entry for kind %q", kind)
+			}
+			out, rep := faultgen.Inject(rand.New(rand.NewSource(7)), base, kind)
+			if rep.Kind != kind {
+				t.Errorf("report kind = %q, want %q", rep.Kind, kind)
+			}
+			if len(rep.Indices) == 0 {
+				t.Fatalf("%s: Inject corrupted nothing — kind not wired through the switch?", kind)
+			}
+			first, last := rep.Indices[0], rep.Indices[len(rep.Indices)-1]
+			got := struct{ outLen, count, first, last int }{len(out), len(rep.Indices), first, last}
+			if got != want {
+				t.Errorf("%s: report summary %+v, want %+v", kind, got, want)
+			}
+			// The input must never be modified in place.
+			ref := injectFixture()
+			for i := range base {
+				if base[i] != ref[i] {
+					t.Fatalf("%s: Inject modified its input at %d", kind, i)
+				}
+			}
+		})
+	}
+}
+
+// TestInjectReportedIndicesDiffer asserts every reported index (for the
+// value-mutating kinds) actually differs from the clean input — a report
+// must not claim corruption it didn't do.
+func TestInjectReportedIndicesDiffer(t *testing.T) {
+	base := injectFixture()
+	for _, kind := range faultgen.Kinds() {
+		if kind == faultgen.KindDropout {
+			continue // indices name removed positions, not mutated ones
+		}
+		out, rep := faultgen.Inject(rand.New(rand.NewSource(7)), base, kind)
+		for _, i := range rep.Indices {
+			if i < 0 || i >= len(out) {
+				t.Fatalf("%s: reported index %d out of range", kind, i)
+			}
+			same := out[i] == base[i] ||
+				(math.IsNaN(out[i]) && math.IsNaN(base[i]))
+			if same {
+				t.Errorf("%s: reported index %d is unchanged", kind, i)
+			}
+		}
+	}
+}

@@ -22,6 +22,8 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
 
 	"cabd/internal/core"
 	"cabd/internal/inn"
@@ -90,15 +92,23 @@ func (s *Series) ChangePointIndices() []int {
 // Detector runs multivariate CABD. Options are the univariate option set;
 // the Strategy field selects Binary (default), Linear INN or FixedKNN
 // computation (MutualSetINN falls back to Binary in this extension).
+// For d >= 2 channels the classifier additionally receives the
+// cross-channel decorrelation feature (core.Candidate.XCorr) and
+// detections co-occurring across channels merge into the collective
+// subtype (CAPA-style); d = 1 keeps the exact univariate feature layout
+// and detections.
 type Detector struct {
 	opts core.Options
-	core *core.Detector
+	core *core.Detector // engine with the caller's feature layout (d = 1)
+	x    *core.Detector // engine with the cross-channel column (d >= 2)
 }
 
 // NewDetector returns a multivariate detector.
 func NewDetector(opts core.Options) *Detector {
 	c := core.NewDetector(opts)
-	return &Detector{opts: c.Options(), core: c}
+	xopts := c.Options()
+	xopts.XChannelCorr = true
+	return &Detector{opts: c.Options(), core: c, x: core.NewDetector(xopts)}
 }
 
 // Options returns the resolved option set.
@@ -117,8 +127,8 @@ func (d *Detector) DetectActive(s *Series, o core.Labeler) *core.Result {
 }
 
 // DetectCtx is Detect with cancellation: ctx is checked at stage
-// boundaries and periodically inside the per-candidate INN growth loop,
-// and a cancelled context returns ctx.Err() promptly.
+// boundaries and per candidate inside the scoring worker pool, and a
+// cancelled context returns ctx.Err() promptly.
 func (d *Detector) DetectCtx(ctx context.Context, s *Series) (*core.Result, error) {
 	return d.run(ctx, s, nil)
 }
@@ -127,6 +137,11 @@ func (d *Detector) DetectCtx(ctx context.Context, s *Series) (*core.Result, erro
 func (d *Detector) DetectActiveCtx(ctx context.Context, s *Series, o core.Labeler) (*core.Result, error) {
 	return d.run(ctx, s, o)
 }
+
+// coocTol is the index tolerance for cross-channel co-occurrence: a
+// candidate flagged within +-coocTol positions in at least two channels
+// is a collective (multivariate) anomaly when it classifies as one.
+const coocTol = 2
 
 func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Result, error) {
 	t := d.opts.Obs.NewTrace()
@@ -143,21 +158,31 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 		std[k] = stats.Standardize(dim)
 	}
 
-	// Candidate estimation: the strongest per-dimension second
-	// difference z-score.
+	// Per-channel candidate estimation: each channel's robust z of the
+	// absolute second difference flags its own candidates; the union
+	// (deduplicated by index, keeping the strongest z and the channel
+	// that produced it) is the joint candidate set, and the per-channel
+	// flags feed the co-occurrence merge below.
 	var cands []core.Candidate
 	zdim := make([]int, n)
+	chHits := make([]int, n)
 	t.Do(obs.StageCandidates, func() {
 		zmax := make([]float64, n)
+		flagged := make([][]bool, s.D())
 		for k, dim := range std {
 			d2 := series.SecondDiff(dim)
 			rz := stats.RobustZ(d2)
+			fl := make([]bool, n)
 			for i, z := range rz {
 				if z > zmax[i] {
 					zmax[i] = z
 					zdim[i] = k
 				}
+				if z > d.opts.CandidateZ {
+					fl[i] = true
+				}
 			}
+			flagged[k] = fl
 		}
 		for i, z := range zmax {
 			if z > d.opts.CandidateZ {
@@ -166,6 +191,18 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 		}
 		if len(cands) > n/4 {
 			cands = topByZ(cands, n/4)
+		}
+		// Co-occurrence counts: how many channels flag each index within
+		// the tolerance window.
+		for i := range chHits {
+			for k := range flagged {
+				for off := -coocTol; off <= coocTol; off++ {
+					if j := i + off; j >= 0 && j < n && flagged[k][j] {
+						chHits[i]++
+						break
+					}
+				}
+			}
 		}
 	})
 	if len(cands) == 0 {
@@ -187,30 +224,21 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 		degradeReason = fmt.Sprintf("candidate count %d exceeds bound %d", len(cands), bound)
 	}
 
-	// Joint embedding and neighborhood computation.
+	// Joint embedding and neighborhood computation. All scoring workers
+	// share one bounded rank memo: overlapping neighborhoods make a
+	// pair's reverse probe a later candidate's forward probe.
 	pts := embed(std)
-	comp := inn.NewNComputer(pts)
-	tlim := comp.RangeLimit(d.opts.RangeFrac)
+	comp := inn.NewNComputer(pts).WithRankMemo(0)
+	sc := &mscorer{
+		opts:   d.opts,
+		std:    std,
+		comp:   comp,
+		tlim:   comp.RangeLimit(d.opts.RangeFrac),
+		corpus: make(map[corpusKey][]string),
+	}
 	var scoreErr error
 	t.Do(obs.StageINNScore, func() {
-		for ci := range cands {
-			if ci%64 == 0 {
-				if err := ctx.Err(); err != nil {
-					scoreErr = err
-					return
-				}
-			}
-			c := &cands[ci]
-			switch strat {
-			case core.LinearINN:
-				c.INN = comp.Minimal(c.Index, tlim)
-			case core.FixedKNN:
-				c.INN = comp.KNN(c.Index, d.opts.KNNK)
-			default:
-				c.INN = comp.Binary(c.Index, tlim)
-			}
-			d.score(c, std, zdim[c.Index])
-		}
+		scoreErr = sc.scoreAll(ctx, cands, strat, zdim)
 	})
 	if hits, misses := comp.MemoStats(); hits+misses > 0 {
 		t.Add(obs.CounterRankMemoHits, hits)
@@ -219,9 +247,23 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 	if scoreErr != nil {
 		return nil, scoreErr
 	}
-	res, err := d.core.EvaluateCandidatesCtx(ctx, cands, n, o)
+	eng := d.core
+	if s.D() >= 2 {
+		eng = d.x
+	}
+	res, err := eng.EvaluateCandidatesCtx(ctx, cands, n, o)
 	if err != nil {
 		return nil, err
+	}
+	// CAPA-style collective merge: an anomaly detection at an index
+	// flagged by two or more channels is a cross-channel collective
+	// anomaly, whatever its per-channel neighborhood size said.
+	if s.D() >= 2 {
+		for i := range res.Anomalies {
+			if chHits[res.Anomalies[i].Index] >= 2 {
+				res.Anomalies[i].Subtype = series.CollectiveAnomaly
+			}
+		}
 	}
 	res.Strategy = strat
 	res.Degraded = degradeReason != ""
@@ -234,6 +276,213 @@ func (d *Detector) run(ctx context.Context, s *Series, o core.Labeler) (*core.Re
 	// pipeline.
 	res.Stages.Merge(t.Timings())
 	return res, nil
+}
+
+// corpusKey addresses the sliding-word cache: SAX corpora are per
+// triggering dimension and window length.
+type corpusKey struct{ dim, wlen int }
+
+// mscorer carries the shared state of one multivariate scoring pass.
+// Workers write only their own candidate slot; the corpus cache is the
+// single shared mutable structure and is mutex-guarded (its content is
+// a pure function of the key, so cache-fill races cannot change
+// results).
+type mscorer struct {
+	opts     core.Options
+	std      [][]float64
+	comp     *inn.NComputer
+	tlim     int
+	corpusMu sync.Mutex
+	corpus   map[corpusKey][]string
+}
+
+// scoreAll grows each candidate's neighborhood and fills its scores in
+// parallel (one worker per GOMAXPROCS slot, one write-only slot per
+// candidate — the same discipline as the univariate scoreAll, and
+// bit-identical to the sequential pass Options.SeqOracle selects).
+func (sc *mscorer) scoreAll(ctx context.Context, cands []core.Candidate, strat core.Strategy, zdim []int) error {
+	workers := runtime.GOMAXPROCS(0)
+	if sc.opts.SeqOracle {
+		workers = 1
+	}
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	ch := make(chan int, len(cands))
+	for i := range cands {
+		ch <- i
+	}
+	close(ch)
+	var wg sync.WaitGroup
+	var cancelled sync.Once
+	var ctxErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if e := ctx.Err(); e != nil {
+					cancelled.Do(func() { ctxErr = e })
+					return
+				}
+				c := &cands[i]
+				switch strat {
+				case core.LinearINN:
+					c.INN = sc.comp.Minimal(c.Index, sc.tlim)
+				case core.FixedKNN:
+					c.INN = sc.comp.KNN(c.Index, sc.opts.KNNK)
+				default:
+					c.INN = sc.comp.Binary(c.Index, sc.tlim)
+				}
+				sc.score(c, zdim[c.Index])
+			}
+		}()
+	}
+	wg.Wait()
+	return ctxErr
+}
+
+// score fills the candidate's features from the multivariate geometry;
+// trigger is the dimension whose second difference flagged the candidate.
+func (sc *mscorer) score(c *core.Candidate, trigger int) {
+	n := len(sc.std[0])
+	ss := len(c.INN)
+	c.Magnitude = float64(ss) / float64(n)
+	lo, hi := c.Index, c.Index
+	for _, j := range c.INN {
+		if j < lo {
+			lo = j
+		}
+		if j > hi {
+			hi = j
+		}
+	}
+	c.LeftExtent = c.Index - lo
+	c.RightExtent = hi - c.Index
+	if ext := c.LeftExtent + c.RightExtent; ext > 0 {
+		diff := c.RightExtent - c.LeftExtent
+		if diff < 0 {
+			diff = -diff
+		}
+		c.Asymmetry = float64(diff) / float64(ext)
+	}
+
+	// Correlation score over the triggering dimension.
+	hw := ss
+	if hw < 3 {
+		hw = 3
+	}
+	if hw > 12 {
+		hw = 12
+	}
+	wlo, whi := c.Index-hw, c.Index+hw+1
+	if wlo < 0 {
+		wlo = 0
+	}
+	if whi > n {
+		whi = n
+	}
+	if wlen := whi - wlo; wlen >= 2 && wlen <= n/2 {
+		word := sax.Word(sc.std[trigger][wlo:whi], sc.opts.SAXSegments, sc.opts.SAXAlphabet)
+		c.Correlation = sax.Frequency(sc.corpusFor(trigger, wlen), word)
+	} else {
+		c.Correlation = 1
+	}
+
+	// Variance score: total (all-dimension) standard deviation drop.
+	pad := ss
+	if pad < 3 {
+		pad = 3
+	}
+	slo, shi := lo-pad, hi+pad+1
+	if slo < 0 {
+		slo = 0
+	}
+	if shi > n {
+		shi = n
+	}
+	sdAll := totalStd(sc.std, slo, shi, -1, -1)
+	sdRest := totalStd(sc.std, slo, shi, lo, hi+1)
+	if sdAll == 0 {
+		c.Variance = 0
+	} else {
+		vs := 1 - sdRest/sdAll
+		if vs < 0 {
+			vs = 0
+		}
+		if vs > 1 {
+			vs = 1
+		}
+		c.Variance = vs
+	}
+
+	// Cross-channel decorrelation (d >= 2 only): the mean pairwise
+	// channel correlation over the local window, mapped so that broken
+	// co-movement — one channel deviating from an otherwise correlated
+	// group — scores high.
+	if len(sc.std) >= 2 {
+		c.XCorr = sc.xcorr(c.Index, ss)
+	}
+}
+
+// xcorr computes the cross-channel decorrelation score at index over a
+// window sized by the neighborhood (clamped to [8, 32] half-width):
+// (1 - mean pairwise correlation)/2 in [0, 1].
+func (sc *mscorer) xcorr(index, ss int) float64 {
+	n := len(sc.std[0])
+	hw := ss
+	if hw < 8 {
+		hw = 8
+	}
+	if hw > 32 {
+		hw = 32
+	}
+	lo, hi := index-hw, index+hw+1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n {
+		hi = n
+	}
+	if hi-lo < 4 {
+		return 0
+	}
+	var sum float64
+	var pairs int
+	for a := 0; a < len(sc.std); a++ {
+		for b := a + 1; b < len(sc.std); b++ {
+			r := stats.Correlation(sc.std[a][lo:hi], sc.std[b][lo:hi])
+			if math.IsNaN(r) {
+				r = 0 // a constant window has no co-movement signal
+			}
+			sum += r
+			pairs++
+		}
+	}
+	x := (1 - sum/float64(pairs)) / 2
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	return x
+}
+
+// corpusFor returns the sliding SAX words of dimension dim at window
+// length wlen, cached per (dim, wlen). Candidates in the same series
+// often share pattern sizes, so the hit rate is high; the cache is the
+// reason a 200-candidate run does not recompute the corpus 200 times.
+func (sc *mscorer) corpusFor(dim, wlen int) []string {
+	key := corpusKey{dim, wlen}
+	sc.corpusMu.Lock()
+	defer sc.corpusMu.Unlock()
+	if words, ok := sc.corpus[key]; ok {
+		return words
+	}
+	words := sax.SlidingWords(sc.std[dim], wlen, sc.opts.SAXSegments, sc.opts.SAXAlphabet)
+	sc.corpus[key] = words
+	return words
 }
 
 // topByZ keeps the k strongest candidates (guard against MAD collapse).
@@ -282,82 +531,6 @@ func embed(std [][]float64) [][]float64 {
 		pts[i] = row
 	}
 	return pts
-}
-
-// score fills the candidate's features from the multivariate geometry;
-// trigger is the dimension whose second difference flagged the candidate.
-func (d *Detector) score(c *core.Candidate, std [][]float64, trigger int) {
-	n := len(std[0])
-	ss := len(c.INN)
-	c.Magnitude = float64(ss) / float64(n)
-	lo, hi := c.Index, c.Index
-	for _, j := range c.INN {
-		if j < lo {
-			lo = j
-		}
-		if j > hi {
-			hi = j
-		}
-	}
-	c.LeftExtent = c.Index - lo
-	c.RightExtent = hi - c.Index
-	if ext := c.LeftExtent + c.RightExtent; ext > 0 {
-		diff := c.RightExtent - c.LeftExtent
-		if diff < 0 {
-			diff = -diff
-		}
-		c.Asymmetry = float64(diff) / float64(ext)
-	}
-
-	// Correlation score over the triggering dimension.
-	hw := ss
-	if hw < 3 {
-		hw = 3
-	}
-	if hw > 12 {
-		hw = 12
-	}
-	wlo, whi := c.Index-hw, c.Index+hw+1
-	if wlo < 0 {
-		wlo = 0
-	}
-	if whi > n {
-		whi = n
-	}
-	if wlen := whi - wlo; wlen >= 2 && wlen <= n/2 {
-		word := sax.Word(std[trigger][wlo:whi], d.opts.SAXSegments, d.opts.SAXAlphabet)
-		corpus := sax.SlidingWords(std[trigger], wlen, d.opts.SAXSegments, d.opts.SAXAlphabet)
-		c.Correlation = sax.Frequency(corpus, word)
-	} else {
-		c.Correlation = 1
-	}
-
-	// Variance score: total (all-dimension) standard deviation drop.
-	pad := ss
-	if pad < 3 {
-		pad = 3
-	}
-	slo, shi := lo-pad, hi+pad+1
-	if slo < 0 {
-		slo = 0
-	}
-	if shi > n {
-		shi = n
-	}
-	sdAll := totalStd(std, slo, shi, -1, -1)
-	sdRest := totalStd(std, slo, shi, lo, hi+1)
-	if sdAll == 0 {
-		c.Variance = 0
-		return
-	}
-	vs := 1 - sdRest/sdAll
-	if vs < 0 {
-		vs = 0
-	}
-	if vs > 1 {
-		vs = 1
-	}
-	c.Variance = vs
 }
 
 // totalStd is the square root of the mean per-dimension variance of the

@@ -1,0 +1,200 @@
+package scenario_test
+
+import (
+	"math"
+	"testing"
+
+	"cabd/internal/faultgen"
+	"cabd/internal/scenario"
+	"cabd/internal/synth"
+)
+
+// TestGridExpansion checks the cross product and its deterministic
+// order.
+func TestGridExpansion(t *testing.T) {
+	g := scenario.Grid{}
+	cells := g.Cells()
+	want := 6 * len(synth.Families()) * 2 * 2
+	if len(cells) != want {
+		t.Fatalf("default grid has %d cells, want %d", len(cells), want)
+	}
+	again := g.Cells()
+	for i := range cells {
+		if cells[i] != again[i] {
+			t.Fatalf("cell order not deterministic at %d: %v vs %v", i, cells[i], again[i])
+		}
+	}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if seen[c.Name()] {
+			t.Fatalf("duplicate cell %s", c.Name())
+		}
+		seen[c.Name()] = true
+	}
+}
+
+// TestGenerateDeterministic: the same grid generates bit-identical
+// corpora.
+func TestGenerateDeterministic(t *testing.T) {
+	g := scenario.Grid{
+		Kinds:    []faultgen.Kind{faultgen.KindDrift, faultgen.KindGap},
+		Families: []synth.Family{synth.FamilyFlat},
+		N:        400, Seed: 9,
+	}
+	a, b := g.Generate(), g.Generate()
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("corpus sizes %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name {
+			t.Fatalf("scenario %d name %q vs %q", i, a[i].Name, b[i].Name)
+		}
+		for k := range a[i].Dims {
+			for j := range a[i].Dims[k] {
+				av, bv := a[i].Dims[k][j], b[i].Dims[k][j]
+				if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+					t.Fatalf("scenario %d dim %d idx %d: %v vs %v", i, k, j, av, bv)
+				}
+			}
+		}
+		for j := range a[i].Truth {
+			if a[i].Truth[j] != b[i].Truth[j] {
+				t.Fatalf("scenario %d truth differs", i)
+			}
+		}
+	}
+}
+
+// TestScenarioShapeAndTruth checks every generated scenario carries
+// equal-length channels, in-range sorted truth onsets, and actual
+// corruption relative to the clean carrier.
+func TestScenarioShapeAndTruth(t *testing.T) {
+	g := scenario.Grid{N: 600, Seed: 3}
+	for _, sc := range g.Generate() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			if len(sc.Dims) != sc.Cell.Channels {
+				t.Fatalf("channels = %d, want %d", len(sc.Dims), sc.Cell.Channels)
+			}
+			n := len(sc.Dims[0])
+			for k := range sc.Dims {
+				if len(sc.Dims[k]) != n {
+					t.Fatalf("ragged channels")
+				}
+			}
+			if len(sc.Truth) == 0 {
+				t.Fatal("no truth onsets")
+			}
+			prev := -1
+			for _, idx := range sc.Truth {
+				if idx < 0 || idx >= n {
+					t.Fatalf("truth onset %d out of range [0,%d)", idx, n)
+				}
+				if idx <= prev {
+					t.Fatalf("truth not strictly sorted: %v", sc.Truth)
+				}
+				prev = idx
+			}
+			// Corruption really happened in every channel.
+			for k := range sc.Dims {
+				changed := false
+				for i := range sc.Dims[k] {
+					if sc.Dims[k][i] != sc.Clean[k][i] &&
+						!(math.IsNaN(sc.Dims[k][i]) && math.IsNaN(sc.Clean[k][i])) {
+						changed = true
+						break
+					}
+				}
+				if !changed {
+					t.Fatalf("channel %d is uncorrupted", k)
+				}
+			}
+		})
+	}
+}
+
+// TestCorrelatedFaultFootprint: for a d-channel gap scenario the NaN
+// positions must coincide across channels (same fault seed per
+// channel).
+func TestCorrelatedFaultFootprint(t *testing.T) {
+	cell := scenario.Cell{
+		Kind: faultgen.KindGap, Family: synth.FamilySeasonal,
+		Channels: 3, Severity: scenario.Mild,
+	}
+	sc := scenario.GenerateScenario(cell, 77, 800, 0.8)
+	for i := range sc.Dims[0] {
+		nan0 := math.IsNaN(sc.Dims[0][i])
+		for k := 1; k < len(sc.Dims); k++ {
+			if math.IsNaN(sc.Dims[k][i]) != nan0 {
+				t.Fatalf("gap footprint diverges across channels at %d", i)
+			}
+		}
+	}
+}
+
+// TestSevereOutweighsMild: the severe severity corrupts at least as
+// many points as mild on the same cell and seed.
+func TestSevereOutweighsMild(t *testing.T) {
+	base := scenario.Cell{Kind: faultgen.KindExtreme, Family: synth.FamilyFlat, Channels: 1}
+	mild, severe := base, base
+	mild.Severity, severe.Severity = scenario.Mild, scenario.Severe
+	count := func(sc *scenario.Scenario) int {
+		n := 0
+		for i := range sc.Dims[0] {
+			if sc.Dims[0][i] != sc.Clean[0][i] &&
+				!(math.IsNaN(sc.Dims[0][i]) && math.IsNaN(sc.Clean[0][i])) {
+				n++
+			}
+		}
+		return n
+	}
+	m := count(scenario.GenerateScenario(mild, 5, 1000, 0.8))
+	s := count(scenario.GenerateScenario(severe, 5, 1000, 0.8))
+	if s <= m {
+		t.Errorf("severe corrupted %d points, mild %d — want severe > mild", s, m)
+	}
+}
+
+// TestOnsets pins the segment-collapsing rule.
+func TestOnsets(t *testing.T) {
+	got := scenario.Onsets([]int{5, 6, 7, 12, 20, 21, 3})
+	want := []int{3, 5, 12, 20}
+	if len(got) != len(want) {
+		t.Fatalf("Onsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Onsets = %v, want %v", got, want)
+		}
+	}
+	if scenario.Onsets(nil) != nil {
+		t.Error("Onsets(nil) != nil")
+	}
+}
+
+// TestDropoutTruthRemap: a dropout scenario's truth must stay in range
+// of the shortened series.
+func TestDropoutTruthRemap(t *testing.T) {
+	cell := scenario.Cell{
+		Kind: faultgen.KindDropout, Family: synth.FamilyTrend,
+		Channels: 2, Severity: scenario.Severe,
+	}
+	sc := scenario.GenerateScenario(cell, 13, 900, 0.8)
+	n := len(sc.Dims[0])
+	if n >= 900 {
+		t.Fatalf("dropout did not shorten the series (n=%d)", n)
+	}
+	for k := range sc.Dims {
+		if len(sc.Dims[k]) != n {
+			t.Fatal("ragged channels after dropout")
+		}
+	}
+	if len(sc.Truth) == 0 {
+		t.Fatal("no truth")
+	}
+	for _, idx := range sc.Truth {
+		if idx < 0 || idx >= n {
+			t.Fatalf("truth onset %d out of shortened range [0,%d)", idx, n)
+		}
+	}
+}

@@ -43,6 +43,47 @@ func (s *Server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, toWire(res))
 }
 
+// handleDetectMulti runs one unsupervised multivariate detection: the
+// request carries d equal-length channels, the detector runs the joint
+// d-channel pipeline (cross-channel correlation feature, collective
+// merging), and the reply is the shared DetectResponse shape with time
+// indices into the submitted channels.
+func (s *Server) handleDetectMulti(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		s.writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req httpapi.MultiDetectRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Channels) == 0 {
+		s.writeError(w, http.StatusBadRequest, "channels is empty")
+		return
+	}
+	opts, err := parseOptions(req.Options)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, opts)
+	defer cancel()
+	det := s.multiDetectorFor(opts)
+	var res *cabd.Result
+	var detErr error
+	if perr := s.pool.run(func() {
+		res, detErr = det.DetectCtx(ctx, req.Channels)
+	}); perr != nil {
+		s.writeShed(w, perr.Error())
+		return
+	}
+	if detErr != nil {
+		s.writeError(w, errStatus(detErr), detErr.Error())
+		return
+	}
+	s.writeJSON(w, http.StatusOK, toWire(res))
+}
+
 // handleDetectBatch runs a whole series set through DetectBatchCtx as a
 // single pool job (the batch fans out over its own internal workers;
 // admission control here is per request, so one giant batch cannot

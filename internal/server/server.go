@@ -235,6 +235,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/detect", s.wrap(s.handleDetect))
 	mux.HandleFunc("POST /v1/detect/batch", s.wrap(s.handleDetectBatch))
+	mux.HandleFunc("POST /v1/detect/multi", s.wrap(s.handleDetectMulti))
 	mux.HandleFunc("POST /v1/stream/{id}", s.wrap(s.handleStreamPush))
 	mux.HandleFunc("DELETE /v1/stream/{id}", s.wrap(s.handleStreamClose))
 	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleSessionCreate))
@@ -324,9 +325,9 @@ func (s *Server) sweep() {
 	s.sessions.evictIdle(now, s.cfg.SessionTTL)
 }
 
-// detectorFor builds the per-request detector: base options overlaid
+// optionsFor resolves the per-request option set: base options overlaid
 // with the request's DetectOptions, recorder always attached.
-func (s *Server) detectorFor(o *detectOptions) *cabd.Detector {
+func (s *Server) optionsFor(o *detectOptions) cabd.Options {
 	opts := s.cfg.Options
 	opts.Obs = s.rec
 	if o != nil {
@@ -346,7 +347,17 @@ func (s *Server) detectorFor(o *detectOptions) *cabd.Detector {
 			opts.Seed = o.seed
 		}
 	}
-	return cabd.New(opts)
+	return opts
+}
+
+// detectorFor builds the per-request univariate detector.
+func (s *Server) detectorFor(o *detectOptions) *cabd.Detector {
+	return cabd.New(s.optionsFor(o))
+}
+
+// multiDetectorFor builds the per-request multivariate detector.
+func (s *Server) multiDetectorFor(o *detectOptions) *cabd.MultiDetector {
+	return cabd.NewMulti(s.optionsFor(o))
 }
 
 // requestContext derives the detection context: the request deadline is

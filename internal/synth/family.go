@@ -1,0 +1,112 @@
+// Series families and correlated multivariate carriers for the scenario
+// subsystem: the taxonomy grid crosses fault kinds with carrier shapes
+// (flat, trending, seasonal, strongly autocorrelated), so a detector's
+// per-kind quality can be read per carrier, and with channel counts, so
+// the multivariate path is exercised with controlled cross-channel
+// correlation. Carriers are clean — the scenario layer injects the
+// faults and owns the ground truth.
+package synth
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"cabd/internal/series"
+)
+
+// Family names one clean carrier shape.
+type Family string
+
+// Carrier families. Flat is the easiest case (any deviation stands
+// out), Trend breaks piecewise-constant assumptions, Seasonal feeds the
+// decomposition-style baselines their favorite structure, and AR has
+// long memory that makes slow faults (drift, levelshift) blend in.
+const (
+	FamilyFlat     Family = "flat"
+	FamilyTrend    Family = "trend"
+	FamilySeasonal Family = "seasonal"
+	FamilyAR       Family = "ar"
+)
+
+// Families lists every carrier family.
+func Families() []Family {
+	return []Family{FamilyFlat, FamilyTrend, FamilySeasonal, FamilyAR}
+}
+
+// Carrier builds one clean n-point series of the named family,
+// deterministically from seed. Unknown families fall back to flat.
+func Carrier(fam Family, seed int64, n int) *series.Series {
+	if n <= 0 {
+		n = 1000
+	}
+	rng := rand.New(rand.NewSource(seed))
+	vals := carrierValues(fam, rng, n)
+	s := series.New(fmt.Sprintf("%s-s%d", fam, seed), vals)
+	s.Truth = append([]float64(nil), vals...)
+	return s
+}
+
+func carrierValues(fam Family, rng *rand.Rand, n int) []float64 {
+	vals := make([]float64, n)
+	ar := 0.0
+	for i := 0; i < n; i++ {
+		x := float64(i)
+		switch fam {
+		case FamilyTrend:
+			ar = 0.6*ar + 0.3*rng.NormFloat64()
+			vals[i] = 10 + 8*x/float64(n) + ar
+		case FamilySeasonal:
+			ar = 0.6*ar + 0.3*rng.NormFloat64()
+			amp := 2.5 * (1 + 0.3*math.Sin(2*math.Pi*x/(7.3*64)))
+			vals[i] = 10 + amp*math.Sin(2*math.Pi*x/64) + ar
+		case FamilyAR:
+			// Long-memory random walk flavor: high AR coefficient, so
+			// level changes are "natural" and slow faults must be told
+			// apart from the carrier's own wandering.
+			ar = 0.95*ar + 0.3*rng.NormFloat64()
+			vals[i] = 10 + ar
+		default: // FamilyFlat
+			ar = 0.6*ar + 0.3*rng.NormFloat64()
+			vals[i] = 10 + ar
+		}
+	}
+	return vals
+}
+
+// CorrelatedDims builds d channels sharing one latent family carrier
+// plus independent per-channel noise sized so the pairwise
+// cross-channel correlation is about rho (clamped to [0.05, 0.99]).
+// Channels differ in gain and offset, as co-located sensors of the same
+// physical process do. Deterministic from seed. The multivar subpackage
+// wraps the dims in a multi.Series (synth itself cannot import
+// internal/multi without a test-only import cycle through core).
+func CorrelatedDims(fam Family, seed int64, n, d int, rho float64) [][]float64 {
+	if d < 1 {
+		d = 1
+	}
+	if rho < 0.05 {
+		rho = 0.05
+	}
+	if rho > 0.99 {
+		rho = 0.99
+	}
+	latent := Carrier(fam, seed, n)
+	sd := baseScale(latent.Values)
+	// corr(channel_a, channel_b) = var(shared)/(var(shared)+var(noise))
+	// when the noise is independent across channels, so the noise std
+	// that yields correlation rho is sd*sqrt(1/rho - 1).
+	noiseStd := sd * math.Sqrt(1/rho-1)
+	rng := rand.New(rand.NewSource(seed + 1))
+	dims := make([][]float64, d)
+	for c := 0; c < d; c++ {
+		gain := 1 + 0.25*float64(c)
+		offset := 3 * float64(c)
+		ch := make([]float64, len(latent.Values))
+		for i, v := range latent.Values {
+			ch[i] = gain*(v+noiseStd*rng.NormFloat64()) + offset
+		}
+		dims[c] = ch
+	}
+	return dims
+}

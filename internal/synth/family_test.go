@@ -1,0 +1,78 @@
+package synth_test
+
+import (
+	"math"
+	"testing"
+
+	"cabd/internal/stats"
+	"cabd/internal/synth"
+)
+
+// TestCarrierFamilies checks every family yields a finite, deterministic
+// carrier with non-trivial variation.
+func TestCarrierFamilies(t *testing.T) {
+	for _, fam := range synth.Families() {
+		fam := fam
+		t.Run(string(fam), func(t *testing.T) {
+			a := synth.Carrier(fam, 5, 800)
+			b := synth.Carrier(fam, 5, 800)
+			if len(a.Values) != 800 {
+				t.Fatalf("len = %d, want 800", len(a.Values))
+			}
+			var spread float64
+			for i, v := range a.Values {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("non-finite value at %d", i)
+				}
+				if v != b.Values[i] {
+					t.Fatalf("same seed, different value at %d", i)
+				}
+				spread += math.Abs(v - a.Values[0])
+			}
+			if spread == 0 {
+				t.Fatal("carrier is constant")
+			}
+			c := synth.Carrier(fam, 6, 800)
+			same := true
+			for i := range a.Values {
+				if a.Values[i] != c.Values[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				t.Fatal("different seeds produced identical carriers")
+			}
+		})
+	}
+}
+
+// TestCorrelatedDims checks channel count, determinism and that the
+// realized pairwise correlation lands near the requested rho.
+func TestCorrelatedDims(t *testing.T) {
+	dims := synth.CorrelatedDims(synth.FamilySeasonal, 11, 2000, 3, 0.8)
+	if len(dims) != 3 || len(dims[0]) != 2000 {
+		t.Fatalf("shape = %dx%d, want 3x2000", len(dims), len(dims[0]))
+	}
+	again := synth.CorrelatedDims(synth.FamilySeasonal, 11, 2000, 3, 0.8)
+	for c := range dims {
+		for i := range dims[c] {
+			if dims[c][i] != again[c][i] {
+				t.Fatalf("same seed, different value at dim %d idx %d", c, i)
+			}
+		}
+	}
+	for a := 0; a < len(dims); a++ {
+		for b := a + 1; b < len(dims); b++ {
+			r := stats.Correlation(dims[a], dims[b])
+			if r < 0.6 {
+				t.Errorf("corr(dim%d, dim%d) = %.3f, want >= 0.6 for rho=0.8", a, b, r)
+			}
+		}
+	}
+	// Low rho must actually decorrelate.
+	lo := synth.CorrelatedDims(synth.FamilyFlat, 13, 2000, 2, 0.1)
+	if r := stats.Correlation(lo[0], lo[1]); r > 0.5 {
+		t.Errorf("rho=0.1 realized corr %.3f, want < 0.5", r)
+	}
+}

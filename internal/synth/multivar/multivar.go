@@ -1,0 +1,21 @@
+// Package multivar wraps synth's correlated channel generators into
+// multi.Series values. It exists as a subpackage because internal/synth
+// is imported by internal/core's own tests: synth importing
+// internal/multi (which imports core) would close a test-only import
+// cycle.
+package multivar
+
+import (
+	"fmt"
+
+	"cabd/internal/multi"
+	"cabd/internal/synth"
+)
+
+// Correlated builds a d-channel multi.Series of family fam with
+// pairwise cross-channel correlation about rho, deterministically from
+// seed. See synth.CorrelatedDims for the construction.
+func Correlated(fam synth.Family, seed int64, n, d int, rho float64) *multi.Series {
+	dims := synth.CorrelatedDims(fam, seed, n, d, rho)
+	return multi.NewSeries(fmt.Sprintf("%s-d%d-s%d", fam, d, seed), dims)
+}
